@@ -1,0 +1,203 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper artifacts — these quantify the implementation decisions made
+where the paper under-specifies the algorithm (see DESIGN.md §4 and
+EXPERIMENTS.md "deviations"):
+
+* A1: the initial trust λ (paper §6.1.1 claims every λ > 0.5 is equivalent);
+* A2: Equation 9 as printed (cross-entropy-only ΔH) vs the
+  objective-consistent score that also counts the selected group's own
+  entropy;
+* A3: the size-scaled trust prior vs the literal unsmoothed update;
+* A4: the one-sided flush;
+* A5: TwoEstimate's rounding vs rescaling normalisation;
+* A6: the extension comparators from the related work;
+* A7: generator-seed sensitivity of the restaurant world.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import TwoEstimate
+from repro.core import IncEstHeu, IncEstimate
+from repro.datasets import generate_restaurants
+from repro.eval import evaluate_result, render_table, trust_mse_for
+from repro.experiments.methods import extended_methods
+
+_SMALL_WORLD_FACTS = 8_000
+
+
+def _quality_row(label, result, dataset):
+    counts = evaluate_result(result, dataset)
+    return {
+        "variant": label,
+        "precision": counts.precision,
+        "recall": counts.recall,
+        "accuracy": counts.accuracy,
+        "f1": counts.f1,
+        "mse": trust_mse_for(result, dataset),
+    }
+
+
+def test_a1_default_trust_sweep(benchmark, paper_world, save_table):
+    """Paper claim: 'all default value above 0.5 generate the same
+    corroboration result'."""
+    dataset = paper_world.dataset
+
+    def sweep():
+        return {
+            lam: IncEstimate(IncEstHeu(), default_trust=lam).run(dataset)
+            for lam in (0.6, 0.75, 0.9, 0.99)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [_quality_row(f"lambda={lam}", res, dataset) for lam, res in results.items()]
+    save_table(
+        "ablation_a1_default_trust",
+        render_table(
+            rows,
+            title="A1 — initial trust λ sweep (λ=0.6 leaves the prior anchor "
+            "only 0.1 above the decision threshold, so sources dip trivially "
+            "— the paper's any-λ>0.5 claim holds for the unsmoothed update, "
+            "not for the anchored one; see EXPERIMENTS.md)",
+            float_digits=3,
+        ),
+    )
+    accuracies = {row["variant"]: row["accuracy"] for row in rows}
+    stable = [accuracies[f"lambda={lam}"] for lam in (0.75, 0.9, 0.99)]
+    assert max(stable) - min(stable) < 0.15  # stable over the sane λ range
+
+
+def test_a2_own_entropy_weight(benchmark, paper_world, save_table):
+    """Equation 9 as printed degenerates on affirmative-dominated data."""
+    dataset = paper_world.dataset
+
+    def run_both():
+        printed = IncEstimate(IncEstHeu(own_entropy_weight=0.0)).run(dataset)
+        objective = IncEstimate(IncEstHeu(own_entropy_weight=1.0)).run(dataset)
+        return printed, objective
+
+    printed, objective = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        _quality_row("Eq9-as-printed (w=0)", printed, dataset),
+        _quality_row("objective-consistent (w=1)", objective, dataset),
+    ]
+    save_table(
+        "ablation_a2_own_entropy",
+        render_table(rows, title="A2 — ΔH scoring variant", float_digits=3),
+    )
+    assert rows[1]["accuracy"] > rows[0]["accuracy"]
+
+
+def test_a3_trust_prior(benchmark, paper_world, save_table):
+    dataset = paper_world.dataset
+
+    def run_variants():
+        return {
+            "no prior (literal Eq 8)": IncEstimate(
+                IncEstHeu(), trust_prior_strength=0.0
+            ).run(dataset),
+            "scaled prior (default)": IncEstimate(IncEstHeu()).run(dataset),
+        }
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = [_quality_row(k, v, dataset) for k, v in results.items()]
+    save_table(
+        "ablation_a3_trust_prior",
+        render_table(rows, title="A3 — trust prior", float_digits=3),
+    )
+    by_variant = {row["variant"]: row for row in rows}
+    assert by_variant["scaled prior (default)"]["f1"] >= by_variant[
+        "no prior (literal Eq 8)"
+    ]["f1"] - 0.05
+
+
+def test_a4_flush(benchmark, paper_world, save_table):
+    dataset = paper_world.dataset
+
+    def run_variants():
+        return {
+            "flush (default)": IncEstimate(IncEstHeu(flush_when_one_sided=True)).run(
+                dataset
+            ),
+            "no flush": IncEstimate(IncEstHeu(flush_when_one_sided=False)).run(
+                dataset
+            ),
+        }
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = []
+    for label, result in results.items():
+        row = _quality_row(label, result, dataset)
+        row["time_points"] = result.iterations
+        rows.append(row)
+    save_table(
+        "ablation_a4_flush",
+        render_table(rows, title="A4 — one-sided flush", float_digits=3),
+    )
+    assert rows[1]["time_points"] >= rows[0]["time_points"]
+
+
+def test_a5_twoestimate_normalization(benchmark, paper_world, save_table):
+    dataset = paper_world.dataset
+
+    def run_variants():
+        return {
+            "round (paper variant)": TwoEstimate(normalization="round").run(dataset),
+            "rescale (Galland)": TwoEstimate(normalization="rescale").run(dataset),
+        }
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = [_quality_row(k, v, dataset) for k, v in results.items()]
+    save_table(
+        "ablation_a5_twoestimate_normalization",
+        render_table(rows, title="A5 — TwoEstimate normalisation", float_digits=3),
+    )
+
+
+def test_a6_extended_comparators(benchmark, save_table):
+    world = generate_restaurants(num_facts=_SMALL_WORLD_FACTS)
+    dataset = world.dataset
+
+    def run_all():
+        return {m.name: m.run(dataset) for m in extended_methods()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    heu = IncEstimate(IncEstHeu()).run(dataset)
+    rows = [_quality_row(name, res, dataset) for name, res in results.items()]
+    rows.append(_quality_row("IncEstimate[IncEstHeu]", heu, dataset))
+    save_table(
+        "ablation_a6_extended_comparators",
+        render_table(
+            rows,
+            title="A6 — related-work comparators on the restaurant world "
+            "(8k listings)",
+            float_digits=3,
+        ),
+    )
+    best_comparator = max(row["accuracy"] for row in rows[:-1])
+    assert rows[-1]["accuracy"] > best_comparator - 0.05
+
+
+def test_a7_seed_sensitivity(benchmark, save_table):
+    def run_seeds():
+        rows = []
+        for seed in (7, 99, 123, 2012):
+            world = generate_restaurants(num_facts=_SMALL_WORLD_FACTS, seed=seed)
+            result = IncEstimate(IncEstHeu()).run(world.dataset)
+            row = _quality_row(f"seed={seed}", result, world.dataset)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run_seeds, rounds=1, iterations=1)
+    save_table(
+        "ablation_a7_seed_sensitivity",
+        render_table(
+            rows,
+            title="A7 — restaurant-world seed sensitivity of IncEstHeu "
+            "(the YP/CS trust dip is a threshold race; accuracy varies, the "
+            "ranking vs the baselines does not)",
+            float_digits=3,
+        ),
+    )
+    for row in rows:
+        assert row["recall"] > 0.5  # no trust-death collapse at any seed

@@ -1,0 +1,109 @@
+"""E3–E7 — the real-world restaurant experiment at full paper scale.
+
+Each method of the Table 4 line-up is benchmarked individually (that *is*
+Table 6); the per-method results are cached on the module so Tables 4 and 5
+can be assembled afterwards without re-running anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import render_table
+from repro.eval.harness import MethodRun, mse_table, quality_table, timing_table
+from repro.experiments.methods import paper_methods
+
+_RUNS: dict[str, MethodRun] = {}
+
+#: Gibbs sweeps for the bench: enough to converge on 37k facts while
+#: keeping BayesEstimate merely the *slowest* method (paper Table 6 shape)
+#: rather than the only one you wait for.
+_METHODS = paper_methods(bayes_burn_in=10, bayes_samples=20)
+
+
+@pytest.mark.parametrize("method", _METHODS, ids=[m.name for m in _METHODS])
+def test_table6_method_timing(benchmark, paper_world, method):
+    """Table 6 — wall-clock cost per method (paper: Voting 0.60s …
+    BayesEstimate 7.38s; only the relative ordering is comparable)."""
+
+    def run():
+        return method.run(paper_world.dataset)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RUNS[method.name] = MethodRun(
+        method=method.name, result=result, seconds=benchmark.stats["mean"]
+    )
+    assert set(result.probabilities) == set(paper_world.dataset.matrix.facts)
+
+
+def test_table3_source_statistics(benchmark, paper_world, save_table):
+    """Table 3 — coverage / overlap / accuracy of the simulated crawl."""
+    benchmark.pedantic(paper_world.coverage_row, rounds=1, iterations=1)
+    coverage = {"metric": "coverage", **paper_world.coverage_row()}
+    accuracy = {"metric": "golden accuracy", **paper_world.accuracy_row()}
+    f_votes = {"metric": "F votes", **paper_world.f_vote_counts()}
+    save_table(
+        "table3_source_statistics",
+        "\n\n".join(
+            [
+                render_table(
+                    [coverage, accuracy, f_votes],
+                    title="Table 3 (top/bottom) — source coverage and golden "
+                    "accuracy (paper coverage: .59/.24/.20/.07/.50/.35; "
+                    "accuracy: .59/.78/.93/.96/.62/.84; F votes 0/10/256/0/0/425)",
+                ),
+                render_table(
+                    paper_world.overlap_matrix(),
+                    title="Table 3 (middle) — pairwise source overlap",
+                ),
+            ]
+        ),
+    )
+
+
+@pytest.mark.parametrize("table", ["table4", "table5", "table6"])
+def test_assemble_tables(benchmark, paper_world, save_table, table):
+    """Tables 4/5/6 assembled from the per-method benchmark runs."""
+    if len(_RUNS) < len(_METHODS):
+        pytest.skip("method runs unavailable (run the timing benches first)")
+    runs = [_RUNS[m.name] for m in _METHODS]
+    benchmark.pedantic(lambda: quality_table(runs, paper_world.dataset), rounds=1, iterations=1)
+    if table == "table4":
+        rows = quality_table(runs, paper_world.dataset)
+        save_table(
+            "table4_restaurants_quality",
+            render_table(
+                rows,
+                title="Table 4 — real-world dataset quality (paper: IncEstHeu "
+                ".86/.86/.83/.86, ML-Logistic .86/.85/.82/.82, Voting .65/1/.66/.79)",
+            ),
+        )
+        by_method = {row["method"]: row for row in rows}
+        heu = by_method["IncEstimate[IncEstHeu]"]
+        assert heu["accuracy"] > by_method["TwoEstimate"]["accuracy"]
+        assert heu["f1"] == max(
+            row["f1"]
+            for name, row in by_method.items()
+            if name not in ("ML-Logistic", "ML-SVM (SMO)")
+        )
+    elif table == "table5":
+        rows = mse_table(runs, paper_world.dataset)
+        save_table(
+            "table5_trust_mse",
+            render_table(
+                rows,
+                title="Table 5 — corroborated trust scores and MSE (paper: "
+                "IncEstHeu MSE .005, ML-Logistic .004, TwoEstimate .063)",
+                float_digits=3,
+            ),
+        )
+        mse = {row["method"]: row["MSE"] for row in rows[1:]}
+        assert mse["IncEstimate[IncEstHeu]"] < mse["TwoEstimate"]
+    else:
+        rows = timing_table(runs)
+        save_table(
+            "table6_time_cost",
+            render_table(rows, title="Table 6 — time cost (seconds)", float_digits=2),
+        )
+        seconds = {row["method"]: row["seconds"] for row in rows}
+        assert seconds["BayesEstimate"] == max(seconds.values())

@@ -1,0 +1,67 @@
+"""End-to-end crawl pipeline: raw listings → dedup → corroboration.
+
+The paper's Section 6.2.1 pipeline in miniature: simulate a messy
+multi-source crawl (string variants plant duplicates), normalise addresses
+and link listings with term + 3-gram cosine similarity at threshold 0.8,
+turn the resolved entities into a vote matrix, and corroborate which
+restaurants are actually open.
+
+Run:  python examples/crawl_dedup_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import IncEstHeu, IncEstimate, Voting, evaluate_result, render_table
+from repro.datasets.rawcrawl import generate_raw_crawl, generate_universe
+from repro.dedup import (
+    entities_to_dataset,
+    pairwise_dedup_quality,
+    resolve_listings,
+)
+from repro.model.dataset import Dataset
+
+def main() -> None:
+    universe = generate_universe(num_restaurants=600, seed=46)
+    listings, truth = generate_raw_crawl(universe, seed=46)
+    print(f"Crawled {len(listings)} raw listings of {len(universe)} restaurants.")
+    print("Example presentation variants of one restaurant:")
+    hint = listings[0].entity_hint
+    for listing in [l for l in listings if l.entity_hint == hint][:4]:
+        print(f"  [{listing.source:11s}] {listing.name} | {listing.address}")
+    print()
+
+    entities = resolve_listings(listings)
+    quality = pairwise_dedup_quality(entities)
+    print(
+        f"Deduplicated to {len(entities)} entities "
+        f"(pairwise precision {quality['precision']:.3f}, "
+        f"recall {quality['recall']:.3f})."
+    )
+    print()
+
+    sources = sorted({listing.source for listing in listings})
+    resolved = entities_to_dataset(entities, sources)
+    labels = {
+        entity.entity_id: truth[entity.listings[0].entity_hint]
+        for entity in entities
+    }
+    dataset = Dataset(matrix=resolved.matrix, truth=labels, name="resolved crawl")
+
+    rows = []
+    for method in (Voting(), IncEstimate(IncEstHeu(), trust_prior_strength=0.005)):
+        result = method.run(dataset)
+        counts = evaluate_result(result, dataset)
+        rows.append(
+            {
+                "method": method.name,
+                "precision": counts.precision,
+                "recall": counts.recall,
+                "accuracy": counts.accuracy,
+                "closed found": len(result.false_facts()),
+            }
+        )
+    print(render_table(rows, title="Corroboration on the resolved crawl"))
+
+
+if __name__ == "__main__":
+    main()

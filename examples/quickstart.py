@@ -1,0 +1,67 @@
+"""Quickstart: corroborate the paper's motivating example (Table 1).
+
+Five web sources list twelve restaurants; almost every statement is
+affirmative, yet five of the restaurants are actually closed.  This script
+runs the two classic corroborators and the paper's incremental algorithm
+and prints the Table 2 comparison plus the round-by-round multi-value
+trust scores that make the difference.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BayesEstimate,
+    IncEstHeu,
+    IncEstimate,
+    TwoEstimate,
+    Voting,
+    evaluate_result,
+    motivating_example,
+    render_table,
+)
+
+def main() -> None:
+    dataset = motivating_example()
+    print(dataset.summary())
+    print()
+
+    methods = [
+        Voting(),
+        TwoEstimate(),
+        BayesEstimate(burn_in=50, samples=150),
+        IncEstimate(IncEstHeu()),
+    ]
+    rows = []
+    for method in methods:
+        result = method.run(dataset)
+        counts = evaluate_result(result, dataset)
+        rows.append(
+            {
+                "method": method.name,
+                "precision": counts.precision,
+                "recall": counts.recall,
+                "accuracy": counts.accuracy,
+                "false facts found": ", ".join(sorted(result.false_facts())) or "none",
+            }
+        )
+    print(render_table(rows, title="Corroboration quality (paper Table 2)"))
+    print()
+
+    result = IncEstimate(IncEstHeu()).run(dataset)
+    print("IncEstimate multi-value trust per time point (paper Figure 1):")
+    trajectory_rows = []
+    for time_point, vector in enumerate(result.trajectory.as_rows()):
+        trajectory_rows.append({"t": time_point, **vector})
+    print(render_table(trajectory_rows, float_digits=2))
+    print()
+    print(
+        "Note how s4's trust collapses after the first round — that is what "
+        "lets the algorithm label the s4-backed listings r6 and r12 as "
+        "closed, while single-trust methods call everything open."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Audit a restaurant-listing crawl: find listings that are likely closed.
+
+This is the paper's real-world scenario at full scale: 36,916 listings
+aggregated from six sources, fewer than 2% of which carry an explicit
+CLOSED flag.  The script corroborates the crawl with IncEstimate, shows how
+each source's trust evolves (paper Figure 2(b)), compares against a simple
+majority vote on the golden set (paper Table 4), and prints a sample of the
+listings flagged as closed.
+
+Run:  python examples/restaurant_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    IncEstHeu,
+    IncEstimate,
+    Voting,
+    evaluate_result,
+    generate_restaurants,
+    render_table,
+    trust_mse_for,
+)
+
+def main() -> None:
+    world = generate_restaurants()
+    dataset = world.dataset
+    print(dataset.summary())
+    print()
+    print(render_table([{"metric": "coverage", **world.coverage_row()}], float_digits=2))
+    print()
+
+    algorithm = IncEstimate(IncEstHeu())
+    result = algorithm.run(dataset)
+    baseline = Voting().run(dataset)
+
+    rows = []
+    for name, res in (("Voting", baseline), (algorithm.name, result)):
+        counts = evaluate_result(res, dataset)
+        rows.append(
+            {
+                "method": name,
+                "precision": counts.precision,
+                "recall": counts.recall,
+                "accuracy": counts.accuracy,
+                "f1": counts.f1,
+                "trust MSE": trust_mse_for(res, dataset),
+            }
+        )
+    print(render_table(rows, title="Golden-set quality (paper Table 4)", float_digits=3))
+    print()
+
+    print("Source trust over time (paper Figure 2(b)), sampled every 10 points:")
+    trajectory = result.trajectory
+    sampled = []
+    for t in range(0, trajectory.num_time_points, max(1, trajectory.num_time_points // 10)):
+        sampled.append({"t": t, **trajectory.at(t)})
+    print(render_table(sampled, float_digits=2))
+    print()
+
+    flagged = result.false_facts()
+    print(f"{len(flagged)} of {dataset.matrix.num_facts} listings flagged as closed.")
+    print("Sample of flagged listings and who (still) lists them:")
+    sample_rows = []
+    for fact in flagged[:8]:
+        votes = dataset.matrix.votes_on(fact)
+        sample_rows.append(
+            {
+                "listing": fact,
+                "P(open)": result.probability(fact),
+                "votes": ", ".join(f"{s}={v}" for s, v in sorted(votes.items())),
+            }
+        )
+    print(render_table(sample_rows, float_digits=2))
+
+
+if __name__ == "__main__":
+    main()

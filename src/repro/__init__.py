@@ -1,0 +1,100 @@
+"""repro — reproduction of *Corroborating Facts from Affirmative Statements*
+(Minji Wu & Amélie Marian, EDBT 2014).
+
+The package implements the paper's **IncEstimate** incremental
+corroboration algorithm with multi-value trust scores, every baseline it
+compares against (Voting, Counting, TwoEstimate, ThreeEstimate,
+BayesEstimate/LTM, SMO-SVM and logistic-regression classifiers), the
+dataset generators behind its evaluation (motivating example, calibrated
+restaurant-crawl simulator, Hubdub-like multi-answer generator, Section
+6.3.1 synthetic model), the entity-resolution pipeline of Section 6.2.1,
+and an evaluation harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import IncEstimate, IncEstHeu, motivating_example
+
+    dataset = motivating_example()
+    result = IncEstimate(IncEstHeu()).run(dataset)
+    print(result.labels())        # corroborated value per fact
+    print(result.trust)           # final trust score per source
+"""
+
+from repro.baselines import (
+    AvgLog,
+    BayesEstimate,
+    Cosine,
+    Counting,
+    Invest,
+    PooledInvest,
+    ThreeEstimate,
+    TruthFinder,
+    TwoEstimate,
+    Voting,
+)
+from repro.core import (
+    CorroborationResult,
+    Corroborator,
+    IncEstHeu,
+    IncEstPS,
+    IncEstimate,
+    TrustTrajectory,
+    binary_entropy,
+    collective_entropy,
+)
+from repro.datasets import (
+    generate_hubdub_like,
+    generate_restaurants,
+    generate_synthetic,
+    motivating_example,
+)
+from repro.eval import (
+    ConfusionCounts,
+    evaluate_result,
+    render_table,
+    run_methods,
+    trust_mse_for,
+)
+from repro.ml import LinearSVM, LogisticRegression, ml_logistic, ml_svm
+from repro.model import Dataset, Question, QuestionSet, Vote, VoteMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvgLog",
+    "BayesEstimate",
+    "ConfusionCounts",
+    "CorroborationResult",
+    "Corroborator",
+    "Cosine",
+    "Counting",
+    "Dataset",
+    "IncEstHeu",
+    "IncEstPS",
+    "IncEstimate",
+    "Invest",
+    "LinearSVM",
+    "LogisticRegression",
+    "PooledInvest",
+    "Question",
+    "QuestionSet",
+    "ThreeEstimate",
+    "TrustTrajectory",
+    "TruthFinder",
+    "TwoEstimate",
+    "Vote",
+    "VoteMatrix",
+    "Voting",
+    "binary_entropy",
+    "collective_entropy",
+    "evaluate_result",
+    "generate_hubdub_like",
+    "generate_restaurants",
+    "generate_synthetic",
+    "ml_logistic",
+    "ml_svm",
+    "motivating_example",
+    "render_table",
+    "run_methods",
+    "trust_mse_for",
+]

@@ -1,0 +1,58 @@
+"""Analysis extensions: calibration, bootstrap CIs, convergence
+diagnostics, source-dependence detection, parameter sweeps, terminal
+visualisation, and the one-call Markdown report."""
+
+from repro.analysis.bootstrap import MetricInterval, bootstrap_metrics
+from repro.analysis.calibration import (
+    CalibrationBin,
+    CalibrationReport,
+    brier_score,
+    calibration_report,
+    expected_calibration_error,
+    reliability_bins,
+)
+from repro.analysis.convergence import (
+    SourceConvergence,
+    summarize,
+    summarize_source,
+    tracking_error,
+)
+from repro.analysis.dependence import (
+    DependenceScore,
+    copying_pairs,
+    dependence_scores,
+)
+from repro.analysis.report import build_report
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    best_point,
+    parameter_grid,
+    run_sweep,
+)
+from repro.analysis.viz import line_chart, spark_table, sparkline
+
+__all__ = [
+    "CalibrationBin",
+    "CalibrationReport",
+    "DependenceScore",
+    "MetricInterval",
+    "SourceConvergence",
+    "SweepPoint",
+    "best_point",
+    "bootstrap_metrics",
+    "brier_score",
+    "build_report",
+    "calibration_report",
+    "copying_pairs",
+    "dependence_scores",
+    "expected_calibration_error",
+    "line_chart",
+    "parameter_grid",
+    "reliability_bins",
+    "run_sweep",
+    "spark_table",
+    "sparkline",
+    "summarize",
+    "summarize_source",
+    "tracking_error",
+]

@@ -1,0 +1,118 @@
+"""Probability calibration of corroborated fact probabilities.
+
+A corroborator outputs σ(f) ∈ [0, 1]; the paper treats these as
+probabilities (the whole entropy machinery assumes it), so it is natural to
+ask how *calibrated* they are: among facts given σ ≈ 0.8, are ~80% true?
+This module provides the standard instruments — Brier score, expected
+calibration error, and reliability-diagram bins — evaluated against a
+dataset's ground truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.result import CorroborationResult
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationBin:
+    """One reliability-diagram bin."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_probability: float
+    fraction_true: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence − accuracy| of the bin (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return abs(self.mean_probability - self.fraction_true)
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationReport:
+    """Brier score, ECE and the reliability bins."""
+
+    brier_score: float
+    expected_calibration_error: float
+    bins: list[CalibrationBin]
+    num_facts: int
+
+
+def _aligned(
+    probabilities: Mapping[FactId, float], dataset: Dataset
+) -> tuple[np.ndarray, np.ndarray]:
+    facts = dataset.evaluation_facts()
+    if not facts:
+        raise ValueError("dataset has no labelled facts to calibrate against")
+    p = np.array([probabilities[f] for f in facts])
+    y = np.array([dataset.truth[f] for f in facts], dtype=float)
+    return p, y
+
+
+def brier_score(probabilities: Mapping[FactId, float], dataset: Dataset) -> float:
+    """Mean squared error of σ(f) against the 0/1 truth."""
+    p, y = _aligned(probabilities, dataset)
+    return float(np.mean((p - y) ** 2))
+
+
+def reliability_bins(
+    probabilities: Mapping[FactId, float], dataset: Dataset, num_bins: int = 10
+) -> list[CalibrationBin]:
+    """Equal-width reliability-diagram bins over [0, 1]."""
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+    p, y = _aligned(probabilities, dataset)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    # Values exactly 1.0 belong to the last bin.
+    indices = np.clip(np.digitize(p, edges[1:-1], right=False), 0, num_bins - 1)
+    bins: list[CalibrationBin] = []
+    for b in range(num_bins):
+        mask = indices == b
+        count = int(mask.sum())
+        bins.append(
+            CalibrationBin(
+                lower=float(edges[b]),
+                upper=float(edges[b + 1]),
+                count=count,
+                mean_probability=float(p[mask].mean()) if count else 0.0,
+                fraction_true=float(y[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    probabilities: Mapping[FactId, float], dataset: Dataset, num_bins: int = 10
+) -> float:
+    """ECE: bin-count-weighted average |confidence − accuracy|."""
+    bins = reliability_bins(probabilities, dataset, num_bins)
+    total = sum(b.count for b in bins)
+    if total == 0:
+        return 0.0
+    return sum(b.count * b.gap for b in bins) / total
+
+
+def calibration_report(
+    result: CorroborationResult, dataset: Dataset, num_bins: int = 10
+) -> CalibrationReport:
+    """Full calibration report for a corroboration result."""
+    bins = reliability_bins(result.probabilities, dataset, num_bins)
+    total = sum(b.count for b in bins)
+    return CalibrationReport(
+        brier_score=brier_score(result.probabilities, dataset),
+        expected_calibration_error=(
+            sum(b.count * b.gap for b in bins) / total if total else 0.0
+        ),
+        bins=bins,
+        num_facts=total,
+    )

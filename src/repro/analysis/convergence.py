@@ -1,0 +1,91 @@
+"""Convergence diagnostics for the incremental algorithm's trust ledger.
+
+Figure 2 of the paper is, at heart, a convergence story: the multi-value
+trust scores should settle toward each source's actual accuracy as the
+evaluated set grows.  These helpers quantify that — per-source drift,
+stability points, sign changes across the 0.5 threshold — from any
+:class:`~repro.core.trust.TrustTrajectory`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.trust import TrustTrajectory
+from repro.model.matrix import SourceId
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceConvergence:
+    """Trajectory summary for one source."""
+
+    source: SourceId
+    start: float
+    final: float
+    minimum: float
+    minimum_at: int
+    maximum: float
+    crossings: int          # times the series crossed the 0.5 threshold
+    settled_at: int | None  # first t after which |change| stays < tolerance
+    total_variation: float  # sum of |step| over the whole series
+
+
+def summarize_source(
+    trajectory: TrustTrajectory, source: SourceId, tolerance: float = 0.01
+) -> SourceConvergence:
+    """Summarise one source's trust series."""
+    series = trajectory.series(source)
+    if not series:
+        raise ValueError("empty trajectory")
+    steps = [b - a for a, b in zip(series, series[1:])]
+    crossings = sum(
+        1
+        for a, b in zip(series, series[1:])
+        if (a - 0.5) * (b - 0.5) < 0
+    )
+    settled_at: int | None = None
+    for t in range(len(series)):
+        if all(abs(step) < tolerance for step in steps[t:]):
+            settled_at = t
+            break
+    minimum = min(series)
+    return SourceConvergence(
+        source=source,
+        start=series[0],
+        final=series[-1],
+        minimum=minimum,
+        minimum_at=series.index(minimum),
+        maximum=max(series),
+        crossings=crossings,
+        settled_at=settled_at,
+        total_variation=sum(abs(step) for step in steps),
+    )
+
+
+def summarize(
+    trajectory: TrustTrajectory, tolerance: float = 0.01
+) -> dict[SourceId, SourceConvergence]:
+    """Per-source convergence summaries for a whole trajectory."""
+    return {
+        source: summarize_source(trajectory, source, tolerance)
+        for source in trajectory.sources
+    }
+
+
+def tracking_error(
+    trajectory: TrustTrajectory, actual: dict[SourceId, float | None]
+) -> list[float]:
+    """Mean |trust − actual accuracy| at each time point.
+
+    The Figure 2(b) narrative ("the trust scores eventually converge to the
+    actual accuracy for the sources") predicts this series decreases.
+    Sources with unknown accuracy are skipped.
+    """
+    known = {s: a for s, a in actual.items() if a is not None}
+    if not known:
+        raise ValueError("no sources with known accuracy")
+    errors: list[float] = []
+    for vector in trajectory.as_rows():
+        diffs = [abs(vector[s] - a) for s, a in known.items()]
+        errors.append(sum(diffs) / len(diffs))
+    return errors

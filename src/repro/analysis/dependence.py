@@ -1,0 +1,110 @@
+"""Source-dependence detection (the Dong et al. extension).
+
+The paper's related work (Section 7) highlights Dong, Berti-Équille &
+Srivastava's observation that *copying between sources* breaks the
+independence assumption every corroborator makes: a copied false listing
+looks like independent confirmation.  This module implements the core
+signal of that line of work, adapted to the boolean-vote setting:
+
+    shared *false* values are much stronger evidence of copying than
+    shared true values, because there is only one way to be right but many
+    ways to be wrong — and in the listings setting, a stale closed
+    restaurant carried by two aggregators is a fingerprint.
+
+:func:`dependence_scores` computes, for every source pair, the lift of
+their co-voting on ground-truth-false facts over what independence
+predicts; :func:`copying_pairs` thresholds that into suspected
+copier relationships.  When no ground truth is available, a corroboration
+result's labels can stand in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Mapping
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId
+from repro.model.votes import Vote
+
+
+@dataclasses.dataclass(frozen=True)
+class DependenceScore:
+    """Copy evidence between one ordered-irrelevant source pair."""
+
+    source_a: SourceId
+    source_b: SourceId
+    shared_false: int
+    expected_shared_false: float
+    lift: float
+    jaccard_false: float
+
+    @property
+    def suspicious(self) -> bool:
+        """Rule of thumb: >2x the independent expectation with support."""
+        return self.lift > 2.0 and self.shared_false >= 5
+
+
+def _false_fact_sets(
+    dataset: Dataset, labels: Mapping[FactId, bool] | None
+) -> dict[SourceId, set[FactId]]:
+    """Per source: the false facts it affirmed (T vote on a false fact)."""
+    reference = labels if labels is not None else dataset.truth
+    if not reference:
+        raise ValueError(
+            "need ground truth or corroborated labels to detect dependence"
+        )
+    by_source: dict[SourceId, set[FactId]] = {s: set() for s in dataset.sources}
+    for source in dataset.sources:
+        for fact, vote in dataset.matrix.votes_by(source).items():
+            label = reference.get(fact)
+            if label is False and vote is Vote.TRUE:
+                by_source[source].add(fact)
+    return by_source
+
+
+def dependence_scores(
+    dataset: Dataset, labels: Mapping[FactId, bool] | None = None
+) -> list[DependenceScore]:
+    """Pairwise copy-evidence scores, sorted by lift descending.
+
+    The independent expectation for a pair is |A_false|·|B_false| / N_false
+    (hypergeometric mean), where N_false is the number of false facts any
+    source affirmed.
+    """
+    false_sets = _false_fact_sets(dataset, labels)
+    universe = set().union(*false_sets.values()) if false_sets else set()
+    n_false = len(universe)
+    scores: list[DependenceScore] = []
+    for a, b in itertools.combinations(dataset.sources, 2):
+        set_a, set_b = false_sets[a], false_sets[b]
+        shared = len(set_a & set_b)
+        union = len(set_a | set_b)
+        expected = (len(set_a) * len(set_b) / n_false) if n_false else 0.0
+        lift = shared / expected if expected > 0 else 0.0
+        scores.append(
+            DependenceScore(
+                source_a=a,
+                source_b=b,
+                shared_false=shared,
+                expected_shared_false=expected,
+                lift=lift,
+                jaccard_false=shared / union if union else 0.0,
+            )
+        )
+    return sorted(scores, key=lambda s: s.lift, reverse=True)
+
+
+def copying_pairs(
+    dataset: Dataset,
+    labels: Mapping[FactId, bool] | None = None,
+    min_lift: float = 2.0,
+    min_shared: int = 5,
+) -> list[DependenceScore]:
+    """The source pairs whose shared-false-fact lift flags likely copying."""
+    return [
+        score
+        for score in dependence_scores(dataset, labels)
+        if score.lift >= min_lift and score.shared_false >= min_shared
+    ]

@@ -1,0 +1,135 @@
+"""One-call Markdown report for a corroboration run.
+
+``build_report`` runs a set of corroborators over a dataset and produces a
+self-contained Markdown document: dataset profile, quality table, trust
+table with MSE, calibration summary, significance of the best method over
+the runner-up, and (for incremental results) trajectory sparklines and a
+convergence table.  The ``generate_report.py`` example writes one for the
+full restaurant world.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.calibration import calibration_report
+from repro.analysis.convergence import summarize
+from repro.analysis.viz import spark_table
+from repro.core.result import Corroborator
+from repro.eval.harness import run_methods
+from repro.eval.metrics import evaluate_result, trust_mse_for
+from repro.eval.significance import correctness_vector, paired_permutation_test
+from repro.eval.tables import render_table
+from repro.model.dataset import Dataset
+
+
+def build_report(
+    dataset: Dataset,
+    methods: Sequence[Corroborator],
+    title: str = "Corroboration report",
+    significance_iterations: int = 2_000,
+) -> str:
+    """Run the methods and return the full Markdown report."""
+    if not methods:
+        raise ValueError("need at least one corroborator")
+    runs = run_methods(methods, dataset)
+    sections: list[str] = [f"# {title}", "", f"**Dataset.** {dataset.summary()}", ""]
+
+    # Quality table.
+    quality_rows = []
+    for run in runs:
+        counts = evaluate_result(run.result, dataset)
+        quality_rows.append(
+            {
+                "method": run.method,
+                "precision": counts.precision,
+                "recall": counts.recall,
+                "accuracy": counts.accuracy,
+                "f1": counts.f1,
+                "seconds": run.seconds,
+            }
+        )
+    sections += ["## Quality", "", "```", render_table(quality_rows), "```", ""]
+
+    # Trust + MSE.
+    trust_rows = []
+    actual = dataset.true_source_accuracies()
+    truth_row: dict = {"method": "ground truth"}
+    truth_row.update({s: (a if a is not None else "-") for s, a in actual.items()})
+    trust_rows.append(truth_row)
+    for run in runs:
+        row: dict = {"method": run.method}
+        row.update(run.result.trust)
+        try:
+            row["MSE"] = trust_mse_for(run.result, dataset)
+        except ValueError:
+            row["MSE"] = "-"
+        trust_rows.append(row)
+    sections += ["## Source trust", "", "```", render_table(trust_rows, float_digits=3), "```", ""]
+
+    # Calibration of each method's probabilities.
+    calibration_rows = []
+    for run in runs:
+        report = calibration_report(run.result, dataset)
+        calibration_rows.append(
+            {
+                "method": run.method,
+                "brier": report.brier_score,
+                "ECE": report.expected_calibration_error,
+            }
+        )
+    sections += [
+        "## Probability calibration",
+        "",
+        "```",
+        render_table(calibration_rows, float_digits=3),
+        "```",
+        "",
+    ]
+
+    # Significance: best vs runner-up by accuracy.
+    ranked = sorted(quality_rows, key=lambda r: r["accuracy"], reverse=True)
+    if len(ranked) >= 2:
+        best_name, second_name = ranked[0]["method"], ranked[1]["method"]
+        by_name = {run.method: run for run in runs}
+        p_value = paired_permutation_test(
+            correctness_vector(by_name[best_name].result.labels(), dataset),
+            correctness_vector(by_name[second_name].result.labels(), dataset),
+            iterations=significance_iterations,
+        )
+        sections += [
+            "## Significance",
+            "",
+            f"Best method **{best_name}** vs runner-up **{second_name}**: "
+            f"paired permutation p = {p_value:.4f}.",
+            "",
+        ]
+
+    # Incremental trajectories.
+    for run in runs:
+        trajectory = run.result.trajectory
+        if trajectory is None or trajectory.num_time_points < 2:
+            continue
+        series = {s: trajectory.series(s) for s in trajectory.sources}
+        convergence_rows = [
+            {
+                "source": summary.source,
+                "start": summary.start,
+                "min": summary.minimum,
+                "min_at": summary.minimum_at,
+                "final": summary.final,
+                "crossings": summary.crossings,
+            }
+            for summary in summarize(trajectory).values()
+        ]
+        sections += [
+            f"## Multi-value trust — {run.method}",
+            "",
+            "```",
+            spark_table(series),
+            "",
+            render_table(convergence_rows, float_digits=3),
+            "```",
+            "",
+        ]
+    return "\n".join(sections)

@@ -1,0 +1,119 @@
+"""Parameter-sensitivity sweeps: a small grid runner for corroborators.
+
+Powers programmatic ablations: build a grid of corroborator configurations
+and datasets, run everything, and collect tidy rows.  Used by the ablation
+benches and directly useful to anyone tuning the incremental algorithm on
+their own data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.result import Corroborator
+from repro.eval.metrics import evaluate_result, trust_mse_for
+from repro.model.dataset import Dataset
+
+#: A factory mapping a parameter assignment to a configured corroborator.
+MethodFactory = Callable[..., Corroborator]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell's outcome."""
+
+    parameters: dict
+    dataset: str
+    method: str
+    precision: float
+    recall: float
+    accuracy: float
+    f1: float
+    trust_mse: float | None
+    seconds: float
+
+    def as_row(self) -> dict:
+        row = dict(self.parameters)
+        row.update(
+            {
+                "dataset": self.dataset,
+                "method": self.method,
+                "precision": self.precision,
+                "recall": self.recall,
+                "accuracy": self.accuracy,
+                "f1": self.f1,
+                "seconds": self.seconds,
+            }
+        )
+        if self.trust_mse is not None:
+            row["trust_mse"] = self.trust_mse
+        return row
+
+
+def parameter_grid(space: Mapping[str, Sequence]) -> list[dict]:
+    """Cartesian product of a name → values mapping, as assignments.
+
+    >>> parameter_grid({"a": [1, 2], "b": ["x"]})
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not space:
+        return [{}]
+    names = list(space)
+    combos = itertools.product(*(space[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    factory: MethodFactory,
+    space: Mapping[str, Sequence],
+    datasets: Sequence[Dataset],
+) -> list[SweepPoint]:
+    """Run ``factory(**params)`` on every dataset for every grid point."""
+    points: list[SweepPoint] = []
+    for parameters in parameter_grid(space):
+        for dataset in datasets:
+            method = factory(**parameters)
+            start = time.perf_counter()
+            result = method.run(dataset)
+            elapsed = time.perf_counter() - start
+            counts = evaluate_result(result, dataset)
+            try:
+                mse = trust_mse_for(result, dataset)
+            except (ValueError, KeyError):
+                mse = None
+            points.append(
+                SweepPoint(
+                    parameters=dict(parameters),
+                    dataset=dataset.name,
+                    method=method.name,
+                    precision=counts.precision,
+                    recall=counts.recall,
+                    accuracy=counts.accuracy,
+                    f1=counts.f1,
+                    trust_mse=mse,
+                    seconds=elapsed,
+                )
+            )
+    return points
+
+
+def best_point(
+    points: Sequence[SweepPoint], metric: str = "f1"
+) -> SweepPoint:
+    """The grid cell maximising ``metric`` (mean over datasets per cell)."""
+    if not points:
+        raise ValueError("empty sweep")
+    valid = {"precision", "recall", "accuracy", "f1"}
+    if metric not in valid:
+        raise ValueError(f"metric must be one of {sorted(valid)}")
+    by_cell: dict[tuple, list[SweepPoint]] = {}
+    for point in points:
+        key = tuple(sorted(point.parameters.items()))
+        by_cell.setdefault(key, []).append(point)
+    def cell_mean(cell: list[SweepPoint]) -> float:
+        return sum(getattr(p, metric) for p in cell) / len(cell)
+    best_cell = max(by_cell.values(), key=cell_mean)
+    return best_cell[0]

@@ -1,0 +1,101 @@
+"""Terminal visualisation: sparklines and line charts in plain text.
+
+The paper's figures are line plots (trust per time point, accuracy per
+sweep).  This library is dependency-light, so the "figures" render as
+Unicode block sparklines and fixed-grid ASCII charts — good enough to *see*
+Figure 2(b)'s dip in a terminal, and used by the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """Render values as a Unicode block sparkline over the [lo, hi] range.
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    '▁▅█'
+    """
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+    if not values:
+        return ""
+    chars = []
+    span = hi - lo
+    top = len(_BLOCKS) - 1
+    for value in values:
+        position = (min(max(value, lo), hi) - lo) / span
+        chars.append(_BLOCKS[round(position * top)])
+    return "".join(chars)
+
+
+def spark_table(
+    series: Mapping[str, Sequence[float]],
+    lo: float = 0.0,
+    hi: float = 1.0,
+    width: int = 60,
+) -> str:
+    """One labelled sparkline per series, down-sampled to ``width`` points.
+
+    The layout of the paper's Figure 2: one line per source.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    label_width = max((len(name) for name in series), default=0)
+    lines = []
+    for name, values in series.items():
+        sampled = _downsample(list(values), width)
+        lines.append(
+            f"{name.ljust(label_width)} "
+            f"{sparkline(sampled, lo, hi)} "
+            f"({values[0]:.2f}→{values[-1]:.2f})"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """A fixed-grid multi-series ASCII chart with a y-axis.
+
+    Series are drawn with distinct marker characters; collisions show the
+    later series' marker.
+    """
+    if height < 3 or width < 8:
+        raise ValueError("chart must be at least 3 rows by 8 columns")
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+    markers = "*+ox#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        sampled = _downsample(list(values), width)
+        for x, value in enumerate(sampled):
+            clipped = min(max(value, lo), hi)
+            y = round((clipped - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = []
+    for row, cells in enumerate(grid):
+        y_value = hi - (hi - lo) * row / (height - 1)
+        lines.append(f"{y_value:5.2f} |{''.join(cells)}")
+    lines.append("      +" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def _downsample(values: list[float], width: int) -> list[float]:
+    """Pick ``width`` evenly spaced values (all of them if fewer)."""
+    if len(values) <= width:
+        return values
+    step = (len(values) - 1) / (width - 1)
+    return [values[round(i * step)] for i in range(width)]

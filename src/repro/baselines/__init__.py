@@ -1,0 +1,31 @@
+"""Baseline and comparator corroboration methods.
+
+The paper's comparison set: :class:`Voting`, :class:`Counting`,
+:class:`TwoEstimate`, :class:`ThreeEstimate`, :class:`BayesEstimate`.
+Extension comparators from the related work: :class:`Cosine`,
+:class:`TruthFinder`, :class:`AvgLog`, :class:`Invest`,
+:class:`PooledInvest`.
+"""
+
+from repro.baselines.bayesestimate import BayesEstimate
+from repro.baselines.bayesestimate_fast import BayesEstimateFast
+from repro.baselines.cosine import Cosine
+from repro.baselines.pasternack import AvgLog, Invest, PooledInvest
+from repro.baselines.threeestimate import ThreeEstimate
+from repro.baselines.truthfinder import TruthFinder
+from repro.baselines.twoestimate import TwoEstimate
+from repro.baselines.voting import Counting, Voting
+
+__all__ = [
+    "AvgLog",
+    "BayesEstimate",
+    "BayesEstimateFast",
+    "Cosine",
+    "Counting",
+    "Invest",
+    "PooledInvest",
+    "ThreeEstimate",
+    "TruthFinder",
+    "TwoEstimate",
+    "Voting",
+]

@@ -1,0 +1,164 @@
+"""AvgLog, Invest and PooledInvest — Pasternack & Roth (COLING 2010).
+
+Extension comparators from the paper's related work (Section 7).  All three
+operate over *claims*: in the boolean setting each fact contributes two
+mutually-exclusive claims, "f is true" (backed by T votes) and "f is false"
+(backed by F votes).  Writing T(s) for source trust, C_s for the claims of
+source s and S_c for the sources of claim c:
+
+* **AvgLog**: B(c) = Σ_{s∈S_c} T(s);
+  T(s) = log(1 + |C_s|) · mean_{c∈C_s} B(c).
+* **Invest**: each source invests T(s)/|C_s| in each of its claims;
+  B(c) = (Σ investments)^g with growth g = 1.2; the returns are split among
+  the investors proportionally to their investment.
+* **PooledInvest**: like Invest, but the returned belief of a claim is
+  linearly re-pooled within its mutual-exclusion set (the two claims of a
+  fact), which sharpens the winner.
+
+Trust vectors are max-normalised each iteration (the framework is defined
+up to scale).  The reported fact probability is B(true) / (B(true) +
+B(false)), with 0.5 when a fact has no informative votes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._arrays import GroupArrays
+from repro.core.result import CorroborationResult, Corroborator
+from repro.model.dataset import Dataset
+
+
+class _PasternackBase(Corroborator):
+    """Shared iteration driver for the three operator variants."""
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-8) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        arrays = GroupArrays.from_dataset(dataset)
+        # Claims per source: every vote is one claim, weighted by group size.
+        claims_per_source = (arrays.voted * arrays.sizes[:, None]).sum(axis=0)
+        has_votes = claims_per_source > 0
+        trust = np.ones(arrays.num_sources)
+
+        belief_true = np.zeros(arrays.num_groups)
+        belief_false = np.zeros(arrays.num_groups)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            belief_true, belief_false = self._belief_step(
+                arrays, trust, claims_per_source
+            )
+            new_trust = self._trust_step(
+                arrays, trust, belief_true, belief_false, claims_per_source
+            )
+            new_trust = np.where(has_votes, new_trust, 0.0)
+            peak = new_trust.max(initial=0.0)
+            if peak > 0:
+                new_trust = new_trust / peak
+            if np.max(np.abs(new_trust - trust)) < self.tolerance:
+                trust = new_trust
+                break
+            trust = new_trust
+        belief_true, belief_false = self._belief_step(arrays, trust, claims_per_source)
+        total = belief_true + belief_false
+        with np.errstate(divide="ignore", invalid="ignore"):
+            probs = belief_true / total
+        probs = np.where(total > 0, probs, 0.5)
+        return self._result(
+            probabilities=arrays.fact_probabilities(probs),
+            trust=arrays.trust_mapping(np.clip(trust, 0.0, 1.0)),
+            iterations=iterations,
+        )
+
+    def _belief_step(
+        self,
+        arrays: GroupArrays,
+        trust: np.ndarray,
+        claims_per_source: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _trust_step(
+        self,
+        arrays: GroupArrays,
+        trust: np.ndarray,
+        belief_true: np.ndarray,
+        belief_false: np.ndarray,
+        claims_per_source: np.ndarray,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class AvgLog(_PasternackBase):
+    """Average belief of a source's claims, scaled by log claim volume."""
+
+    name = "AvgLog"
+
+    def _belief_step(self, arrays, trust, claims_per_source):
+        return arrays.affirm @ trust, arrays.deny @ trust
+
+    def _trust_step(self, arrays, trust, belief_true, belief_false, claims_per_source):
+        backed = (
+            arrays.affirm * belief_true[:, None]
+            + arrays.deny * belief_false[:, None]
+        ) * arrays.sizes[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean_belief = backed.sum(axis=0) / claims_per_source
+        mean_belief = np.nan_to_num(mean_belief)
+        return mean_belief * np.log1p(claims_per_source)
+
+
+class Invest(_PasternackBase):
+    """Sources invest trust in claims; returns grow super-linearly."""
+
+    name = "Invest"
+    growth = 1.2
+
+    def _investments(self, arrays, trust, claims_per_source):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_claim = trust / claims_per_source
+        return np.nan_to_num(per_claim)
+
+    def _belief_step(self, arrays, trust, claims_per_source):
+        per_claim = self._investments(arrays, trust, claims_per_source)
+        invested_true = arrays.affirm @ per_claim
+        invested_false = arrays.deny @ per_claim
+        return invested_true**self.growth, invested_false**self.growth
+
+    def _trust_step(self, arrays, trust, belief_true, belief_false, claims_per_source):
+        per_claim = self._investments(arrays, trust, claims_per_source)
+        invested_true = arrays.affirm @ per_claim
+        invested_false = arrays.deny @ per_claim
+        # Each investor's return from a claim is the claim's belief times
+        # its share of the total investment in that claim.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share_true = belief_true / invested_true
+            share_false = belief_false / invested_false
+        share_true = np.nan_to_num(share_true)
+        share_false = np.nan_to_num(share_false)
+        returns = (
+            arrays.affirm * share_true[:, None] + arrays.deny * share_false[:, None]
+        ) * arrays.sizes[:, None]
+        return (returns * per_claim[None, :]).sum(axis=0)
+
+
+class PooledInvest(Invest):
+    """Invest with linear re-pooling inside each fact's exclusion set."""
+
+    name = "PooledInvest"
+
+    def _belief_step(self, arrays, trust, claims_per_source):
+        grown_true, grown_false = super()._belief_step(
+            arrays, trust, claims_per_source
+        )
+        per_claim = self._investments(arrays, trust, claims_per_source)
+        invested_true = arrays.affirm @ per_claim
+        invested_false = arrays.deny @ per_claim
+        pool = invested_true + invested_false
+        grown_total = grown_true + grown_false
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pooled_true = pool * grown_true / grown_total
+            pooled_false = pool * grown_false / grown_total
+        return np.nan_to_num(pooled_true), np.nan_to_num(pooled_false)

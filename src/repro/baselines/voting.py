@@ -1,0 +1,77 @@
+"""Vote-counting baselines (paper Section 6.1.1).
+
+* :class:`Voting` — "considers a fact as true if there exist more sources
+  reporting it true than false".  Only informative votes participate; on the
+  affirmative-dominated datasets of the paper this labels nearly everything
+  true (perfect recall, poor precision).
+* :class:`Counting` — "assigns a true result to each fact if more than half
+  the sources report it true": the denominator is *all* sources, so a
+  missing vote counts against the fact.  This acts as a high support
+  threshold (high precision, poor recall — paper Table 4).
+
+Both also report a trust score per source (the agreement of the source's
+votes with the method's own labels) so that they can participate in the
+trust-MSE comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import CorroborationResult, Corroborator
+from repro.core.scoring import update_trust
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId
+from repro.model.votes import Vote
+
+
+class Voting(Corroborator):
+    """Majority vote over informative votes; ties resolve to true.
+
+    The reported probability is the affirmative fraction #T / (#T + #F);
+    facts with no votes get probability 0.5 and (by the tie rule) label
+    true — consistent with the paper, where unanimously silent facts do not
+    occur.
+    """
+
+    name = "Voting"
+
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        matrix = dataset.matrix
+        probabilities: dict[FactId, float] = {}
+        for fact in matrix.facts:
+            votes = matrix.votes_on(fact)
+            if not votes:
+                probabilities[fact] = 0.5
+                continue
+            affirmative = sum(1 for v in votes.values() if v is Vote.TRUE)
+            probabilities[fact] = affirmative / len(votes)
+        labels = {f: p >= 0.5 for f, p in probabilities.items()}
+        trust = update_trust(matrix, labels, default_trust=0.5)
+        return self._result(probabilities, trust)
+
+
+class Counting(Corroborator):
+    """Strict majority over *all* sources (missing votes count against).
+
+    A fact is true iff strictly more than half of all sources cast a T vote
+    for it.  The reported probability is #T / |S|; the strict decision rule
+    is carried via label overrides because ``#T / |S| == 0.5`` must decide
+    *false* here, unlike the Equation 2 threshold.
+    """
+
+    name = "Counting"
+
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        matrix = dataset.matrix
+        num_sources = matrix.num_sources
+        if num_sources == 0:
+            raise ValueError("Counting requires at least one source")
+        probabilities: dict[FactId, float] = {}
+        overrides: dict[FactId, bool] = {}
+        for fact in matrix.facts:
+            affirmative = sum(
+                1 for v in matrix.votes_on(fact).values() if v is Vote.TRUE
+            )
+            probabilities[fact] = affirmative / num_sources
+            overrides[fact] = affirmative * 2 > num_sources
+        trust = update_trust(matrix, overrides, default_trust=0.5)
+        return self._result(probabilities, trust, label_overrides=overrides)

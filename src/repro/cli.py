@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``corroborate`` — run a method over a votes CSV (optionally with a truth
+  CSV for evaluation) and print / save the verdicts;
+* ``generate`` — write one of the built-in datasets to a JSON file;
+* ``experiment`` — regenerate one of the paper's tables or figures;
+* ``report`` — build the full Markdown analysis report for a dataset;
+* ``methods`` — list the available corroborators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.baselines import (
+    AvgLog,
+    BayesEstimate,
+    BayesEstimateFast,
+    Cosine,
+    Counting,
+    Invest,
+    PooledInvest,
+    ThreeEstimate,
+    TruthFinder,
+    TwoEstimate,
+    Voting,
+)
+from repro.core import IncEstHeu, IncEstPS, IncEstimate
+from repro.core.result import Corroborator
+from repro.model.io import (
+    load_dataset,
+    read_truth_csv,
+    read_votes_csv,
+    save_dataset,
+    save_result,
+)
+from repro.model.dataset import Dataset
+
+#: Registry of CLI method names.  Factories take no arguments; tuning is
+#: done through the library API.
+METHODS: dict[str, Callable[[], Corroborator]] = {
+    "voting": Voting,
+    "counting": Counting,
+    "twoestimate": TwoEstimate,
+    "threeestimate": ThreeEstimate,
+    "bayesestimate": BayesEstimate,
+    "bayesestimate-fast": BayesEstimateFast,
+    "cosine": Cosine,
+    "truthfinder": TruthFinder,
+    "avglog": AvgLog,
+    "invest": Invest,
+    "pooledinvest": PooledInvest,
+    "incestimate": lambda: IncEstimate(IncEstHeu()),
+    "incestimate-ps": lambda: IncEstimate(IncEstPS()),
+}
+
+EXPERIMENTS = (
+    "table2",
+    "table3",
+    "table7",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Corroborating Facts from Affirmative Statements (EDBT 2014)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    corroborate = commands.add_parser(
+        "corroborate", help="run a corroborator over a dataset"
+    )
+    source_group = corroborate.add_mutually_exclusive_group(required=True)
+    source_group.add_argument("--votes", help="votes CSV (fact,source,vote)")
+    source_group.add_argument("--dataset", help="dataset JSON (see 'generate')")
+    corroborate.add_argument("--truth", help="truth CSV (fact,label,golden)")
+    corroborate.add_argument(
+        "--method", default="incestimate", choices=sorted(METHODS)
+    )
+    corroborate.add_argument("--output", help="write the result JSON here")
+    corroborate.add_argument(
+        "--show", type=int, default=10, help="how many false facts to print"
+    )
+
+    generate = commands.add_parser("generate", help="write a built-in dataset")
+    generate.add_argument(
+        "kind", choices=["motivating", "restaurants", "synthetic", "hubdub"]
+    )
+    generate.add_argument("--output", required=True)
+    generate.add_argument("--num-facts", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=None)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset-size multiplier for the heavy experiments",
+    )
+
+    report = commands.add_parser("report", help="full Markdown analysis report")
+    report_source = report.add_mutually_exclusive_group(required=True)
+    report_source.add_argument("--votes")
+    report_source.add_argument("--dataset")
+    report.add_argument("--truth")
+    report.add_argument("--output", help="write the Markdown here (default stdout)")
+    report.add_argument(
+        "--methods",
+        nargs="+",
+        default=["voting", "twoestimate", "incestimate"],
+        choices=sorted(METHODS),
+    )
+
+    commands.add_parser("methods", help="list available corroborators")
+    return parser
+
+
+def _load_cli_dataset(args: argparse.Namespace) -> Dataset:
+    if getattr(args, "dataset", None):
+        return load_dataset(args.dataset)
+    matrix = read_votes_csv(args.votes)
+    truth: dict[str, bool] = {}
+    golden: frozenset[str] = frozenset()
+    if args.truth:
+        truth, golden = read_truth_csv(args.truth)
+        truth = {f: v for f, v in truth.items() if f in matrix}
+        golden = frozenset(f for f in golden if f in matrix)
+    return Dataset(matrix=matrix, truth=truth, golden_set=golden, name="cli")
+
+
+def _cmd_corroborate(args: argparse.Namespace) -> int:
+    from repro.eval import evaluate_result, render_table
+
+    dataset = _load_cli_dataset(args)
+    method = METHODS[args.method]()
+    result = method.run(dataset)
+    print(dataset.summary())
+    false_facts = result.false_facts()
+    print(
+        f"{method.name}: {len(result.true_facts())} facts true, "
+        f"{len(false_facts)} false"
+    )
+    print("trust:", {s: round(t, 3) for s, t in result.trust.items()})
+    if false_facts:
+        shown = ", ".join(sorted(false_facts)[: args.show])
+        print(f"false facts (first {args.show}): {shown}")
+    if dataset.truth:
+        counts = evaluate_result(result, dataset)
+        print(
+            render_table(
+                [
+                    {
+                        "precision": counts.precision,
+                        "recall": counts.recall,
+                        "accuracy": counts.accuracy,
+                        "f1": counts.f1,
+                    }
+                ]
+            )
+        )
+    if args.output:
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        generate_hubdub_like,
+        generate_restaurants,
+        generate_synthetic,
+        motivating_example,
+    )
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.kind == "motivating":
+        dataset = motivating_example()
+    elif args.kind == "restaurants":
+        if args.num_facts:
+            kwargs["num_facts"] = args.num_facts
+        dataset = generate_restaurants(**kwargs).dataset
+    elif args.kind == "synthetic":
+        if args.num_facts:
+            kwargs["num_facts"] = args.num_facts
+        dataset = generate_synthetic(**kwargs).dataset
+    else:
+        dataset = generate_hubdub_like(**kwargs).questions.to_dataset()
+    save_dataset(dataset, args.output)
+    print(f"{dataset.summary()}\nwritten to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import render_table
+    from repro import experiments
+
+    if args.name == "table2":
+        rows = experiments.table2()
+    elif args.name == "table3":
+        world = experiments.build_world(
+            num_facts=max(100, int(36_916 * args.scale))
+        )
+        blocks = experiments.table3(world)
+        for name, block in blocks.items():
+            print(render_table(block, title=f"Table 3 — {name}"))
+            print()
+        return 0
+    elif args.name == "table7":
+        rows = experiments.table7()
+    else:
+        num_facts = max(200, int(20_000 * args.scale))
+        builder = {
+            "figure3a": experiments.figure3a,
+            "figure3b": experiments.figure3b,
+            "figure3c": experiments.figure3c,
+        }[args.name]
+        rows = builder(num_facts=num_facts)
+    print(render_table(rows, title=args.name, float_digits=3))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import build_report
+
+    dataset = _load_cli_dataset(args)
+    methods = [METHODS[name]() for name in args.methods]
+    text = build_report(dataset, methods)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_methods(_: argparse.Namespace) -> int:
+    for name in sorted(METHODS):
+        print(f"{name:16s} {METHODS[name]().name}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "corroborate": _cmd_corroborate,
+        "generate": _cmd_generate,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "methods": _cmd_methods,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core contribution: the IncEstimate incremental corroboration algorithm."""
+
+from repro.core.entropy import binary_entropy, binary_entropy_array, collective_entropy
+from repro.core.explain import Explanation, VoteContribution, explain, explain_source
+from repro.core.fact_groups import FactGroup, group_facts, group_probability
+from repro.core.incestimate import IncEstimate, RoundRecord
+from repro.core.result import CorroborationResult, Corroborator
+from repro.core.scoring import (
+    DECISION_THRESHOLD,
+    DEFAULT_TRUST,
+    corroborate,
+    decide,
+    update_trust,
+)
+from repro.core.selection import (
+    IncEstHeu,
+    IncEstPS,
+    Selection,
+    SelectionContext,
+    SelectionItem,
+    SelectionStrategy,
+)
+from repro.core.trust import TrustTrajectory
+from repro.core.variants import EntropyGreedy, OracleSelection, RandomGroups
+
+__all__ = [
+    "CorroborationResult",
+    "EntropyGreedy",
+    "Explanation",
+    "OracleSelection",
+    "RandomGroups",
+    "VoteContribution",
+    "explain",
+    "explain_source",
+    "Corroborator",
+    "DECISION_THRESHOLD",
+    "DEFAULT_TRUST",
+    "FactGroup",
+    "IncEstHeu",
+    "IncEstPS",
+    "IncEstimate",
+    "RoundRecord",
+    "Selection",
+    "SelectionContext",
+    "SelectionItem",
+    "SelectionStrategy",
+    "TrustTrajectory",
+    "binary_entropy",
+    "binary_entropy_array",
+    "collective_entropy",
+    "corroborate",
+    "decide",
+    "group_facts",
+    "group_probability",
+    "update_trust",
+]

@@ -1,0 +1,58 @@
+"""Information entropy of unknown facts (paper Section 3.2, Equation 3).
+
+The paper treats each unknown fact as a Bernoulli variable with success
+probability σ(f) and uses the binary entropy
+
+    H(f) = −σ(f)·log2 σ(f) − (1−σ(f))·log2 (1−σ(f))
+
+as its uncertainty measure: 0 when the fact is certain (σ ∈ {0, 1}), 1 when
+it is maximally uncertain (σ = 0.5).  The IncEstHeu selection strategy
+(Section 5.1) ranks candidate fact groups by how much *collective* entropy
+the remaining facts would retain after the group is evaluated.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def binary_entropy(probability: float) -> float:
+    """H(f) of a single fact (Equation 3), in bits.
+
+    Probabilities outside [0, 1] are rejected; the limits at 0 and 1 are
+    taken as 0 (the standard 0·log 0 = 0 convention).
+
+    >>> binary_entropy(0.5)
+    1.0
+    >>> binary_entropy(1.0)
+    0.0
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if probability in (0.0, 1.0):
+        return 0.0
+    q = 1.0 - probability
+    return -probability * math.log2(probability) - q * math.log2(q)
+
+
+def collective_entropy(probabilities: Iterable[float]) -> float:
+    """H(F̄) — the sum of per-fact entropies of a set of unknown facts."""
+    return sum(binary_entropy(p) for p in probabilities)
+
+
+def binary_entropy_array(probabilities: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`binary_entropy` used by the selection engine.
+
+    Values are clipped into [0, 1] before evaluation: the callers compute
+    probabilities as averages of trust scores, which can drift a few ulp
+    outside the interval.
+    """
+    p = np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0)
+    q = 1.0 - p
+    # Where p is exactly 0 or 1 the xlogy-style limit is 0.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        h = -(p * np.log2(p)) - (q * np.log2(q))
+    return np.nan_to_num(h, nan=0.0, posinf=0.0, neginf=0.0)

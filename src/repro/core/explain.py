@@ -1,0 +1,135 @@
+"""Per-fact provenance: *why* did IncEstimate decide what it decided?
+
+The multi-value trust score makes every verdict explainable: a fact was
+evaluated at a specific time point, under a specific trust vector, with a
+specific set of votes — all of which the algorithm records.  This module
+turns that record into a structured :class:`Explanation` and a
+human-readable rendering, which is the part of the system a downstream
+user auditing "why does it claim my restaurant is closed?" actually needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.incestimate import RoundRecord
+from repro.core.result import CorroborationResult
+from repro.model.matrix import FactId, SourceId
+from repro.model.votes import Vote
+
+
+@dataclasses.dataclass
+class VoteContribution:
+    """One source's contribution to a fact's corroborated probability."""
+
+    source: SourceId
+    vote: Vote
+    trust_at_evaluation: float
+
+    @property
+    def contribution(self) -> float:
+        """The term this vote adds to the Equation 5 average."""
+        if self.vote is Vote.TRUE:
+            return self.trust_at_evaluation
+        return 1.0 - self.trust_at_evaluation
+
+
+@dataclasses.dataclass
+class Explanation:
+    """Full provenance of one fact's verdict."""
+
+    fact: FactId
+    label: bool
+    probability: float
+    time_point: int
+    contributions: list[VoteContribution]
+    co_evaluated: int  # facts evaluated at the same time point
+
+    def render(self) -> str:
+        """Human-readable multi-line explanation."""
+        verdict = "TRUE" if self.label else "FALSE"
+        lines = [
+            f"{self.fact}: {verdict} (probability {self.probability:.3f}, "
+            f"evaluated at time point {self.time_point}, "
+            f"alongside {self.co_evaluated} other fact(s))"
+        ]
+        if not self.contributions:
+            lines.append(
+                "  no source voted on this fact; it keeps the no-support default"
+            )
+        for item in sorted(
+            self.contributions, key=lambda c: c.contribution, reverse=True
+        ):
+            direction = "supports" if item.vote is Vote.TRUE else "denies"
+            lines.append(
+                f"  {item.source} {direction} it "
+                f"(vote {item.vote}, trust {item.trust_at_evaluation:.3f} "
+                f"at evaluation -> contributes {item.contribution:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def explain(result: CorroborationResult, fact: FactId) -> Explanation:
+    """Build the provenance of ``fact`` from an IncEstimate result.
+
+    Requires a result carrying round records and a trust trajectory (i.e.
+    produced by :class:`~repro.core.incestimate.IncEstimate`); other
+    corroborators have no per-fact evaluation context to explain.
+    """
+    if result.trajectory is None or not result.rounds:
+        raise ValueError(
+            f"result from {result.method!r} has no incremental evaluation "
+            "records; explain() requires an IncEstimate result"
+        )
+    record = _find_round(result.rounds, fact)
+    if record is None:
+        raise KeyError(f"fact {fact!r} was never evaluated")
+    trust = result.trajectory.at(record.time_point)
+    contributions = [
+        VoteContribution(
+            source=source,
+            vote=Vote(symbol),
+            trust_at_evaluation=trust[source],
+        )
+        for source, symbol in record.signature
+    ]
+    co_evaluated = sum(
+        r.num_facts for r in result.rounds if r.time_point == record.time_point
+    ) - 1
+    return Explanation(
+        fact=fact,
+        label=result.label(fact),
+        probability=result.probabilities[fact],
+        time_point=record.time_point,
+        contributions=contributions,
+        co_evaluated=co_evaluated,
+    )
+
+
+def explain_source(result: CorroborationResult, source: SourceId) -> str:
+    """Render one source's trust trajectory as a short report."""
+    if result.trajectory is None:
+        raise ValueError(f"result from {result.method!r} has no trust trajectory")
+    series = result.trajectory.series(source)
+    low = min(series)
+    low_at = series.index(low)
+    lines = [
+        f"{source}: final trust {series[-1]:.3f} "
+        f"(start {series[0]:.3f}, minimum {low:.3f} at t{low_at}, "
+        f"{len(series)} time points)"
+    ]
+    if low < 0.5 <= series[-1]:
+        lines.append(
+            "  dipped below 0.5 mid-run: the algorithm distrusted this source "
+            "on the facts evaluated in that window, then partially rehabilitated it"
+        )
+    elif series[-1] < 0.5:
+        lines.append("  ended as a negative source (trust below 0.5)")
+    return "\n".join(lines)
+
+
+def _find_round(rounds: list[RoundRecord], fact: FactId) -> RoundRecord | None:
+    for record in rounds:
+        if fact in record.facts:
+            return record
+    return None

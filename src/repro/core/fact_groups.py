@@ -1,0 +1,103 @@
+"""Fact groups: facts sharing an identical vote signature (Section 5.1).
+
+"We first group unevaluated facts based on the sources of the votes.  Facts
+in the same group receive votes from the same set of sources" — and, since a
+fact's corroborated probability (Equation 5) depends only on who voted and
+how, all facts in a group necessarily receive the same corroboration result.
+The incremental algorithm therefore reasons about *groups*, not individual
+facts, which also keeps the entropy-ranking step tractable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+from repro.model.matrix import FactId, Signature, SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+
+@dataclasses.dataclass
+class FactGroup:
+    """A set of facts with an identical vote signature.
+
+    Attributes:
+        signature: canonical ((source, "T"/"F"), ...) tuple.
+        facts: the member facts, in dataset order.
+    """
+
+    signature: Signature
+    facts: list[FactId]
+
+    @property
+    def size(self) -> int:
+        return len(self.facts)
+
+    @property
+    def voters(self) -> list[SourceId]:
+        return [source for source, _ in self.signature]
+
+    def votes(self) -> dict[SourceId, Vote]:
+        """The shared votes of the group as a source → Vote mapping."""
+        return {source: Vote(symbol) for source, symbol in self.signature}
+
+    def is_affirmative_only(self) -> bool:
+        """Whether the group lies in F* (at least one vote, all T)."""
+        return bool(self.signature) and all(
+            symbol == Vote.TRUE.value for _, symbol in self.signature
+        )
+
+    def take(self, n: int) -> list[FactId]:
+        """Remove and return the first ``n`` facts of the group.
+
+        Mirrors the paper's ``peek`` which "pops the first elements".
+        """
+        if n < 0:
+            raise ValueError(f"cannot take a negative number of facts: {n}")
+        taken, self.facts = self.facts[:n], self.facts[n:]
+        return taken
+
+    def __repr__(self) -> str:
+        sig = ",".join(f"{s}:{v}" for s, v in self.signature) or "<no votes>"
+        return f"FactGroup({sig}; {self.size} facts)"
+
+
+def group_facts(matrix: VoteMatrix, facts: Iterable[FactId] | None = None) -> list[FactGroup]:
+    """Partition ``facts`` (default: all facts in ``matrix``) by signature.
+
+    Group order is deterministic: groups appear in order of their first
+    member fact.
+    """
+    scope = matrix.facts if facts is None else list(facts)
+    by_signature: dict[Signature, FactGroup] = {}
+    ordered: list[FactGroup] = []
+    for fact in scope:
+        signature = matrix.signature(fact)
+        group = by_signature.get(signature)
+        if group is None:
+            group = FactGroup(signature=signature, facts=[])
+            by_signature[signature] = group
+            ordered.append(group)
+        group.facts.append(fact)
+    return ordered
+
+
+def group_probability(
+    signature: Signature,
+    trust: Mapping[SourceId, float],
+    default_probability: float,
+) -> float:
+    """Corroborated probability shared by all facts of a group (Equation 5).
+
+    σ(FG) is the mean over the group's voters of the trust value when the
+    vote is T and of (1 − trust) when the vote is F.  Groups with an empty
+    signature (facts nobody voted on) keep ``default_probability`` — the
+    initial σ(F) of Algorithm 1.
+    """
+    if not signature:
+        return default_probability
+    total = 0.0
+    for source, symbol in signature:
+        t = trust[source]
+        total += t if symbol == Vote.TRUE.value else 1.0 - t
+    return total / len(signature)

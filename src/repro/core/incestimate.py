@@ -1,0 +1,120 @@
+"""The IncEstimate algorithm — paper Algorithm 1.
+
+IncEstimate evaluates facts *incrementally*: at each time point a selection
+strategy picks a subset of the unevaluated facts, those facts are
+corroborated with the **current** trust values (Equation 5), and the trust
+values are then updated to reflect every fact evaluated so far (Equation 8).
+Because different facts are evaluated under different trust vectors, each
+source effectively carries a multi-value trust score (Definition 1) — the
+property that lets the algorithm uncover false facts even when nearly all
+statements are affirmative.
+
+The default strategy is the paper's entropy heuristic
+:class:`~repro.core.selection.IncEstHeu`; pass
+:class:`~repro.core.selection.IncEstPS` to reproduce the naive greedy
+comparison, or any custom :class:`~repro.core.selection.SelectionStrategy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.result import CorroborationResult, Corroborator
+from repro.core.scoring import DEFAULT_TRUST
+from repro.core.selection import IncEstHeu, SelectionStrategy
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, Signature
+
+
+@dataclasses.dataclass
+class RoundRecord:
+    """What happened at one time point of the incremental algorithm."""
+
+    time_point: int
+    signature: Signature
+    probability: float
+    label: bool
+    facts: list[FactId]
+
+    @property
+    def num_facts(self) -> int:
+        return len(self.facts)
+
+
+class IncEstimate(Corroborator):
+    """Incremental corroboration with a multi-value trust score (Alg. 1).
+
+    Args:
+        strategy: fact-selection strategy; defaults to a fresh
+            :class:`IncEstHeu`.
+        default_trust: λ, the initial trust score of every source and the
+            trust of sources with no evaluated votes yet.  The paper uses
+            0.9 and observes (Section 6.1.1) that any value above 0.5
+            yields the same corroboration result.
+        default_fact_probability: probability assigned to facts *no source
+            voted on*, for which Equation 5 is undefined (its voter set is
+            empty).  In a corroboration-from-affirmative-statements task a
+            fact with zero affirmative support has no evidence of being
+            true, so the default is the complement of the initial trust,
+            1 − λ = 0.1 (this is also what reproduces the paper's Figure
+            3(b) point at zero inaccurate sources, where most false facts
+            receive no votes at all).  Facts with at least one vote are
+            never touched by this value.
+        trust_prior_strength: strength of a Bayesian prior anchoring each
+            source's trust at λ, expressed as a *fraction of the dataset
+            size*: the trust update becomes (correct + λ·k) / (total + k)
+            with k = trust_prior_strength · |F|.  On the 12-fact motivating
+            example k ≈ 0.006, so the paper's exact round-by-round trust
+            vectors ({-, 1, 1, 0, 1}, …) are preserved to within 0.01; on a
+            37k-fact crawl k ≈ 18, which keeps a source's trust from being
+            pinned at 0 or 1 by its first one or two evaluated votes — the
+            smooth per-time-point trajectories of the paper's Figure 2(b)
+            are unattainable without some such anchoring (the ablation
+            bench quantifies this).  Set to 0 for the literal unsmoothed
+            update.
+    """
+
+    def __init__(
+        self,
+        strategy: SelectionStrategy | None = None,
+        default_trust: float = DEFAULT_TRUST,
+        default_fact_probability: float | None = None,
+        trust_prior_strength: float = 5e-4,
+    ) -> None:
+        if not 0.0 <= default_trust <= 1.0:
+            raise ValueError(f"default_trust must be in [0, 1], got {default_trust}")
+        if trust_prior_strength < 0:
+            raise ValueError(
+                f"trust_prior_strength must be >= 0, got {trust_prior_strength}"
+            )
+        self.strategy = strategy if strategy is not None else IncEstHeu()
+        self.default_trust = default_trust
+        self.default_fact_probability = (
+            1.0 - default_trust
+            if default_fact_probability is None
+            else default_fact_probability
+        )
+        self.trust_prior_strength = trust_prior_strength
+        self.name = f"IncEstimate[{self.strategy.name}]"
+
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        session = self.session(dataset)
+        return session.run_to_completion()
+
+    def session(self, dataset: Dataset):
+        """A step-wise :class:`~repro.core.session.CorroborationSession`.
+
+        ``run()`` is equivalent to ``session(dataset).run_to_completion()``;
+        use a session directly to drive the algorithm one time point at a
+        time and inspect the multi-value trust state in between.
+        """
+        from repro.core.session import CorroborationSession
+
+        return CorroborationSession(
+            dataset=dataset,
+            strategy=self.strategy,
+            default_trust=self.default_trust,
+            default_fact_probability=self.default_fact_probability,
+            trust_prior_strength=self.trust_prior_strength,
+            method_name=self.name,
+        )

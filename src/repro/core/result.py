@@ -1,0 +1,119 @@
+"""Common result type and abstract interface for all corroborators.
+
+Every algorithm in this library — the paper's IncEstimate, the iterative
+baselines, the Bayesian model and even the simple vote counters — consumes a
+:class:`~repro.model.dataset.Dataset` and produces a
+:class:`CorroborationResult`: a probability σ(f) per fact and a trust score
+σ(s) per source.  The evaluation harness only ever talks to this interface,
+so adding a new method is a one-class affair.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.core.scoring import DECISION_THRESHOLD, decide
+from repro.core.trust import TrustTrajectory
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId
+
+
+@dataclasses.dataclass
+class CorroborationResult:
+    """Output of a corroboration run.
+
+    Attributes:
+        method: name of the algorithm that produced the result.
+        probabilities: σ(f) per fact — the estimated probability that the
+            fact is true.
+        trust: σ(s) per source — the (final) estimated trustworthiness.
+        iterations: number of iterations / time points the algorithm took
+            (0 for one-shot methods such as Voting).
+        trajectory: the multi-value trust history, populated only by the
+            incremental algorithm (Figure 2 data).
+        rounds: per-time-point evaluation records (incremental algorithm
+            only); see :class:`repro.core.incestimate.RoundRecord`.
+    """
+
+    method: str
+    probabilities: dict[FactId, float]
+    trust: dict[SourceId, float]
+    iterations: int = 0
+    trajectory: TrustTrajectory | None = None
+    rounds: list = dataclasses.field(default_factory=list)
+    #: Optional explicit labels for methods whose decision rule is not
+    #: exactly "σ(f) ≥ 0.5" (e.g. Counting's *strict* majority).  When set
+    #: for a fact, it wins over the threshold rule.
+    label_overrides: dict[FactId, bool] = dataclasses.field(default_factory=dict)
+
+    def probability(self, fact: FactId) -> float:
+        return self.probabilities[fact]
+
+    def label(self, fact: FactId) -> bool:
+        """Equation 2: the corroborated value of ``fact``."""
+        override = self.label_overrides.get(fact)
+        if override is not None:
+            return override
+        return decide(self.probabilities[fact])
+
+    def labels(self) -> dict[FactId, bool]:
+        """Corroborated boolean value for every fact."""
+        return {f: self.label(f) for f in self.probabilities}
+
+    def true_facts(self) -> list[FactId]:
+        return [f for f in self.probabilities if self.label(f)]
+
+    def false_facts(self) -> list[FactId]:
+        return [f for f in self.probabilities if not self.label(f)]
+
+    def __post_init__(self) -> None:
+        bad = {
+            f: p
+            for f, p in self.probabilities.items()
+            if not (-1e-9 <= p <= 1.0 + 1e-9)
+        }
+        if bad:
+            fact, prob = next(iter(bad.items()))
+            raise ValueError(
+                f"{self.method}: {len(bad)} fact probabilities outside [0,1] "
+                f"(e.g. {fact!r} -> {prob})"
+            )
+
+
+class Corroborator(abc.ABC):
+    """Abstract base class for every truth-discovery method in the library."""
+
+    #: Human-readable method name, shown in the paper-style result tables.
+    name: str = "corroborator"
+
+    @abc.abstractmethod
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        """Corroborate the dataset and return probabilities and trust."""
+
+    def _result(
+        self,
+        probabilities: dict[FactId, float],
+        trust: dict[SourceId, float],
+        iterations: int = 0,
+        trajectory: TrustTrajectory | None = None,
+        label_overrides: dict[FactId, bool] | None = None,
+    ) -> CorroborationResult:
+        return CorroborationResult(
+            method=self.name,
+            probabilities=probabilities,
+            trust=trust,
+            iterations=iterations,
+            trajectory=trajectory,
+            label_overrides=label_overrides or {},
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+__all__ = [
+    "CorroborationResult",
+    "Corroborator",
+    "DECISION_THRESHOLD",
+]

@@ -1,0 +1,89 @@
+"""The Corrob and Update_Trust operators (paper Equations 5–8).
+
+These two operators are shared by the incremental algorithm and by the
+iterative single-value baselines (TwoEstimate uses exactly this scoring,
+which is why the paper adopts it for IncEstimate as well — Section 5 opening
+paragraph).
+
+* :func:`corroborate` — Equation 5 generalised to conflicting votes: the
+  probability of a fact is the average, over its voters, of the source's
+  trust value when the vote is affirmative and of its complement when the
+  vote is negative.
+* :func:`update_trust` — the trust of a source is the fraction of its votes
+  *on evaluated facts* that agree with the evaluated labels (this is the
+  computation behind Equation 8 and reproduces the paper's round-by-round
+  trust vectors on the motivating example).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+#: Default initial trust score λ for sources (Section 6.1.1: "We used a
+#: default trust score σ(S) of 0.9 for each source").
+DEFAULT_TRUST = 0.9
+
+#: Decision threshold of Equation 2: a fact is labelled true iff σ(f) ≥ 0.5.
+DECISION_THRESHOLD = 0.5
+
+
+def decide(probability: float, threshold: float = DECISION_THRESHOLD) -> bool:
+    """Equation 2: the corroborated boolean value of a fact."""
+    return probability >= threshold
+
+
+def corroborate(
+    votes: Mapping[SourceId, Vote],
+    trust: Mapping[SourceId, float],
+    default_probability: float = DEFAULT_TRUST,
+) -> float:
+    """Equation 5 (generalised): probability that a fact is true.
+
+    ``votes`` are the informative votes on the fact; ``trust`` supplies the
+    trust value to use for each voter.  Facts with no votes cannot be
+    corroborated and keep ``default_probability`` (the initial σ(F) of
+    Algorithm 1).
+    """
+    if not votes:
+        return default_probability
+    total = 0.0
+    for source, vote in votes.items():
+        t = trust[source]
+        total += t if vote is Vote.TRUE else 1.0 - t
+    return total / len(votes)
+
+
+def update_trust(
+    matrix: VoteMatrix,
+    evaluated_labels: Mapping[FactId, bool],
+    default_trust: float = DEFAULT_TRUST,
+) -> dict[SourceId, float]:
+    """Update_Trust: per-source agreement with the evaluated labels.
+
+    For each source, the trust value is the fraction of its votes on facts
+    in ``evaluated_labels`` that are consistent with the label (a T vote on
+    a fact labelled true, or an F vote on a fact labelled false).  Sources
+    with no votes on any evaluated fact keep ``default_trust`` — in the
+    motivating example this is the ``-`` entry of the round-1 trust vector
+    {-, 1, 1, 0, 1}.
+
+    The evaluated labels stand in for the facts' probabilities, "rounded"
+    to 1/0, exactly as the derivation below Equation 8 assumes ("the above
+    calculations consider the probability to be 1 for true facts").
+    """
+    trust: dict[SourceId, float] = {}
+    for source in matrix.sources:
+        correct = 0
+        total = 0
+        for fact, vote in matrix.votes_by(source).items():
+            label = evaluated_labels.get(fact)
+            if label is None:
+                continue
+            total += 1
+            if (vote is Vote.TRUE) == label:
+                correct += 1
+        trust[source] = correct / total if total else default_trust
+    return trust

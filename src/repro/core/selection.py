@@ -1,0 +1,317 @@
+"""Fact-selection strategies for the incremental algorithm (Section 5.1).
+
+At each time point the incremental algorithm asks a strategy which facts to
+evaluate next, given the remaining fact groups and the current trust values:
+
+* :class:`IncEstHeu` — the paper's entropy-driven heuristic (Algorithm 2).
+  Groups are split into a positive part P (σ(FG) > 0.5) and a negative part
+  N; each part is ranked by the ΔH(F̄) score of Equation 9 (the collective
+  entropy change of the *remaining* groups if this group were evaluated) and
+  the top group of each part is selected, taking the same number of facts
+  n = min(|FG⁺|, |FG⁻|) from both so that neither side dominates the trust
+  update.
+* :class:`IncEstPS` — the naive greedy comparison strategy of Section 6.1.1:
+  always select the group with the highest probability.
+
+The ΔH ranking is vectorised: with G remaining groups and |S| sources it
+costs O(G²·|S|) numpy flops per time point, evaluated in row chunks so the
+intermediate G×G probability matrix never exceeds a fixed memory budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.entropy import binary_entropy_array
+from repro.core.fact_groups import FactGroup, group_probability
+from repro.model.matrix import SourceId
+from repro.model.votes import Vote
+
+#: Maximum number of candidate-group rows per ΔH chunk; bounds the peak
+#: size of the hypothetical-probability matrix at CHUNK × G floats.
+_DELTA_H_CHUNK = 512
+
+
+@dataclasses.dataclass
+class SelectionContext:
+    """Everything a strategy may look at when choosing the next facts.
+
+    Attributes:
+        groups: remaining (non-empty) fact groups.
+        trust: σi(S), the current trust value per source.
+        default_trust: λ — trust of sources with no evaluated votes yet.
+        default_fact_probability: probability assigned to facts with no
+            votes (the initial σ(F)).
+        correct_counts / total_counts: per-source running counters over the
+            facts evaluated so far (numerator and denominator of the trust
+            values, including any prior pseudo-votes the driver seeds them
+            with); strategies use them to *hypothetically* advance the
+            trust update without touching real state.
+    """
+
+    groups: Sequence[FactGroup]
+    trust: Mapping[SourceId, float]
+    default_trust: float
+    default_fact_probability: float
+    correct_counts: Mapping[SourceId, float]
+    total_counts: Mapping[SourceId, float]
+
+    def group_probabilities(self) -> list[float]:
+        """σ(FG) for each remaining group under the current trust."""
+        return [
+            group_probability(g.signature, self.trust, self.default_fact_probability)
+            for g in self.groups
+        ]
+
+
+@dataclasses.dataclass
+class SelectionItem:
+    """One selected group: how many facts to take and the label to assign.
+
+    ``label`` is the evaluation outcome the strategy projects for the
+    group: positive-part selections are "projected to be valid" (true) and
+    negative-part ones "projected to be corrupt" (false) — the Section 5.1
+    walkthrough's wording.  ``None`` defers to the Equation 2 threshold
+    rule (σ ≥ 0.5 → true); strategies use it when they make no projection
+    (IncEstPS, and the one-sided flush).  The distinction only matters for
+    groups at σ(FG) = 0.5 exactly, which Algorithm 2 places in the negative
+    part while Equation 2 would label true — at the default trust λ every
+    (one T vote + one F vote) signature sits precisely there, so the
+    resolution is behaviourally significant.
+    """
+
+    group: FactGroup
+    count: int
+    label: bool | None = None
+
+
+#: A strategy's answer for one time point.
+Selection = list[SelectionItem]
+
+
+class SelectionStrategy(abc.ABC):
+    """Interface for time-point fact selection (Algorithm 1 line 3)."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def select(self, context: SelectionContext) -> Selection:
+        """Choose the facts to evaluate at this time point.
+
+        Must request at least one fact whenever ``context.groups`` is
+        non-empty; the driver enforces this to guarantee termination.
+        """
+
+
+class IncEstPS(SelectionStrategy):
+    """Greedy probability-first selection (Section 6.1.1).
+
+    Selects the entire fact group with the highest current probability.
+    The paper uses it to show why a naive strategy fails: high-probability
+    groups evaluate to true, which keeps every trust value at 1 until only
+    F-vote groups remain.
+    """
+
+    name = "IncEstPS"
+
+    def select(self, context: SelectionContext) -> Selection:
+        if not context.groups:
+            return []
+        probabilities = context.group_probabilities()
+        best = int(np.argmax(probabilities))
+        group = context.groups[best]
+        return [SelectionItem(group, group.size)]
+
+
+class IncEstHeu(SelectionStrategy):
+    """Entropy-driven balanced selection (Algorithm 2).
+
+    The ranking score of a candidate group is
+
+        score(FG) = ΔH_cross(FG) − own_entropy_weight · H(FG)
+
+    where ΔH_cross is Equation 9's sum of entropy changes over the *other*
+    remaining groups, and H(FG) is the group's own collective entropy.
+    With ``own_entropy_weight = 1`` the score equals the change of the total
+    remaining entropy H(F̄i+1) − H(F̄i) — the paper's *stated* objective
+    ("we model the fact selection problem as a problem to maximize the
+    collective entropy H(F̄i) of unknown facts", Section 5.1), which is what
+    penalises selecting ambiguous (σ ≈ 0.5) groups whose labels would be
+    coin flips.  With ``own_entropy_weight = 0`` the score is Equation 9
+    exactly as printed; on large affirmative-dominated datasets that
+    variant degenerates (it favours minimal-impact ambiguous singletons
+    whose wrong labels pin barely-observed sources at trust 0/1 — see the
+    ablation bench), so the objective-consistent form is the default.
+
+    Args:
+        flush_when_one_sided: the Section 5.1 "special case" — when every
+            remaining group falls on one side of 0.5 the outcome of the
+            remaining facts is settled, so all of them are evaluated in a
+            single final time point.  Disable to instead keep consuming one
+            top-scoring group per time point (useful for trajectory
+            ablations).
+        own_entropy_weight: weight of the selected group's own entropy in
+            the ranking score (see above).
+        projection_smoothing: pseudo-vote count k of the *hypothetical*
+            trust update used for ranking: the projected trust of a source
+            is (correct + λ·k + Δcorrect) / (total + k + Δtotal).  Early in
+            the run real vote totals are tiny, so the unsmoothed projection
+            jumps to 0/1 for any touched source and the ΔH ranking becomes
+            noise; a small k keeps projections anchored at the default
+            trust λ until real evidence accumulates.  The *actual* trust
+            update of the driver stays unsmoothed, exactly as in the
+            paper's worked example.
+    """
+
+    name = "IncEstHeu"
+
+    def __init__(
+        self,
+        flush_when_one_sided: bool = True,
+        own_entropy_weight: float = 1.0,
+        projection_smoothing: float = 0.0,
+    ) -> None:
+        if own_entropy_weight < 0:
+            raise ValueError(
+                f"own_entropy_weight must be >= 0, got {own_entropy_weight}"
+            )
+        if projection_smoothing < 0:
+            raise ValueError(
+                f"projection_smoothing must be >= 0, got {projection_smoothing}"
+            )
+        self.flush_when_one_sided = flush_when_one_sided
+        self.own_entropy_weight = own_entropy_weight
+        self.projection_smoothing = projection_smoothing
+
+    def select(self, context: SelectionContext) -> Selection:
+        groups = list(context.groups)
+        if not groups:
+            return []
+        probabilities = np.asarray(context.group_probabilities())
+        positive = [i for i, p in enumerate(probabilities) if p > 0.5]
+        negative = [i for i, p in enumerate(probabilities) if p <= 0.5]
+
+        if not positive or not negative:
+            if self.flush_when_one_sided:
+                return [SelectionItem(g, g.size) for g in groups]
+            side = positive or negative
+            scores = self._scores(context, probabilities)
+            best = max(side, key=lambda i: (scores[i], -i))
+            return [SelectionItem(groups[best], groups[best].size)]
+
+        scores = self._scores(context, probabilities)
+        best_pos = max(positive, key=lambda i: (scores[i], -i))
+        best_neg = max(negative, key=lambda i: (scores[i], -i))
+        n = min(groups[best_pos].size, groups[best_neg].size)
+        return [
+            SelectionItem(groups[best_pos], n, label=True),
+            SelectionItem(groups[best_neg], n, label=False),
+        ]
+
+    def _scores(
+        self, context: SelectionContext, probabilities: np.ndarray
+    ) -> np.ndarray:
+        cross = _delta_h_scores(
+            context, probabilities, smoothing=self.projection_smoothing
+        )
+        if self.own_entropy_weight == 0.0:
+            return cross
+        sizes = np.array([g.size for g in context.groups], dtype=float)
+        own = binary_entropy_array(probabilities) * sizes
+        return cross - self.own_entropy_weight * own
+
+
+def _delta_h_scores(
+    context: SelectionContext,
+    probabilities: np.ndarray,
+    smoothing: float = 0.0,
+) -> np.ndarray:
+    """ΔH(F̄)_FG of Equation 9 for every remaining group.
+
+    For each candidate group FG: hypothetically evaluate *all* its facts
+    under the current trust (rounding the shared probability to a label),
+    fold them into the per-source agreement counters (optionally anchored
+    by ``smoothing`` pseudo-votes at the default trust), derive the
+    hypothetical trust vector σi+1(S), and sum the resulting entropy change
+    over every other remaining group (group entropy = group size × H(σ)).
+    """
+    groups = context.groups
+    sources = list(context.trust)
+    source_index = {s: i for i, s in enumerate(sources)}
+    n_groups = len(groups)
+    n_sources = len(sources)
+
+    # Vote-incidence matrices: affirm[g, s] / deny[g, s].
+    affirm = np.zeros((n_groups, n_sources))
+    deny = np.zeros((n_groups, n_sources))
+    for gi, group in enumerate(groups):
+        for source, symbol in group.signature:
+            if symbol == Vote.TRUE.value:
+                affirm[gi, source_index[source]] = 1.0
+            else:
+                deny[gi, source_index[source]] = 1.0
+    voted = affirm + deny
+    degree = voted.sum(axis=1)
+    sizes = np.array([g.size for g in groups], dtype=float)
+    # Part-consistent hypothesis: a candidate from the positive part
+    # (σ > 0.5) is projected true, anything else (including σ = 0.5
+    # exactly) is projected false — matching SelectionItem labels.
+    labels = probabilities > 0.5
+
+    correct = np.array(
+        [context.correct_counts.get(s, 0) for s in sources], dtype=float
+    )
+    total = np.array([context.total_counts.get(s, 0) for s in sources], dtype=float)
+    if smoothing > 0:
+        correct = correct + context.default_trust * smoothing
+        total = total + smoothing
+
+    # Baseline entropies are computed in the same (smoothed) projection
+    # space as the hypotheticals, so a no-op candidate scores exactly 0.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        base_trust = np.where(total > 0, correct / total, context.default_trust)
+    base_numerator = affirm @ base_trust + deny @ (1.0 - base_trust)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        base_prob = base_numerator / degree
+    base_prob = np.where(degree > 0, base_prob, context.default_fact_probability)
+    entropy_now = binary_entropy_array(base_prob) * sizes
+    sum_entropy_now = entropy_now.sum()
+
+    delta = np.empty(n_groups)
+    for start in range(0, n_groups, _DELTA_H_CHUNK):
+        stop = min(start + _DELTA_H_CHUNK, n_groups)
+        rows = slice(start, stop)
+        # Hypothetical per-source counters after evaluating each candidate.
+        add_total = voted[rows] * sizes[rows, None]
+        add_correct = (
+            np.where(labels[rows, None], affirm[rows], deny[rows])
+            * sizes[rows, None]
+        )
+        hyp_total = total[None, :] + add_total
+        hyp_correct = correct[None, :] + add_correct
+        with np.errstate(divide="ignore", invalid="ignore"):
+            hyp_trust = hyp_correct / hyp_total
+        hyp_trust = np.where(hyp_total > 0, hyp_trust, context.default_trust)
+
+        # Probabilities of every group under each candidate's hypothetical
+        # trust: new_prob[c, h] for candidate c (row) and group h (column).
+        numerator = hyp_trust @ affirm.T + (1.0 - hyp_trust) @ deny.T
+        with np.errstate(divide="ignore", invalid="ignore"):
+            new_prob = numerator / degree[None, :]
+        new_prob = np.where(
+            degree[None, :] > 0, new_prob, context.default_fact_probability
+        )
+        new_entropy = binary_entropy_array(new_prob) * sizes[None, :]
+        # Σ over FG' ≠ FG of (H_new − H_now): exclude the candidate's own
+        # column from both sums.
+        candidate_cols = np.arange(start, stop)
+        own_new = new_entropy[np.arange(stop - start), candidate_cols]
+        own_now = entropy_now[candidate_cols]
+        delta[rows] = (
+            new_entropy.sum(axis=1) - own_new - (sum_entropy_now - own_now)
+        )
+    return delta

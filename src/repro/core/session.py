@@ -1,0 +1,213 @@
+"""Step-wise execution of the incremental algorithm.
+
+:class:`CorroborationSession` exposes Algorithm 1 one time point at a
+time: create a session, call :meth:`step` until :attr:`done`, and inspect
+the evolving trust, the remaining fact groups and the committed verdicts
+between steps.  :meth:`~repro.core.incestimate.IncEstimate.run` is a thin
+loop over this class, so both paths execute identical logic — the session
+exists for debugging, teaching, and applications that interleave
+corroboration with other work (e.g. asking a human to verify the facts
+committed so far before continuing).
+"""
+
+from __future__ import annotations
+
+from repro.core.fact_groups import FactGroup, group_facts, group_probability
+from repro.core.incestimate import RoundRecord
+from repro.core.result import CorroborationResult
+from repro.core.scoring import decide
+from repro.core.selection import SelectionContext, SelectionStrategy
+from repro.core.trust import TrustTrajectory
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId
+from repro.model.votes import Vote
+
+
+class CorroborationSession:
+    """One in-flight incremental corroboration run.
+
+    Args:
+        dataset: the problem instance.
+        strategy: fact-selection strategy (Algorithm 1 line 3).
+        default_trust: λ (see :class:`~repro.core.incestimate.IncEstimate`).
+        default_fact_probability: probability of facts nobody voted on.
+        trust_prior_strength: λ-anchor strength as a fraction of |F|.
+        method_name: label used in the final result.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        strategy: SelectionStrategy,
+        default_trust: float,
+        default_fact_probability: float,
+        trust_prior_strength: float,
+        method_name: str,
+    ) -> None:
+        self._dataset = dataset
+        self._strategy = strategy
+        self._default_trust = default_trust
+        self._default_fact_probability = default_fact_probability
+        self._method_name = method_name
+
+        matrix = dataset.matrix
+        self._sources = matrix.sources
+        self._remaining: list[FactGroup] = group_facts(matrix)
+        prior = trust_prior_strength * matrix.num_facts
+        self._correct: dict[SourceId, float] = {
+            s: default_trust * prior for s in self._sources
+        }
+        self._total: dict[SourceId, float] = {s: prior for s in self._sources}
+        self._trust: dict[SourceId, float] = {
+            s: default_trust for s in self._sources
+        }
+        self._trajectory = TrustTrajectory(self._sources)
+        self._probabilities: dict[FactId, float] = {}
+        self._label_overrides: dict[FactId, bool] = {}
+        self._rounds: list[RoundRecord] = []
+        self._max_time_points = matrix.num_facts + 1
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once every fact has been evaluated."""
+        return not self._remaining
+
+    @property
+    def time_point(self) -> int:
+        """The index the *next* step will run at."""
+        return self._trajectory.num_time_points
+
+    @property
+    def trust(self) -> dict[SourceId, float]:
+        """σi(S): the trust vector the next step will evaluate with."""
+        return dict(self._trust)
+
+    @property
+    def remaining_groups(self) -> list[FactGroup]:
+        """The unevaluated fact groups (copies — safe to inspect)."""
+        return [
+            FactGroup(signature=g.signature, facts=list(g.facts))
+            for g in self._remaining
+        ]
+
+    @property
+    def remaining_facts(self) -> int:
+        return sum(g.size for g in self._remaining)
+
+    @property
+    def evaluated_facts(self) -> int:
+        return len(self._probabilities)
+
+    @property
+    def rounds(self) -> list[RoundRecord]:
+        return list(self._rounds)
+
+    def current_labels(self) -> dict[FactId, bool]:
+        """Verdicts committed so far."""
+        labels = {f: decide(p) for f, p in self._probabilities.items()}
+        labels.update(self._label_overrides)
+        return labels
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> list[RoundRecord]:
+        """Run one time point; returns the records of what was evaluated.
+
+        Raises if the session is already done — check :attr:`done`.
+        """
+        if self.done:
+            raise RuntimeError("session is complete; no facts remain")
+        time_point = self._trajectory.record(self._trust)
+        if time_point >= self._max_time_points:
+            raise RuntimeError(
+                f"{self._method_name}: exceeded {self._max_time_points} time "
+                f"points; selection strategy {self._strategy.name} is not "
+                "consuming facts"
+            )
+        context = SelectionContext(
+            groups=self._remaining,
+            trust=self._trust,
+            default_trust=self._default_trust,
+            default_fact_probability=self._default_fact_probability,
+            correct_counts=self._correct,
+            total_counts=self._total,
+        )
+        selections = self._strategy.select(context)
+        if not any(item.count > 0 for item in selections):
+            raise RuntimeError(
+                f"{self._method_name}: strategy {self._strategy.name} selected "
+                f"no facts with {len(self._remaining)} groups remaining"
+            )
+        step_records: list[RoundRecord] = []
+        for item in selections:
+            group = item.group
+            probability = group_probability(
+                group.signature, self._trust, self._default_fact_probability
+            )
+            label = decide(probability) if item.label is None else item.label
+            taken = group.take(item.count)
+            self._trajectory.mark_evaluated(taken, time_point)
+            for fact in taken:
+                self._probabilities[fact] = probability
+                if label != decide(probability):
+                    self._label_overrides[fact] = label
+            record = RoundRecord(
+                time_point=time_point,
+                signature=group.signature,
+                probability=probability,
+                label=label,
+                facts=taken,
+            )
+            step_records.append(record)
+            self._rounds.append(record)
+            for source, symbol in group.signature:
+                self._total[source] += len(taken)
+                if (symbol == Vote.TRUE.value) == label:
+                    self._correct[source] += len(taken)
+        self._remaining = [g for g in self._remaining if g.size > 0]
+        self._trust = {
+            s: (
+                self._correct[s] / self._total[s]
+                if self._total[s]
+                else self._default_trust
+            )
+            for s in self._sources
+        }
+        return step_records
+
+    def run_to_completion(self) -> CorroborationResult:
+        """Step until done and return the final result."""
+        while not self.done:
+            self.step()
+        return self.finalize()
+
+    def finalize(self) -> CorroborationResult:
+        """Record the final trust vector and build the result.
+
+        Idempotent with respect to the final-vector recording; callable
+        only once the session is done.
+        """
+        if not self.done:
+            raise RuntimeError(
+                f"{self.remaining_facts} facts still unevaluated; "
+                "run step() until done first"
+            )
+        if not self._finalized:
+            # The trust over the entire evaluated dataset (Table 5's vector).
+            self._trajectory.record(self._trust)
+            self._finalized = True
+        result = CorroborationResult(
+            method=self._method_name,
+            probabilities=dict(self._probabilities),
+            trust=dict(self._trust),
+            iterations=self._trajectory.num_time_points - 1,
+            trajectory=self._trajectory,
+            label_overrides=dict(self._label_overrides),
+        )
+        result.rounds = list(self._rounds)
+        return result

@@ -1,0 +1,86 @@
+"""Multi-value (incrementally calculated) trust scores — Definition 1.
+
+The paper replaces the classical single trust score per source by a
+*sequence* of trust values σ(s) = {σ0(s), σ1(s), ...}, one per time point of
+the incremental algorithm.  :class:`TrustTrajectory` records that sequence
+for every source, which is both the algorithm's working state history and
+the raw data behind Figure 2 (trust score at each time point).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.model.matrix import FactId, SourceId
+
+
+class TrustTrajectory:
+    """Per-source trust values at each time point t0, t1, ... tm.
+
+    The value recorded at time point *i* is σi(S): the trust vector *used to
+    evaluate* the facts selected at ti.  After the algorithm terminates, one
+    final vector σm(S) — the trust over the entire evaluated dataset — is
+    appended; this is the vector the paper reports in Table 5 ("the trust
+    scores for the sources at the end of last time point").
+    """
+
+    def __init__(self, sources: Sequence[SourceId]) -> None:
+        self._sources = list(sources)
+        self._history: list[dict[SourceId, float]] = []
+        self._evaluation_time: dict[FactId, int] = {}
+
+    @property
+    def sources(self) -> list[SourceId]:
+        return list(self._sources)
+
+    @property
+    def num_time_points(self) -> int:
+        return len(self._history)
+
+    def record(self, trust: Mapping[SourceId, float]) -> int:
+        """Append the trust vector of the next time point; returns its index."""
+        missing = [s for s in self._sources if s not in trust]
+        if missing:
+            raise ValueError(f"trust vector missing sources: {missing}")
+        self._history.append({s: float(trust[s]) for s in self._sources})
+        return len(self._history) - 1
+
+    def mark_evaluated(self, facts: Sequence[FactId], time_point: int) -> None:
+        """Record t(f) — the time point at which each fact was selected."""
+        for fact in facts:
+            if fact in self._evaluation_time:
+                raise ValueError(f"fact {fact!r} already evaluated at t{self._evaluation_time[fact]}")
+            self._evaluation_time[fact] = time_point
+
+    def evaluation_time(self, fact: FactId) -> int | None:
+        """t(f), or ``None`` if the fact was never selected."""
+        return self._evaluation_time.get(fact)
+
+    def at(self, time_point: int) -> dict[SourceId, float]:
+        """σ_timepoint(S) as a fresh dict."""
+        return dict(self._history[time_point])
+
+    def final(self) -> dict[SourceId, float]:
+        """The last recorded trust vector (Table 5's reported scores)."""
+        if not self._history:
+            raise ValueError("no trust vectors recorded yet")
+        return dict(self._history[-1])
+
+    def series(self, source: SourceId) -> list[float]:
+        """The full trust trajectory of one source (a Figure 2 line)."""
+        if source not in set(self._sources):
+            raise KeyError(f"unknown source {source!r}")
+        return [vector[source] for vector in self._history]
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Figure-2-style rows: one dict per time point, keyed by source."""
+        return [dict(vector) for vector in self._history]
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrustTrajectory(sources={len(self._sources)}, "
+            f"time_points={len(self._history)})"
+        )

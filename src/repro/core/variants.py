@@ -1,0 +1,106 @@
+"""Additional selection strategies: ablation and diagnostic variants.
+
+These slot into :class:`~repro.core.incestimate.IncEstimate` exactly like
+the paper's IncEstHeu / IncEstPS and exist to map the design space around
+the published heuristic:
+
+* :class:`EntropyGreedy` — the §5.1 *strawman*: "one possible greedy
+  strategy is to select facts with the highest entropy at each ti".  The
+  paper argues (via the r1 example) that this destroys the ability to
+  identify false facts; having it runnable turns that argument into an
+  experiment.
+* :class:`RandomGroups` — selects a uniformly random remaining group each
+  time point; the null hypothesis for any selection heuristic.
+* :class:`OracleSelection` — a truth-peeking *diagnostic* (not an upper
+  bound!): selects, each time point, the positive group with the highest
+  ground-truth true-fraction and the negative group with the lowest.
+  Strikingly, this locally-correct policy *underperforms* IncEstHeu on
+  the restaurant world (see the strategies bench): by never committing a
+  majority-false group wholesale it never drives the weak aggregators'
+  trust below 0.5, so their false-but-affirmed listings are never
+  identified.  Local label correctness is not what the selection problem
+  optimises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.entropy import binary_entropy
+from repro.core.selection import (
+    Selection,
+    SelectionContext,
+    SelectionItem,
+    SelectionStrategy,
+)
+from repro.model.matrix import FactId
+
+
+class EntropyGreedy(SelectionStrategy):
+    """The paper's strawman: highest-own-entropy group first (§5.1)."""
+
+    name = "EntropyGreedy"
+
+    def select(self, context: SelectionContext) -> Selection:
+        if not context.groups:
+            return []
+        probabilities = context.group_probabilities()
+        entropies = [binary_entropy(p) for p in probabilities]
+        best = int(np.argmax(entropies))
+        group = context.groups[best]
+        return [SelectionItem(group, group.size)]
+
+
+class RandomGroups(SelectionStrategy):
+    """Uniformly random group order (deterministic given the seed)."""
+
+    name = "RandomGroups"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, context: SelectionContext) -> Selection:
+        if not context.groups:
+            return []
+        index = int(self._rng.integers(len(context.groups)))
+        group = context.groups[index]
+        return [SelectionItem(group, group.size)]
+
+
+class OracleSelection(SelectionStrategy):
+    """Truth-peeking diagnostic selection (see module docstring).
+
+    Each time point, among the positive groups it prefers the one with the
+    highest ground-truth true-fraction, and among the negative groups the
+    one with the lowest.  Balanced n = min(sizes), like IncEstHeu.
+    """
+
+    name = "OracleSelection"
+
+    def __init__(self, truth: dict[FactId, bool]) -> None:
+        if not truth:
+            raise ValueError("OracleSelection needs ground-truth labels")
+        self.truth = dict(truth)
+
+    def _true_fraction(self, facts: list[FactId]) -> float:
+        known = [self.truth[f] for f in facts if f in self.truth]
+        if not known:
+            return 0.5
+        return sum(known) / len(known)
+
+    def select(self, context: SelectionContext) -> Selection:
+        groups = list(context.groups)
+        if not groups:
+            return []
+        probabilities = context.group_probabilities()
+        positive = [i for i, p in enumerate(probabilities) if p > 0.5]
+        negative = [i for i, p in enumerate(probabilities) if p <= 0.5]
+        if not positive or not negative:
+            return [SelectionItem(g, g.size) for g in groups]
+        best_pos = max(positive, key=lambda i: self._true_fraction(groups[i].facts))
+        best_neg = min(negative, key=lambda i: self._true_fraction(groups[i].facts))
+        n = min(groups[best_pos].size, groups[best_neg].size)
+        return [
+            SelectionItem(groups[best_pos], n, label=True),
+            SelectionItem(groups[best_neg], n, label=False),
+        ]

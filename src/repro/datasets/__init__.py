@@ -1,0 +1,60 @@
+"""Dataset generators: the paper's motivating example, the Section 6.3.1
+synthetic model, the restaurant-crawl simulator and the Hubdub-like
+multi-answer generator."""
+
+from repro.datasets.hubdub import HubdubWorld, generate_hubdub_like
+from repro.datasets.perturb import (
+    adversarial_source,
+    drop_source,
+    drop_votes,
+    flip_votes,
+    inject_copier,
+)
+from repro.datasets.rawcrawl import Restaurant, generate_raw_crawl, generate_universe
+from repro.datasets.motivating import (
+    DERIVED_SOURCE_ACCURACY,
+    PAPER_QUOTED_SOURCE_ACCURACY,
+    ROWS,
+    SOURCES,
+    TRUTH,
+    motivating_example,
+)
+from repro.datasets.restaurants import (
+    PAPER_PROFILES,
+    RestaurantWorld,
+    SourceProfile,
+    generate_restaurants,
+)
+from repro.datasets.synthetic import (
+    SourceSpec,
+    SyntheticWorld,
+    draw_source_specs,
+    generate_synthetic,
+)
+
+__all__ = [
+    "DERIVED_SOURCE_ACCURACY",
+    "HubdubWorld",
+    "PAPER_PROFILES",
+    "PAPER_QUOTED_SOURCE_ACCURACY",
+    "ROWS",
+    "RestaurantWorld",
+    "SOURCES",
+    "SourceProfile",
+    "SourceSpec",
+    "SyntheticWorld",
+    "TRUTH",
+    "Restaurant",
+    "adversarial_source",
+    "draw_source_specs",
+    "drop_source",
+    "drop_votes",
+    "flip_votes",
+    "generate_hubdub_like",
+    "generate_raw_crawl",
+    "generate_universe",
+    "inject_copier",
+    "generate_restaurants",
+    "generate_synthetic",
+    "motivating_example",
+]

@@ -1,0 +1,139 @@
+"""Hubdub-like multi-answer question dataset (paper Section 6.2.6).
+
+The paper's Table 7 re-runs the methods on the Hubdub dataset of Galland et
+al. (WSDM 2010): a snapshot of settled prediction-market questions from
+hubdub.com with **830 answer-facts from 471 users on 357 questions** and
+ample conflicting votes.  The snapshot is not redistributable, so this
+module generates a dataset with the same shape:
+
+* each question has 2–4 candidate answers (drawn so the total number of
+  answer-facts lands at the target), exactly one of which is correct, and
+  a latent *difficulty* d ~ U[0.5, 2.5] — prediction-market questions vary
+  wildly in hardness, and difficulty is exactly what Galland et al.'s
+  3-Estimates models;
+* each user has a latent reliability drawn from a wide Beta mixture
+  (including a sub-population of worse-than-random users, as real
+  prediction markets have);
+* each user answers a random subset of questions, voting for the correct
+  answer with probability reliability^difficulty and for a uniformly
+  random wrong answer otherwise.
+
+The mixture is tuned so that the best methods land in the paper's error
+range (~260 errors out of 830 answer-facts).  The experiment harness
+measures the Galland "number of errors" metric via
+:func:`repro.model.claims.count_answer_errors`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.model.claims import Question, QuestionSet
+
+#: Shape of the original snapshot (Section 6.2.6).
+PAPER_NUM_QUESTIONS = 357
+PAPER_NUM_USERS = 471
+PAPER_NUM_ANSWER_FACTS = 830
+
+
+@dataclasses.dataclass
+class HubdubWorld:
+    """A generated question set plus the latent generation parameters."""
+
+    questions: QuestionSet
+    reliabilities: dict[str, float]
+    difficulties: dict[str, float]
+
+
+def generate_hubdub_like(
+    num_questions: int = PAPER_NUM_QUESTIONS,
+    num_users: int = PAPER_NUM_USERS,
+    num_answer_facts: int = PAPER_NUM_ANSWER_FACTS,
+    votes_per_user: float = 7.5,
+    unreliable_fraction: float = 0.25,
+    difficulty_range: tuple[float, float] = (0.5, 2.5),
+    seed: int = 830,
+) -> HubdubWorld:
+    """Generate a Hubdub-shaped multi-answer corroboration problem.
+
+    Args:
+        num_questions / num_users / num_answer_facts: dataset shape
+            (defaults match the paper's snapshot).
+        votes_per_user: mean number of questions each user answers.
+        unreliable_fraction: share of users drawn from the low-reliability
+            component (Beta(2, 3), mean 0.4 — worse than random on
+            multi-answer questions); the rest come from Beta(6, 2.5)
+            (mean ≈ 0.7).
+        difficulty_range: uniform range of the per-question difficulty
+            exponent d; a user answers correctly with probability
+            reliability^d.
+        seed: RNG seed; generation is deterministic given the seed.
+    """
+    if num_answer_facts < 2 * num_questions:
+        raise ValueError("need at least two answers per question")
+    if num_answer_facts > 4 * num_questions:
+        raise ValueError("at most four answers per question are generated")
+    lo, hi = difficulty_range
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid difficulty_range {difficulty_range}")
+    rng = np.random.default_rng(seed)
+
+    answer_counts = _draw_answer_counts(num_questions, num_answer_facts, rng)
+    questions: list[Question] = []
+    difficulties: dict[str, float] = {}
+    for qi, count in enumerate(answer_counts):
+        answers = [f"a{j}" for j in range(count)]
+        correct = answers[int(rng.integers(count))]
+        question = Question(qid=f"q{qi}", answers=answers, correct=correct)
+        questions.append(question)
+        difficulties[question.qid] = float(rng.uniform(lo, hi))
+    question_set = QuestionSet(questions)
+
+    reliabilities: dict[str, float] = {}
+    for ui in range(num_users):
+        user = f"u{ui}"
+        if rng.random() < unreliable_fraction:
+            reliability = float(rng.beta(2.0, 3.0))
+        else:
+            reliability = float(rng.beta(6.0, 2.5))
+        reliabilities[user] = reliability
+        num_answered = min(
+            num_questions, max(1, int(rng.poisson(votes_per_user)))
+        )
+        answered = rng.choice(num_questions, size=num_answered, replace=False)
+        for qi in answered:
+            question = questions[qi]
+            p_correct = reliability ** difficulties[question.qid]
+            if rng.random() < p_correct:
+                chosen = question.correct
+            else:
+                wrong = [a for a in question.answers if a != question.correct]
+                chosen = wrong[int(rng.integers(len(wrong)))]
+            question_set.add_user_vote(user, question.qid, chosen)
+
+    return HubdubWorld(
+        questions=question_set,
+        reliabilities=reliabilities,
+        difficulties=difficulties,
+    )
+
+
+def _draw_answer_counts(
+    num_questions: int, num_answer_facts: int, rng: np.random.Generator
+) -> list[int]:
+    """Per-question answer counts in {2, 3, 4} summing to the target."""
+    counts = [2] * num_questions
+    surplus = num_answer_facts - 2 * num_questions
+    # Distribute the surplus one answer at a time over random questions
+    # that still have room.
+    eligible = list(range(num_questions))
+    while surplus > 0:
+        idx = int(rng.integers(len(eligible)))
+        qi = eligible[idx]
+        counts[qi] += 1
+        if counts[qi] == 4:
+            eligible.pop(idx)
+        surplus -= 1
+    return counts

@@ -1,0 +1,145 @@
+"""Dataset perturbation: controlled corruption for robustness studies.
+
+The paper's evaluation varies *world* parameters (source mix, η); a
+robustness question it leaves open is how gracefully the algorithms degrade
+when the observed votes themselves are corrupted.  These utilities produce
+perturbed copies of a dataset — flipped votes, dropped votes/sources, an
+injected copying source — and power the robustness bench.
+
+All functions return a **new** dataset; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+
+def _copy_matrix(dataset: Dataset) -> VoteMatrix:
+    matrix = VoteMatrix()
+    for source in dataset.matrix.sources:
+        matrix.add_source(source)
+    for fact in dataset.matrix.facts:
+        matrix.add_fact(fact)
+        for source, vote in dataset.matrix.votes_on(fact).items():
+            matrix.add_vote(fact, source, vote)
+    return matrix
+
+
+def _rebuild(dataset: Dataset, matrix: VoteMatrix, suffix: str) -> Dataset:
+    return Dataset(
+        matrix=matrix,
+        truth=dict(dataset.truth),
+        golden_set=dataset.golden_set,
+        name=f"{dataset.name}+{suffix}",
+    )
+
+
+def flip_votes(dataset: Dataset, fraction: float, seed: int = 0) -> Dataset:
+    """Flip a uniform fraction of the informative votes (T ↔ F).
+
+    Models transcription/extraction noise: a listing misread as CLOSED or
+    a closure flag lost in scraping.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    matrix = VoteMatrix()
+    for source in dataset.matrix.sources:
+        matrix.add_source(source)
+    for fact in dataset.matrix.facts:
+        matrix.add_fact(fact)
+        for source, vote in dataset.matrix.votes_on(fact).items():
+            flipped = vote.flipped() if rng.random() < fraction else vote
+            matrix.add_vote(fact, source, flipped)
+    return _rebuild(dataset, matrix, f"flip{fraction}")
+
+
+def drop_votes(dataset: Dataset, fraction: float, seed: int = 0) -> Dataset:
+    """Delete a uniform fraction of the informative votes (coverage loss)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    matrix = VoteMatrix()
+    for source in dataset.matrix.sources:
+        matrix.add_source(source)
+    for fact in dataset.matrix.facts:
+        matrix.add_fact(fact)
+        for source, vote in dataset.matrix.votes_on(fact).items():
+            if rng.random() >= fraction:
+                matrix.add_vote(fact, source, vote)
+    return _rebuild(dataset, matrix, f"drop{fraction}")
+
+
+def drop_source(dataset: Dataset, source: SourceId) -> Dataset:
+    """Remove a source and all its votes (leave-one-source-out)."""
+    if source not in set(dataset.matrix.sources):
+        raise KeyError(f"unknown source {source!r}")
+    matrix = VoteMatrix()
+    for s in dataset.matrix.sources:
+        if s != source:
+            matrix.add_source(s)
+    for fact in dataset.matrix.facts:
+        matrix.add_fact(fact)
+        for s, vote in dataset.matrix.votes_on(fact).items():
+            if s != source:
+                matrix.add_vote(fact, s, vote)
+    return _rebuild(dataset, matrix, f"minus-{source}")
+
+
+def inject_copier(
+    dataset: Dataset,
+    original: SourceId,
+    name: SourceId = "copier",
+    copy_fraction: float = 0.9,
+    seed: int = 0,
+) -> Dataset:
+    """Add a new source that replicates ``original``'s votes.
+
+    The Dong et al. scenario: a copied source looks like independent
+    confirmation and inflates corroboration confidence.  The copier
+    replicates each of the original's votes with probability
+    ``copy_fraction`` (no independent votes of its own).
+    """
+    if name in set(dataset.matrix.sources):
+        raise ValueError(f"source {name!r} already exists")
+    if original not in set(dataset.matrix.sources):
+        raise KeyError(f"unknown source {original!r}")
+    if not 0.0 < copy_fraction <= 1.0:
+        raise ValueError(f"copy_fraction must be in (0, 1], got {copy_fraction}")
+    rng = np.random.default_rng(seed)
+    matrix = _copy_matrix(dataset)
+    matrix.add_source(name)
+    for fact, vote in dataset.matrix.votes_by(original).items():
+        if rng.random() < copy_fraction:
+            matrix.add_vote(fact, name, vote)
+    return _rebuild(dataset, matrix, f"copier-of-{original}")
+
+
+def adversarial_source(
+    dataset: Dataset,
+    name: SourceId = "adversary",
+    coverage: float = 0.5,
+    seed: int = 0,
+) -> Dataset:
+    """Add a source that affirms false facts and denies true ones.
+
+    A worst-case stress: trust-aware methods should learn to invert or
+    ignore it; voting-based ones cannot.  Requires ground truth.
+    """
+    if not dataset.truth:
+        raise ValueError("adversarial_source needs ground truth")
+    if name in set(dataset.matrix.sources):
+        raise ValueError(f"source {name!r} already exists")
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+    rng = np.random.default_rng(seed)
+    matrix = _copy_matrix(dataset)
+    matrix.add_source(name)
+    for fact, label in dataset.truth.items():
+        if rng.random() < coverage:
+            matrix.add_vote(fact, name, Vote.FALSE if label else Vote.TRUE)
+    return _rebuild(dataset, matrix, "adversary")

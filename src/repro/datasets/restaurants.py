@@ -1,0 +1,314 @@
+"""Restaurant-listing world — the paper's real-world dataset, simulated.
+
+The paper crawled six restaurant sources for the greater New York City area
+in February 2012 (36,916 deduplicated listings) and hand-verified a golden
+set of 601 listings from three zip codes.  The crawl is gone (the dataset
+URL is dead), so this module provides a *generative simulator calibrated to
+every statistic the paper reports*:
+
+* Table 3 coverage:      YP .59, 4sq .24, MP .20, OT .07, CS .50, Yelp .35
+* Table 3 golden accuracy: .59, .78, .93, .96, .62, .84
+* F-vote counts (Section 6.2.1): Foursquare 10, Menupages 256, Yelp 425
+* golden set: 601 listings = 340 open + 261 closed
+
+The corroboration algorithms only ever see the vote matrix, so a matrix
+with matching coverage / accuracy / overlap / F-vote marginals exercises
+the identical code paths (DESIGN.md Section 3 records this substitution).
+
+Model.  Each listing (fact) is open (true) with probability ``true_fraction``
+and carries a latent *popularity* u ~ U[0, 1] shared across sources — a
+popular Manhattan restaurant is crawled by everyone, which reproduces the
+positive source overlap of Table 3.  From each source's target coverage,
+accuracy and F quota we derive its T-vote rates on open and closed listings
+(see :meth:`SourceProfile.t_vote_rates`); coverage indicators are Bernoulli
+with a popularity tilt (0.5 + u) that preserves the expected rates.  The
+F quotas are planted on closed listings the source did not already list.
+Orphan facts (listings no source produced — impossible in a real crawl,
+where facts *are* source listings) are assigned one T vote from a
+coverage-weighted source.
+
+Golden set.  The paper's golden set came from three dense zip codes, so it
+is drawn from the top-popularity stratum, and — matching the Voting /
+Counting rows of Table 4, which require a visible share of F-vote listings
+among the golden closed restaurants — a configurable number of the closed
+golden listings is drawn from the F-voted ones (the authors' curated-
+Manhattan sources flag closures precisely in such areas).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceProfile:
+    """Calibration targets of one crawled source (paper Table 3)."""
+
+    name: str
+    coverage: float
+    accuracy: float
+    f_votes: int
+
+    def t_vote_rates(self, num_facts: int, true_fraction: float) -> tuple[float, float]:
+        """(rate on open listings, rate on closed listings) for T votes.
+
+        Derived so that expected coverage and golden accuracy match the
+        targets: with V = coverage·N total votes of which ``accuracy``·V are
+        correct and ``f_votes`` of the correct ones are F votes, the T votes
+        split into a = accuracy·V − f_votes on open listings and
+        b = (1 − accuracy)·V on closed ones.
+        """
+        total_votes = self.coverage * num_facts
+        correct = self.accuracy * total_votes
+        on_open = correct - self.f_votes
+        on_closed = total_votes - correct
+        num_open = true_fraction * num_facts
+        num_closed = (1.0 - true_fraction) * num_facts
+        if on_open < 0 or num_open <= 0 or num_closed <= 0:
+            raise ValueError(f"infeasible profile for source {self.name}")
+        rate_open = on_open / num_open
+        rate_closed = on_closed / num_closed
+        if rate_open > 1.0 or rate_closed > 1.0:
+            raise ValueError(
+                f"source {self.name}: derived T-vote rates exceed 1 "
+                f"({rate_open:.3f}, {rate_closed:.3f}); adjust true_fraction"
+            )
+        return rate_open, rate_closed
+
+
+#: The six crawled sources with their Table 3 calibration targets.
+PAPER_PROFILES: tuple[SourceProfile, ...] = (
+    SourceProfile("YellowPages", 0.59, 0.59, 0),
+    SourceProfile("Foursquare", 0.24, 0.78, 10),
+    SourceProfile("MenuPages", 0.20, 0.93, 256),
+    SourceProfile("OpenTable", 0.07, 0.96, 0),
+    SourceProfile("CitySearch", 0.50, 0.62, 0),
+    SourceProfile("Yelp", 0.35, 0.84, 425),
+)
+
+#: Dataset sizes reported in Section 6.2.1.
+PAPER_NUM_FACTS = 36_916
+PAPER_GOLDEN_TRUE = 340
+PAPER_GOLDEN_FALSE = 261
+
+
+@dataclasses.dataclass
+class RestaurantWorld:
+    """A generated restaurant dataset plus its calibration profiles."""
+
+    dataset: Dataset
+    profiles: tuple[SourceProfile, ...]
+    popularity: dict[str, float]
+
+    def coverage_row(self) -> dict[str, float]:
+        """Realised coverage per source (Table 3, top block)."""
+        return {p.name: self.dataset.matrix.coverage(p.name) for p in self.profiles}
+
+    def overlap_matrix(self) -> list[dict[str, object]]:
+        """Realised pairwise overlap (Table 3, middle block)."""
+        names = [p.name for p in self.profiles]
+        rows: list[dict[str, object]] = []
+        for a in names:
+            row: dict[str, object] = {"source": a}
+            for b in names:
+                row[b] = self.dataset.matrix.overlap(a, b)
+            rows.append(row)
+        return rows
+
+    def accuracy_row(self) -> dict[str, float | None]:
+        """Realised golden-set accuracy per source (Table 3, bottom block)."""
+        return {p.name: self.dataset.source_accuracy(p.name) for p in self.profiles}
+
+    def f_vote_counts(self) -> dict[str, int]:
+        """Realised F-vote count per source (Section 6.2.1 reports 10/256/425)."""
+        counts: dict[str, int] = {}
+        for profile in self.profiles:
+            votes = self.dataset.matrix.votes_by(profile.name)
+            counts[profile.name] = sum(1 for v in votes.values() if v is Vote.FALSE)
+        return counts
+
+
+def generate_restaurants(
+    num_facts: int = PAPER_NUM_FACTS,
+    true_fraction: float = 0.57,
+    golden_true: int = PAPER_GOLDEN_TRUE,
+    golden_false: int = PAPER_GOLDEN_FALSE,
+    golden_false_with_f_votes: int = 100,
+    popularity_quantile: float = 0.70,
+    f_vote_pool_share: float = 0.4,
+    profiles: tuple[SourceProfile, ...] = PAPER_PROFILES,
+    seed: int = 99,
+) -> RestaurantWorld:
+    """Generate a restaurant world calibrated to the paper's statistics.
+
+    Args:
+        num_facts: total deduplicated listings (paper: 36,916).  F quotas
+            scale proportionally when a smaller world is requested.
+        true_fraction: global fraction of open listings.
+        golden_true / golden_false: golden-set composition (340 / 261).
+        golden_false_with_f_votes: how many golden closed listings are
+            drawn from F-voted listings (Table 4 calibration, see module
+            docstring).  Capped by availability.
+        popularity_quantile: golden facts come from listings with latent
+            popularity above this quantile ("three dense zip codes").
+        f_vote_pool_share: fraction of each source's F quota drawn from the
+            shared "confirmed closed" pool (F-vote correlation across
+            sources); the rest lands on independently chosen closed
+            listings.
+        seed: RNG seed; generation is deterministic given the seed.
+    """
+    if num_facts < 100:
+        raise ValueError("num_facts must be at least 100")
+    if not 0.0 < true_fraction < 1.0:
+        raise ValueError(f"true_fraction must be in (0, 1), got {true_fraction}")
+    rng = np.random.default_rng(seed)
+    scale = num_facts / PAPER_NUM_FACTS
+    # F-vote quotas scale with the world; the scaled profiles are used
+    # consistently for rate derivation, planting and reporting.
+    profiles = tuple(
+        dataclasses.replace(p, f_votes=round(p.f_votes * scale)) for p in profiles
+    )
+
+    truth = rng.random(num_facts) < true_fraction
+    popularity = rng.random(num_facts)
+    tilt = 0.5 + popularity  # E[tilt] = 1, so expected rates are preserved.
+    fact_ids = [f"listing{i}" for i in range(num_facts)]
+
+    matrix = VoteMatrix()
+    for fact in fact_ids:
+        matrix.add_fact(fact)
+
+    t_votes: dict[str, np.ndarray] = {}
+    for profile in profiles:
+        matrix.add_source(profile.name)
+        rate_open, rate_closed = profile.t_vote_rates(num_facts, true_fraction)
+        prob = np.where(truth, rate_open, rate_closed) * tilt
+        voted = rng.random(num_facts) < np.clip(prob, 0.0, 1.0)
+        t_votes[profile.name] = voted
+
+    # Plant the F-vote quotas on closed listings the source did not list as
+    # open.  F votes from different sources are correlated through a shared
+    # "confirmed closed" pool: a restaurant that visibly shut down tends to
+    # be flagged CLOSED by several curated sources, which is what gives some
+    # listings an F majority (the small set TwoEstimate and Voting do label
+    # false, Section 6.2.2).
+    f_quota = {p.name: p.f_votes for p in profiles}
+    closed_pool_size = max(1, round(0.7 * max(f_quota.values(), default=1)))
+    closed_candidates = np.flatnonzero(~truth)
+    # Confirmed closures skew popular: a defunct but once-popular venue is
+    # exactly the listing the curated sources notice and flag — and the one
+    # the high-coverage aggregators still carry as open.
+    pool_weights = popularity[closed_candidates] ** 2
+    pool_weights = pool_weights / pool_weights.sum()
+    confirmed_closed = rng.choice(
+        closed_candidates,
+        size=min(closed_pool_size, closed_candidates.size),
+        replace=False,
+        p=pool_weights,
+    )
+    f_votes: dict[str, np.ndarray] = {}
+    for profile in profiles:
+        quota = f_quota[profile.name]
+        mask = np.zeros(num_facts, dtype=bool)
+        if quota:
+            pool = confirmed_closed[~t_votes[profile.name][confirmed_closed]]
+            from_pool = min(round(f_vote_pool_share * quota), pool.size)
+            chosen = rng.choice(pool, size=from_pool, replace=False)
+            mask[chosen] = True
+            rest = quota - from_pool
+            if rest > 0:
+                others = np.flatnonzero(~truth & ~t_votes[profile.name] & ~mask)
+                rest = min(rest, others.size)
+                mask[rng.choice(others, size=rest, replace=False)] = True
+        f_votes[profile.name] = mask
+
+    # Every fact must have come from somewhere (a fact *is* a source
+    # listing, open or CLOSED): facts with neither T nor F votes get one
+    # T vote from a coverage-weighted source.
+    any_vote = np.logical_or.reduce(
+        [t_votes[p.name] | f_votes[p.name] for p in profiles]
+    )
+    orphans = np.flatnonzero(~any_vote)
+    if orphans.size:
+        weights = np.array([p.coverage for p in profiles])
+        weights = weights / weights.sum()
+        assignment = rng.choice(len(profiles), size=orphans.size, p=weights)
+        for idx, source_idx in zip(orphans, assignment):
+            t_votes[profiles[source_idx].name][idx] = True
+
+    for profile in profiles:
+        for idx in np.flatnonzero(t_votes[profile.name]):
+            matrix.add_vote(fact_ids[idx], profile.name, Vote.TRUE)
+        for idx in np.flatnonzero(f_votes[profile.name]):
+            matrix.add_vote(fact_ids[idx], profile.name, Vote.FALSE)
+
+    golden = _sample_golden_set(
+        rng=rng,
+        truth=truth,
+        popularity=popularity,
+        popularity_quantile=popularity_quantile,
+        golden_true=golden_true,
+        golden_false=golden_false,
+        golden_false_with_f_votes=round(golden_false_with_f_votes * min(scale, 1.0)),
+        f_votes=f_votes,
+    )
+
+    dataset = Dataset(
+        matrix=matrix,
+        truth={fact: bool(t) for fact, t in zip(fact_ids, truth)},
+        golden_set=frozenset(fact_ids[i] for i in golden),
+        name=f"restaurants[{num_facts} listings]",
+    )
+    return RestaurantWorld(
+        dataset=dataset,
+        profiles=profiles,
+        popularity={fact: float(u) for fact, u in zip(fact_ids, popularity)},
+    )
+
+
+def _sample_golden_set(
+    rng: np.random.Generator,
+    truth: np.ndarray,
+    popularity: np.ndarray,
+    popularity_quantile: float,
+    golden_true: int,
+    golden_false: int,
+    golden_false_with_f_votes: int,
+    f_votes: dict[str, np.ndarray],
+) -> np.ndarray:
+    """Indices of the golden-set facts (see module docstring)."""
+    threshold = np.quantile(popularity, popularity_quantile)
+    dense = popularity >= threshold
+
+    open_pool = np.flatnonzero(dense & truth)
+    if open_pool.size < golden_true:
+        open_pool = np.flatnonzero(truth)
+    chosen_true = rng.choice(
+        open_pool, size=min(golden_true, open_pool.size), replace=False
+    )
+
+    any_f = np.logical_or.reduce(list(f_votes.values()))
+    flagged_pool = np.flatnonzero(~truth & any_f)
+    n_flagged = min(golden_false_with_f_votes, flagged_pool.size, golden_false)
+    chosen_flagged = (
+        rng.choice(flagged_pool, size=n_flagged, replace=False)
+        if n_flagged
+        else np.empty(0, dtype=int)
+    )
+
+    remaining = golden_false - n_flagged
+    closed_pool = np.flatnonzero(dense & ~truth & ~any_f)
+    if closed_pool.size < remaining:
+        closed_pool = np.setdiff1d(np.flatnonzero(~truth), chosen_flagged)
+    chosen_closed = (
+        rng.choice(closed_pool, size=min(remaining, closed_pool.size), replace=False)
+        if remaining
+        else np.empty(0, dtype=int)
+    )
+    return np.concatenate([chosen_true, chosen_flagged, chosen_closed])

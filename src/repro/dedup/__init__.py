@@ -1,0 +1,38 @@
+"""Entity resolution: address normalisation, cosine similarity, dedup."""
+
+from repro.dedup.normalize import normalize_address, normalize_name
+from repro.dedup.resolution import (
+    RawListing,
+    ResolvedEntity,
+    UnionFind,
+    entities_to_dataset,
+    pairwise_dedup_quality,
+    resolve_listings,
+)
+from repro.dedup.similarity import (
+    DEFAULT_THRESHOLD,
+    cosine,
+    listing_similarity,
+    ngram_similarity,
+    ngram_vector,
+    term_similarity,
+    term_vector,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "RawListing",
+    "ResolvedEntity",
+    "UnionFind",
+    "cosine",
+    "entities_to_dataset",
+    "listing_similarity",
+    "ngram_similarity",
+    "ngram_vector",
+    "normalize_address",
+    "normalize_name",
+    "pairwise_dedup_quality",
+    "resolve_listings",
+    "term_similarity",
+    "term_vector",
+]

@@ -1,0 +1,140 @@
+"""Rule-based address normalisation (paper Section 6.2.1).
+
+"We first wrote a rule-based script to normalize the addresses of all
+listings."  The rules here cover the variation a restaurant-listing crawl
+actually exhibits: case, punctuation, ordinal suffixes, compass directions,
+street-type abbreviations, and numbered-street spellings ("Forty-Sixth" →
+"46").  Normalised addresses are the blocking key of the deduplication
+pipeline — listings only ever get compared within the same address group.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Street-type and unit abbreviations, applied token-wise.
+TOKEN_REWRITES: dict[str, str] = {
+    "st": "street",
+    "st.": "street",
+    "str": "street",
+    "ave": "avenue",
+    "ave.": "avenue",
+    "av": "avenue",
+    "blvd": "boulevard",
+    "blvd.": "boulevard",
+    "rd": "road",
+    "rd.": "road",
+    "dr": "drive",
+    "dr.": "drive",
+    "ln": "lane",
+    "pl": "place",
+    "pl.": "place",
+    "sq": "square",
+    "ct": "court",
+    "hwy": "highway",
+    "pkwy": "parkway",
+    "fl": "floor",
+    "ste": "suite",
+    "apt": "apartment",
+    "n": "north",
+    "n.": "north",
+    "s": "south",
+    "s.": "south",
+    "e": "east",
+    "e.": "east",
+    "w": "west",
+    "w.": "west",
+    "ny": "newyork",
+    "nyc": "newyork",
+}
+
+#: Spelled-out street numbers seen in listing data ("Forty-Sixth Street").
+_UNITS = {
+    "first": 1, "second": 2, "third": 3, "fourth": 4, "fifth": 5,
+    "sixth": 6, "seventh": 7, "eighth": 8, "ninth": 9, "tenth": 10,
+    "eleventh": 11, "twelfth": 12, "thirteenth": 13, "fourteenth": 14,
+    "fifteenth": 15, "sixteenth": 16, "seventeenth": 17, "eighteenth": 18,
+    "nineteenth": 19,
+}
+_TENS = {
+    "twentieth": 20, "thirtieth": 30, "fortieth": 40, "fiftieth": 50,
+    "sixtieth": 60, "seventieth": 70, "eightieth": 80, "ninetieth": 90,
+}
+_TENS_PREFIX = {
+    "twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+    "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+}
+
+_ORDINAL_SUFFIX = re.compile(r"^(\d+)(st|nd|rd|th)$")
+_NON_ALNUM = re.compile(r"[^a-z0-9\s]")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def _spelled_ordinal_to_number(token: str) -> str | None:
+    """"forty-sixth"/"fortysixth" → "46"; returns None if not an ordinal."""
+    cleaned = token.replace("-", "")
+    if cleaned in _UNITS:
+        return str(_UNITS[cleaned])
+    if cleaned in _TENS:
+        return str(_TENS[cleaned])
+    for prefix, tens in _TENS_PREFIX.items():
+        if cleaned.startswith(prefix):
+            rest = cleaned[len(prefix):]
+            if rest in _UNITS:
+                return str(tens + _UNITS[rest])
+    return None
+
+
+def normalize_address(address: str) -> str:
+    """Canonical form of a listing address.
+
+    >>> normalize_address("346 W. 46th St, New York")
+    '346 west 46 street newyork'
+    >>> normalize_address("346 West Forty-Sixth Street, NYC")
+    '346 west 46 street newyork'
+    """
+    lowered = address.lower()
+    # Keep hyphens long enough to resolve spelled ordinals, drop the rest.
+    tokens: list[str] = []
+    for raw in _WHITESPACE.split(lowered):
+        if not raw:
+            continue
+        token = raw.strip(",.;:")
+        ordinal = _spelled_ordinal_to_number(token)
+        if ordinal is not None:
+            tokens.append(ordinal)
+            continue
+        token = _NON_ALNUM.sub("", token.replace("-", ""))
+        if not token:
+            continue
+        match = _ORDINAL_SUFFIX.match(token)
+        if match:
+            tokens.append(match.group(1))
+            continue
+        tokens.append(TOKEN_REWRITES.get(token, token))
+    joined = " ".join(tokens)
+    # Phrase-level rewrites after token normalisation; "New York, NY"
+    # collapses to a single city token.
+    joined = joined.replace("new york city", "newyork").replace("new york", "newyork")
+    while "newyork newyork" in joined:
+        joined = joined.replace("newyork newyork", "newyork")
+    return joined
+
+
+def normalize_name(name: str) -> str:
+    """Canonical form of a restaurant name (for similarity, not blocking).
+
+    Lower-cases, strips punctuation and collapses whitespace; leading
+    articles are dropped ("The Palm" ≡ "Palm").
+    """
+    lowered = name.lower().replace("&", " and ")
+    # Possessives collapse rather than split: "Danny's" and "Dannys" must
+    # normalise identically for the 3-gram threshold to link them.
+    lowered = lowered.replace("'s", "s").replace("'", "")
+    lowered = _NON_ALNUM.sub(" ", lowered)
+    tokens = [t for t in _WHITESPACE.split(lowered) if t]
+    # Drop a leading article, but only when something follows it — "A A"
+    # must normalise idempotently, not vanish token by token.
+    if len(tokens) > 1 and tokens[0] in {"the", "a", "an"}:
+        tokens = tokens[1:]
+    return " ".join(tokens)

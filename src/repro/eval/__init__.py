@@ -1,0 +1,56 @@
+"""Evaluation: metrics, significance tests, tables, experiment harness."""
+
+from repro.eval.curves import (
+    CurvePoint,
+    average_precision,
+    roc_auc,
+    threshold_sweep,
+)
+from repro.eval.harness import (
+    MethodRun,
+    errors_table,
+    mse_table,
+    quality_table,
+    run_methods,
+    timing_table,
+)
+from repro.eval.metrics import (
+    ConfusionCounts,
+    confusion,
+    evaluate_labels,
+    evaluate_result,
+    quality_row,
+    trust_mse,
+    trust_mse_for,
+)
+from repro.eval.significance import (
+    correctness_vector,
+    mcnemar_test,
+    paired_permutation_test,
+)
+from repro.eval.tables import render_series, render_table
+
+__all__ = [
+    "ConfusionCounts",
+    "CurvePoint",
+    "MethodRun",
+    "average_precision",
+    "confusion",
+    "correctness_vector",
+    "errors_table",
+    "evaluate_labels",
+    "evaluate_result",
+    "mcnemar_test",
+    "mse_table",
+    "paired_permutation_test",
+    "quality_row",
+    "quality_table",
+    "render_series",
+    "render_table",
+    "roc_auc",
+    "threshold_sweep",
+    "run_methods",
+    "timing_table",
+    "trust_mse",
+    "trust_mse_for",
+]

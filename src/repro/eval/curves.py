@@ -1,0 +1,115 @@
+"""Threshold curves: precision–recall and ROC over fact probabilities.
+
+Equation 2 fixes the decision threshold at 0.5; these curves show what
+every other threshold would have given, which is how to compare methods
+independently of that choice.  Average precision and ROC-AUC summarise the
+curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId
+
+
+@dataclasses.dataclass(frozen=True)
+class CurvePoint:
+    """One operating point of a threshold sweep."""
+
+    threshold: float
+    precision: float
+    recall: float
+    false_positive_rate: float
+
+
+def _aligned(
+    probabilities: Mapping[FactId, float], dataset: Dataset
+) -> tuple[np.ndarray, np.ndarray]:
+    facts = dataset.evaluation_facts()
+    if not facts:
+        raise ValueError("dataset has no labelled facts")
+    p = np.array([probabilities[f] for f in facts])
+    y = np.array([dataset.truth[f] for f in facts], dtype=bool)
+    if not y.any() or y.all():
+        raise ValueError("curves need both classes present in the truth")
+    return p, y
+
+
+def threshold_sweep(
+    probabilities: Mapping[FactId, float], dataset: Dataset
+) -> list[CurvePoint]:
+    """Operating points at every distinct probability value.
+
+    Facts are labelled true at threshold t iff σ(f) ≥ t, matching the
+    Equation 2 convention.  Thresholds are the distinct probabilities plus
+    a sentinel above the maximum (the all-false point).
+    """
+    p, y = _aligned(probabilities, dataset)
+    positives = float(y.sum())
+    negatives = float((~y).sum())
+    thresholds = np.concatenate([np.unique(p), [np.nextafter(p.max(), 2.0)]])
+    points: list[CurvePoint] = []
+    for threshold in thresholds:
+        predicted = p >= threshold
+        tp = float(np.sum(predicted & y))
+        fp = float(np.sum(predicted & ~y))
+        points.append(
+            CurvePoint(
+                threshold=float(threshold),
+                precision=tp / (tp + fp) if tp + fp else 1.0,
+                recall=tp / positives,
+                false_positive_rate=fp / negatives,
+            )
+        )
+    return points
+
+
+def average_precision(
+    probabilities: Mapping[FactId, float], dataset: Dataset
+) -> float:
+    """Area under the precision–recall curve (step interpolation).
+
+    Computed the standard way: sum over ranked positives of precision at
+    each recall step.
+    """
+    p, y = _aligned(probabilities, dataset)
+    order = np.argsort(-p, kind="stable")
+    sorted_truth = y[order]
+    cumulative_tp = np.cumsum(sorted_truth)
+    ranks = np.arange(1, len(sorted_truth) + 1)
+    precision_at_rank = cumulative_tp / ranks
+    return float(precision_at_rank[sorted_truth].sum() / sorted_truth.sum())
+
+
+def roc_auc(probabilities: Mapping[FactId, float], dataset: Dataset) -> float:
+    """Area under the ROC curve, via the rank (Mann–Whitney) formulation.
+
+    Ties in the probabilities contribute half credit, so constant
+    probabilities score exactly 0.5.
+    """
+    p, y = _aligned(probabilities, dataset)
+    order = np.argsort(p, kind="stable")
+    ranks = np.empty(len(p))
+    sorted_p = p[order]
+    # Average ranks over ties.
+    i = 0
+    position = 1.0
+    while i < len(sorted_p):
+        j = i
+        while j + 1 < len(sorted_p) and sorted_p[j + 1] == sorted_p[i]:
+            j += 1
+        average_rank = (position + position + (j - i)) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        position += j - i + 1
+        i = j + 1
+    positives = y.sum()
+    negatives = (~y).sum()
+    rank_sum = float(ranks[y].sum())
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))

@@ -1,0 +1,83 @@
+"""Experiment runner utilities shared by benchmarks and examples.
+
+The harness runs a set of corroborators over a dataset, times them, and
+collects paper-style metric rows.  Benchmarks and examples call these
+helpers so that "the code that regenerates Table 4" exists in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+from repro.core.result import CorroborationResult, Corroborator
+from repro.eval.metrics import evaluate_result, quality_row, trust_mse_for
+from repro.model.dataset import Dataset
+
+
+@dataclasses.dataclass
+class MethodRun:
+    """One corroborator's run over one dataset, with timing."""
+
+    method: str
+    result: CorroborationResult
+    seconds: float
+
+
+def run_methods(
+    methods: Sequence[Corroborator], dataset: Dataset
+) -> list[MethodRun]:
+    """Run every corroborator on the dataset, wall-clock timing each."""
+    runs: list[MethodRun] = []
+    for method in methods:
+        start = time.perf_counter()
+        result = method.run(dataset)
+        elapsed = time.perf_counter() - start
+        runs.append(MethodRun(method=method.name, result=result, seconds=elapsed))
+    return runs
+
+
+def quality_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
+    """Table 4-style rows (precision / recall / accuracy / F1) per method."""
+    return [quality_row(run.result, dataset) for run in runs]
+
+
+def mse_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
+    """Table 5-style rows: per-source trust plus the trust MSE per method.
+
+    The first row holds the ground-truth source accuracies.
+    """
+    sources = dataset.sources
+    rows: list[dict] = []
+    actual = dataset.true_source_accuracies()
+    truth_row: dict = {"method": "Source accuracy"}
+    for source in sources:
+        value = actual[source]
+        truth_row[source] = value if value is not None else "-"
+    truth_row["MSE"] = "-"
+    rows.append(truth_row)
+    for run in runs:
+        row: dict = {"method": run.method}
+        for source in sources:
+            row[source] = run.result.trust.get(source, "-")
+        row["MSE"] = trust_mse_for(run.result, dataset)
+        rows.append(row)
+    return rows
+
+
+def timing_table(runs: Sequence[MethodRun]) -> list[dict]:
+    """Table 6-style rows: wall-clock seconds per method."""
+    return [{"method": run.method, "seconds": run.seconds} for run in runs]
+
+
+def errors_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
+    """Table 7-style rows: number of errors (FP + FN) per method."""
+    return [
+        {
+            "method": run.method,
+            "errors": evaluate_result(run.result, dataset).errors,
+        }
+        for run in runs
+    ]

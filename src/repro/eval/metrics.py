@@ -1,0 +1,158 @@
+"""Evaluation metrics (paper Section 6.1.2).
+
+* precision / recall / accuracy / F1 of the corroborated boolean labels
+  against the ground truth, computed over the dataset's golden set;
+* the mean square error of the trust scores (Equation 10) against each
+  source's ground-truth accuracy;
+* Galland et al.'s "number of errors" (false positives + false negatives),
+  the Table 7 metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping
+
+from repro.core.result import CorroborationResult
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts (positive class = fact is true)."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def errors(self) -> int:
+        """Galland's "number of errors": FP + FN (Table 7 metric)."""
+        return self.false_positives + self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        predicted_positive = self.true_positives + self.false_positives
+        if predicted_positive == 0:
+            return 0.0
+        return self.true_positives / predicted_positive
+
+    @property
+    def recall(self) -> float:
+        actual_positive = self.true_positives + self.false_negatives
+        if actual_positive == 0:
+            return 0.0
+        return self.true_positives / actual_positive
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+
+def confusion(
+    labels: Mapping[FactId, bool], truth: Mapping[FactId, bool]
+) -> ConfusionCounts:
+    """Confusion counts of predicted ``labels`` over facts present in ``truth``.
+
+    Facts in ``truth`` but missing from ``labels`` raise: a corroborator
+    must commit to a value for every fact it was given.
+    """
+    tp = fp = tn = fn = 0
+    for fact, actual in truth.items():
+        if fact not in labels:
+            raise KeyError(f"no predicted label for fact {fact!r}")
+        predicted = labels[fact]
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and not actual:
+            tn += 1
+        else:
+            fn += 1
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def evaluate_labels(
+    labels: Mapping[FactId, bool], dataset: Dataset
+) -> ConfusionCounts:
+    """Confusion counts over the dataset's evaluation facts (golden set)."""
+    scope = dataset.evaluation_facts()
+    truth = {f: dataset.truth[f] for f in scope}
+    return confusion(labels, truth)
+
+
+def evaluate_result(result: CorroborationResult, dataset: Dataset) -> ConfusionCounts:
+    """Convenience wrapper: evaluate a corroboration result's labels."""
+    return evaluate_labels(result.labels(), dataset)
+
+
+def trust_mse(
+    estimated: Mapping[SourceId, float],
+    actual: Mapping[SourceId, float | None],
+) -> float:
+    """Equation 10: mean square error of the estimated trust scores.
+
+    ``actual`` maps each source to its ground-truth accuracy over the golden
+    set; sources whose true accuracy is unknown (``None``) are skipped, as
+    the paper's MSE is defined over "a sampled golden set".
+    """
+    errors: list[float] = []
+    for source, true_value in actual.items():
+        if true_value is None:
+            continue
+        if source not in estimated:
+            raise KeyError(f"no estimated trust for source {source!r}")
+        errors.append((true_value - estimated[source]) ** 2)
+    if not errors:
+        raise ValueError("no sources with known ground-truth accuracy")
+    return sum(errors) / len(errors)
+
+
+def trust_mse_for(result: CorroborationResult, dataset: Dataset) -> float:
+    """Equation 10 for a corroboration result against a dataset."""
+    return trust_mse(result.trust, dataset.true_source_accuracies())
+
+
+def quality_row(result: CorroborationResult, dataset: Dataset) -> dict[str, float]:
+    """A Table 4-style row: method, precision, recall, accuracy, F1."""
+    counts = evaluate_result(result, dataset)
+    return {
+        "method": result.method,
+        "precision": counts.precision,
+        "recall": counts.recall,
+        "accuracy": counts.accuracy,
+        "f1": counts.f1,
+    }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, used by ablation summaries; zeros propagate to 0."""
+    if not values:
+        raise ValueError("geometric_mean of empty list")
+    if any(v < 0 for v in values):
+        raise ValueError("geometric_mean requires non-negative values")
+    if any(v == 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the experiment harness.
+
+All paper tables and figure series are regenerated as ASCII tables printed
+to stdout by the benchmark harness and the examples; this module is the one
+place that knows how to format them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_value(value: object, float_digits: int = 2) -> str:
+    """Render a cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Missing cells render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(col, "-"), float_digits) for col in cols]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    x_label: str,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render figure-style data (one line per method) as a table.
+
+    ``series`` maps each method name to its y-values aligned with
+    ``x_values`` — the layout of the paper's Figure 2 / Figure 3 plots.
+    """
+    rows: list[dict[str, object]] = []
+    for x, *ys in zip(x_values, *series.values()):
+        row: dict[str, object] = {x_label: x}
+        for method, y in zip(series.keys(), ys):
+            row[method] = y
+        rows.append(row)
+    return render_table(rows, title=title, float_digits=float_digits)

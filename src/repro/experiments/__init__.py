@@ -1,0 +1,46 @@
+"""Experiments: one module per paper table / figure (see DESIGN.md §5)."""
+
+from repro.experiments.hubdub_exp import table7
+from repro.experiments.methods import (
+    extended_methods,
+    hubdub_methods,
+    inc_est_heu,
+    inc_est_ps,
+    paper_methods,
+    synthetic_methods,
+)
+from repro.experiments.motivating_example import figure1_rounds, table2
+from repro.experiments.real_world import (
+    build_world,
+    figure2,
+    run_paper_methods,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.significance_exp import significance_table
+from repro.experiments.synthetic_exp import figure3a, figure3b, figure3c
+
+__all__ = [
+    "build_world",
+    "extended_methods",
+    "figure1_rounds",
+    "figure2",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "hubdub_methods",
+    "inc_est_heu",
+    "inc_est_ps",
+    "paper_methods",
+    "run_paper_methods",
+    "significance_table",
+    "synthetic_methods",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

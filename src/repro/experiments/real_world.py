@@ -1,0 +1,102 @@
+"""Experiments E3–E7 — the real-world restaurant dataset.
+
+Regenerates, against the simulated crawl of
+:mod:`repro.datasets.restaurants`:
+
+* **Table 3** — source coverage, pairwise overlap, golden-set accuracy;
+* **Table 4** — precision / recall / accuracy / F1 of the eight methods;
+* **Table 5** — per-source trust scores and the trust MSE;
+* **Figure 2** — per-time-point trust trajectories of IncEstPS / IncEstHeu;
+* **Table 6** — wall-clock time per method.
+
+Every function takes an optional pre-built world so the expensive
+generation is shared; benchmarks pass a module-level cached one.
+"""
+
+from __future__ import annotations
+
+from repro.core import IncEstHeu, IncEstPS, IncEstimate
+from repro.datasets.restaurants import RestaurantWorld, generate_restaurants
+from repro.eval.harness import (
+    MethodRun,
+    mse_table,
+    quality_table,
+    run_methods,
+    timing_table,
+)
+from repro.experiments.methods import paper_methods
+
+
+def build_world(num_facts: int | None = None, **kwargs) -> RestaurantWorld:
+    """Generate the restaurant world (paper scale by default)."""
+    if num_facts is not None:
+        kwargs["num_facts"] = num_facts
+    return generate_restaurants(**kwargs)
+
+
+def table3(world: RestaurantWorld | None = None) -> dict[str, list[dict]]:
+    """Table 3 blocks: coverage row, overlap matrix, accuracy row."""
+    world = world or build_world()
+    coverage = {"metric": "coverage", **world.coverage_row()}
+    accuracy_values = world.accuracy_row()
+    accuracy = {
+        "metric": "accuracy",
+        **{k: (v if v is not None else "-") for k, v in accuracy_values.items()},
+    }
+    return {
+        "coverage": [coverage],
+        "overlap": world.overlap_matrix(),
+        "accuracy": [accuracy],
+        "f_votes": [{"metric": "f_votes", **world.f_vote_counts()}],
+    }
+
+
+def run_paper_methods(
+    world: RestaurantWorld | None = None,
+    bayes_burn_in: int = 10,
+    bayes_samples: int = 20,
+    with_ml: bool = True,
+) -> tuple[RestaurantWorld, list[MethodRun]]:
+    """Run the Table 4 method line-up once; shared by Tables 4–6."""
+    world = world or build_world()
+    methods = paper_methods(
+        bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples, with_ml=with_ml
+    )
+    return world, run_methods(methods, world.dataset)
+
+
+def table4(runs: list[MethodRun], world: RestaurantWorld) -> list[dict]:
+    """Table 4 rows from a completed run set."""
+    return quality_table(runs, world.dataset)
+
+
+def table5(runs: list[MethodRun], world: RestaurantWorld) -> list[dict]:
+    """Table 5 rows (trust per source + MSE) from a completed run set."""
+    return mse_table(runs, world.dataset)
+
+
+def table6(runs: list[MethodRun]) -> list[dict]:
+    """Table 6 rows (wall-clock seconds) from a completed run set."""
+    return timing_table(runs)
+
+
+def figure2(
+    world: RestaurantWorld | None = None,
+) -> dict[str, list[dict]]:
+    """Figure 2 data: trust per source per time point, for both strategies.
+
+    Returns {"IncEstPS": rows, "IncEstHeu": rows}; each row is
+    {"time_point": i, source: trust, ...}.
+    """
+    world = world or build_world()
+    series: dict[str, list[dict]] = {}
+    for strategy in (IncEstPS(), IncEstHeu()):
+        result = IncEstimate(strategy).run(world.dataset)
+        assert result.trajectory is not None
+        rows = []
+        for time_point, vector in enumerate(result.trajectory.as_rows()):
+            row: dict = {"time_point": time_point}
+            row.update(vector)
+            rows.append(row)
+        series[strategy.name] = rows
+    return series

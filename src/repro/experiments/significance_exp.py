@@ -1,0 +1,62 @@
+"""Experiment E12 — the paper's significance claim (Section 6.2.2).
+
+"The improvement is statistical significant for both baseline and existing
+corroboration techniques (with p-value < 0.001)" — and, for the ML
+baselines, "the improvement of our IncEstHeu over the machine learning
+based approaches is not statistically significant".  This module runs the
+paired tests behind both statements on the golden set.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.restaurants import RestaurantWorld, generate_restaurants
+from repro.eval.harness import run_methods
+from repro.eval.significance import (
+    correctness_vector,
+    mcnemar_test,
+    paired_permutation_test,
+)
+from repro.experiments.methods import inc_est_heu, paper_methods
+
+
+def significance_table(
+    world: RestaurantWorld | None = None,
+    bayes_burn_in: int = 10,
+    bayes_samples: int = 20,
+    permutation_iterations: int = 10_000,
+) -> list[dict]:
+    """Paired p-values of IncEstHeu against every other Table 4 method.
+
+    Returns one row per comparison with both the McNemar and the
+    permutation p-value, plus the accuracy difference on the golden set.
+    """
+    world = world or generate_restaurants()
+    dataset = world.dataset
+    methods = paper_methods(
+        bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples
+    )
+    runs = run_methods(methods, dataset)
+    by_name = {run.method: run for run in runs}
+    heu_name = inc_est_heu().name
+    heu_vector = correctness_vector(by_name[heu_name].result.labels(), dataset)
+    heu_accuracy = sum(heu_vector) / len(heu_vector)
+
+    rows: list[dict] = []
+    for run in runs:
+        if run.method == heu_name:
+            continue
+        other_vector = correctness_vector(run.result.labels(), dataset)
+        other_accuracy = sum(other_vector) / len(other_vector)
+        rows.append(
+            {
+                "vs": run.method,
+                "accuracy_delta": heu_accuracy - other_accuracy,
+                "mcnemar_p": mcnemar_test(heu_vector, other_vector),
+                "permutation_p": paired_permutation_test(
+                    heu_vector,
+                    other_vector,
+                    iterations=permutation_iterations,
+                ),
+            }
+        )
+    return rows

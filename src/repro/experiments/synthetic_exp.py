@@ -1,0 +1,123 @@
+"""Experiments E9–E11 — the synthetic sweeps of Figure 3.
+
+Three accuracy sweeps over the Section 6.3.1 generator:
+
+* Figure 3(a): total sources 2–11, inaccurate fixed at 2;
+* Figure 3(b): inaccurate sources 0–10, total fixed at 10;
+* Figure 3(c): F-vote fraction η ∈ {0.01 … 0.05}, 10 sources / 2
+  inaccurate.
+
+The paper uses 20,000 facts per configuration; ``num_facts`` (and
+``repeats`` for variance reduction) are exposed so tests can run small.
+Each point is the accuracy over all facts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_synthetic
+from repro.eval.harness import run_methods
+from repro.eval.metrics import evaluate_result
+from repro.experiments.methods import synthetic_methods
+
+
+def _accuracy_point(
+    num_accurate: int,
+    num_inaccurate: int,
+    eta: float,
+    num_facts: int,
+    seeds: list[int],
+    bayes_burn_in: int,
+    bayes_samples: int,
+) -> dict[str, float]:
+    """Mean accuracy per method over the given seeds."""
+    totals: dict[str, list[float]] = {}
+    for seed in seeds:
+        world = generate_synthetic(
+            num_accurate=num_accurate,
+            num_inaccurate=num_inaccurate,
+            num_facts=num_facts,
+            eta=eta,
+            seed=seed,
+        )
+        runs = run_methods(
+            synthetic_methods(bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples),
+            world.dataset,
+        )
+        for run in runs:
+            counts = evaluate_result(run.result, world.dataset)
+            totals.setdefault(run.method, []).append(counts.accuracy)
+    return {method: float(np.mean(values)) for method, values in totals.items()}
+
+
+def figure3a(
+    num_facts: int = 20_000,
+    source_counts: list[int] | None = None,
+    repeats: int = 1,
+    bayes_burn_in: int = 10,
+    bayes_samples: int = 20,
+) -> list[dict]:
+    """Accuracy vs total number of sources (2 inaccurate fixed)."""
+    counts = source_counts or list(range(2, 12))
+    rows = []
+    for total in counts:
+        point = _accuracy_point(
+            num_accurate=total - 2,
+            num_inaccurate=2,
+            eta=0.03,
+            num_facts=num_facts,
+            seeds=list(range(repeats)),
+            bayes_burn_in=bayes_burn_in,
+            bayes_samples=bayes_samples,
+        )
+        rows.append({"num_sources": total, **point})
+    return rows
+
+
+def figure3b(
+    num_facts: int = 20_000,
+    inaccurate_counts: list[int] | None = None,
+    repeats: int = 1,
+    bayes_burn_in: int = 10,
+    bayes_samples: int = 20,
+) -> list[dict]:
+    """Accuracy vs number of inaccurate sources (10 total fixed)."""
+    counts = inaccurate_counts if inaccurate_counts is not None else list(range(0, 11))
+    rows = []
+    for inaccurate in counts:
+        point = _accuracy_point(
+            num_accurate=10 - inaccurate,
+            num_inaccurate=inaccurate,
+            eta=0.03,
+            num_facts=num_facts,
+            seeds=list(range(repeats)),
+            bayes_burn_in=bayes_burn_in,
+            bayes_samples=bayes_samples,
+        )
+        rows.append({"num_inaccurate": inaccurate, **point})
+    return rows
+
+
+def figure3c(
+    num_facts: int = 20_000,
+    etas: list[float] | None = None,
+    repeats: int = 1,
+    bayes_burn_in: int = 10,
+    bayes_samples: int = 20,
+) -> list[dict]:
+    """Accuracy vs F-vote fraction η (10 sources, 2 inaccurate)."""
+    eta_values = etas or [0.01, 0.02, 0.03, 0.04, 0.05]
+    rows = []
+    for eta in eta_values:
+        point = _accuracy_point(
+            num_accurate=8,
+            num_inaccurate=2,
+            eta=eta,
+            num_facts=num_facts,
+            seeds=list(range(repeats)),
+            bayes_burn_in=bayes_burn_in,
+            bayes_samples=bayes_samples,
+        )
+        rows.append({"eta": eta, **point})
+    return rows

@@ -1,0 +1,24 @@
+"""From-scratch ML baselines: logistic regression, SMO linear SVM, k-fold CV."""
+
+from repro.ml.crossval import (
+    MLCorroborator,
+    cross_val_probabilities,
+    ml_logistic,
+    ml_svm,
+    stratified_folds,
+)
+from repro.ml.features import labelled_examples, vote_features
+from repro.ml.logistic import LogisticRegression
+from repro.ml.svm import LinearSVM
+
+__all__ = [
+    "LinearSVM",
+    "LogisticRegression",
+    "MLCorroborator",
+    "cross_val_probabilities",
+    "labelled_examples",
+    "ml_logistic",
+    "ml_svm",
+    "stratified_folds",
+    "vote_features",
+]

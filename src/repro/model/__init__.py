@@ -1,0 +1,34 @@
+"""Data model: votes, sparse vote matrices, datasets, multi-valued claims."""
+
+from repro.model.claims import (
+    Question,
+    QuestionSet,
+    QuestionVerdict,
+    answer_fact_id,
+    count_answer_errors,
+    predict_answers,
+    settle_questions,
+    split_fact_id,
+)
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, Signature, SourceId, VoteMatrix
+from repro.model.votes import F, T, Vote
+
+__all__ = [
+    "Dataset",
+    "F",
+    "FactId",
+    "Question",
+    "QuestionSet",
+    "QuestionVerdict",
+    "Signature",
+    "SourceId",
+    "T",
+    "Vote",
+    "VoteMatrix",
+    "answer_fact_id",
+    "count_answer_errors",
+    "predict_answers",
+    "settle_questions",
+    "split_fact_id",
+]

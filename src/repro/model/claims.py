@@ -1,0 +1,238 @@
+"""Multi-valued questions and their boolean-fact encoding.
+
+The Hubdub experiment (paper Section 6.2.6, Table 7) is a *multi-valued*
+truth-discovery task: each question has several mutually-exclusive candidate
+answers and each user votes for one of them.  The paper (following Galland
+et al., WSDM 2010) reduces such tasks to the boolean-fact model:
+
+* every candidate answer becomes one boolean fact,
+* a user voting for answer *a* of question *q* casts a **T** vote on *a*'s
+  fact and an **F** vote on every *sibling* answer of *q* that user is aware
+  of,
+* exactly one answer per question is true in the ground truth.
+
+:class:`QuestionSet` holds the multi-valued view and performs the encoding;
+:func:`predict_answers` maps per-fact probabilities back to a per-question
+prediction (argmax), which is how the "number of errors" metric of Table 7
+is computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+
+def answer_fact_id(question: str, answer: str) -> FactId:
+    """Canonical fact id for a (question, answer) pair."""
+    return f"{question}::{answer}"
+
+
+def split_fact_id(fact: FactId) -> tuple[str, str]:
+    """Inverse of :func:`answer_fact_id`."""
+    question, sep, answer = fact.partition("::")
+    if not sep:
+        raise ValueError(f"fact id {fact!r} is not a question::answer id")
+    return question, answer
+
+
+@dataclasses.dataclass
+class Question:
+    """One multi-answer question.
+
+    Attributes:
+        qid: question identifier.
+        answers: candidate answer labels (mutually exclusive).
+        correct: the true answer, if known.
+    """
+
+    qid: str
+    answers: list[str]
+    correct: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.answers)) != len(self.answers):
+            raise ValueError(f"question {self.qid!r} has duplicate answers")
+        if self.correct is not None and self.correct not in self.answers:
+            raise ValueError(
+                f"question {self.qid!r}: correct answer {self.correct!r} "
+                f"not among candidates"
+            )
+
+
+class QuestionSet:
+    """A collection of questions plus per-user answer votes."""
+
+    def __init__(self, questions: list[Question]) -> None:
+        self._questions: dict[str, Question] = {}
+        for question in questions:
+            if question.qid in self._questions:
+                raise ValueError(f"duplicate question id {question.qid!r}")
+            self._questions[question.qid] = question
+        # user -> question -> chosen answer
+        self._votes: dict[SourceId, dict[str, str]] = {}
+
+    @property
+    def questions(self) -> list[Question]:
+        return list(self._questions.values())
+
+    @property
+    def num_questions(self) -> int:
+        return len(self._questions)
+
+    @property
+    def num_answer_facts(self) -> int:
+        return sum(len(q.answers) for q in self._questions.values())
+
+    @property
+    def users(self) -> list[SourceId]:
+        return list(self._votes)
+
+    def add_user_vote(self, user: SourceId, qid: str, answer: str) -> None:
+        """Record that ``user`` picked ``answer`` for question ``qid``."""
+        question = self._questions.get(qid)
+        if question is None:
+            raise KeyError(f"unknown question {qid!r}")
+        if answer not in question.answers:
+            raise ValueError(f"question {qid!r} has no answer {answer!r}")
+        picks = self._votes.setdefault(user, {})
+        if qid in picks and picks[qid] != answer:
+            raise ValueError(
+                f"user {user!r} already answered question {qid!r} with "
+                f"{picks[qid]!r}"
+            )
+        picks[qid] = answer
+
+    # ------------------------------------------------------------------
+    # Boolean encoding
+    # ------------------------------------------------------------------
+    def to_dataset(self, name: str = "questions") -> Dataset:
+        """Encode as a boolean-fact :class:`~repro.model.dataset.Dataset`.
+
+        Follows the Galland encoding described in the module docstring.  The
+        ground truth marks the correct answer's fact true and its siblings
+        false, for every question whose correct answer is known.
+        """
+        matrix = VoteMatrix()
+        for question in self._questions.values():
+            for answer in question.answers:
+                matrix.add_fact(answer_fact_id(question.qid, answer))
+        for user, picks in self._votes.items():
+            matrix.add_source(user)
+            for qid, chosen in picks.items():
+                question = self._questions[qid]
+                for answer in question.answers:
+                    vote = Vote.TRUE if answer == chosen else Vote.FALSE
+                    matrix.add_vote(answer_fact_id(qid, answer), user, vote)
+        truth: dict[FactId, bool] = {}
+        for question in self._questions.values():
+            if question.correct is None:
+                continue
+            for answer in question.answers:
+                truth[answer_fact_id(question.qid, answer)] = answer == question.correct
+        return Dataset(matrix=matrix, truth=truth, name=name)
+
+
+def predict_answers(
+    question_set: QuestionSet, probabilities: Mapping[FactId, float]
+) -> dict[str, str]:
+    """Per-question predicted answer = candidate with the highest probability.
+
+    Candidates missing from ``probabilities`` are treated as probability 0.
+    Ties break toward the candidate listed first, making predictions
+    deterministic.
+    """
+    predictions: dict[str, str] = {}
+    for question in question_set.questions:
+        best_answer = None
+        best_prob = float("-inf")
+        for answer in question.answers:
+            prob = probabilities.get(answer_fact_id(question.qid, answer), 0.0)
+            if prob > best_prob:
+                best_prob = prob
+                best_answer = answer
+        assert best_answer is not None, "questions always have >=1 answer"
+        predictions[question.qid] = best_answer
+    return predictions
+
+
+@dataclasses.dataclass
+class QuestionVerdict:
+    """One settled question: the prediction and its winning margin."""
+
+    qid: str
+    predicted: str
+    probability: float
+    runner_up: str | None
+    margin: float
+    correct: str | None
+
+    @property
+    def is_correct(self) -> bool | None:
+        """Whether the prediction matches the known answer (None if unknown)."""
+        if self.correct is None:
+            return None
+        return self.predicted == self.correct
+
+
+def settle_questions(question_set: QuestionSet, corroborator) -> dict[str, QuestionVerdict]:
+    """Settle every question with a boolean corroborator.
+
+    Encodes the questions into boolean facts (mutual-exclusion votes), runs
+    the corroborator, and argmaxes each question's candidate probabilities.
+    This is the full Table 7 pipeline as a single call.
+
+    Args:
+        question_set: the multi-answer problem.
+        corroborator: any :class:`~repro.core.result.Corroborator`.
+    """
+    dataset = question_set.to_dataset()
+    result = corroborator.run(dataset)
+    verdicts: dict[str, QuestionVerdict] = {}
+    for question in question_set.questions:
+        scored = sorted(
+            (
+                (result.probabilities.get(answer_fact_id(question.qid, a), 0.0), a)
+                for a in question.answers
+            ),
+            key=lambda pair: (-pair[0], question.answers.index(pair[1])),
+        )
+        best_prob, best_answer = scored[0]
+        runner_prob, runner_answer = scored[1] if len(scored) > 1 else (0.0, None)
+        verdicts[question.qid] = QuestionVerdict(
+            qid=question.qid,
+            predicted=best_answer,
+            probability=best_prob,
+            runner_up=runner_answer,
+            margin=best_prob - runner_prob,
+            correct=question.correct,
+        )
+    return verdicts
+
+
+def count_answer_errors(
+    question_set: QuestionSet, predictions: Mapping[str, str]
+) -> int:
+    """Galland's "number of errors" metric over answer-facts (Table 7).
+
+    Treating the per-question prediction as asserting its fact true and the
+    sibling facts false, count false positives plus false negatives against
+    the ground truth.  A wrong prediction on a question contributes 2 errors
+    (the wrongly-asserted fact and the missed correct fact); a correct
+    prediction contributes 0.
+    """
+    errors = 0
+    for question in question_set.questions:
+        if question.correct is None:
+            continue
+        predicted = predictions.get(question.qid)
+        if predicted is None:
+            # No prediction: the correct fact is a false negative.
+            errors += 1
+        elif predicted != question.correct:
+            errors += 2
+    return errors

@@ -1,0 +1,155 @@
+"""Problem instances: a vote matrix plus (optional) ground truth.
+
+A :class:`Dataset` is what every corroborator consumes and what every
+dataset generator in :mod:`repro.datasets` produces.  Ground truth is kept
+*outside* the vote matrix on purpose: algorithms must never be able to reach
+it, while the evaluation harness needs it to compute precision / recall /
+accuracy and trust-score MSE.
+
+The paper evaluates the real-world experiment on a "golden set" — a small
+labelled subset (601 of 36,916 listings) — while the corroborators run over
+the full dataset.  :attr:`Dataset.golden_set` models that split.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A corroboration problem instance.
+
+    Attributes:
+        matrix: the observed votes.
+        truth: ground-truth label per fact, where known.  May cover all
+            facts (synthetic data) or only a golden subset (real-world
+            style data).
+        golden_set: the facts on which quality metrics are computed.  When
+            empty, metrics default to every fact present in ``truth``.
+        name: human-readable label used by the experiment harness.
+    """
+
+    matrix: VoteMatrix
+    truth: dict[FactId, bool] = dataclasses.field(default_factory=dict)
+    golden_set: frozenset[FactId] = frozenset()
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        unknown = [f for f in self.truth if f not in self.matrix]
+        if unknown:
+            raise ValueError(
+                f"truth labels refer to {len(unknown)} facts absent from the "
+                f"matrix (e.g. {unknown[0]!r})"
+            )
+        missing_truth = [f for f in self.golden_set if f not in self.truth]
+        if missing_truth:
+            raise ValueError(
+                f"golden set contains {len(missing_truth)} facts with no "
+                f"truth label (e.g. {missing_truth[0]!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def facts(self) -> list[FactId]:
+        return self.matrix.facts
+
+    @property
+    def sources(self) -> list[SourceId]:
+        return self.matrix.sources
+
+    def evaluation_facts(self) -> list[FactId]:
+        """Facts on which quality metrics are computed.
+
+        The golden set when one is defined, otherwise every fact with a
+        truth label.
+        """
+        if self.golden_set:
+            return sorted(self.golden_set)
+        return [f for f in self.matrix.facts if f in self.truth]
+
+    def source_accuracy(self, source: SourceId, restrict_to_golden: bool = True) -> float | None:
+        """Ground-truth accuracy of a source's votes (Table 3 bottom row).
+
+        A T vote on a true fact or an F vote on a false fact counts as
+        correct.  Returns ``None`` if the source has no votes on labelled
+        facts in scope.
+        """
+        scope: Iterable[FactId]
+        if restrict_to_golden and self.golden_set:
+            scope = self.golden_set
+        else:
+            scope = self.truth
+        scope_set = set(scope)
+        correct = 0
+        total = 0
+        for fact, vote in self.matrix.votes_by(source).items():
+            if fact not in scope_set or fact not in self.truth:
+                continue
+            total += 1
+            if (vote is Vote.TRUE) == self.truth[fact]:
+                correct += 1
+        if total == 0:
+            return None
+        return correct / total
+
+    def true_source_accuracies(self) -> dict[SourceId, float | None]:
+        """Ground-truth accuracy for every source (used for MSE, Eq 10)."""
+        return {s: self.source_accuracy(s) for s in self.matrix.sources}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        sources: Iterable[SourceId],
+        rows: Mapping[FactId, Iterable[str]],
+        truth: Mapping[FactId, bool] | None = None,
+        name: str = "dataset",
+    ) -> "Dataset":
+        """Build a fully-labelled dataset from paper-style table rows."""
+        matrix = VoteMatrix.from_rows(sources, rows)
+        return cls(matrix=matrix, truth=dict(truth or {}), name=name)
+
+    def restricted_to(self, facts: Iterable[FactId], name: str | None = None) -> "Dataset":
+        """A new dataset containing only ``facts`` (votes, truth, golden set).
+
+        Useful for training ML baselines on the golden set only, as the
+        paper does.
+        """
+        keep = set(facts)
+        missing = keep - set(self.matrix.facts)
+        if missing:
+            raise KeyError(f"{len(missing)} facts not in dataset (e.g. {next(iter(missing))!r})")
+        sub = VoteMatrix()
+        for source in self.matrix.sources:
+            sub.add_source(source)
+        for fact in self.matrix.facts:
+            if fact not in keep:
+                continue
+            sub.add_fact(fact)
+            for source, vote in self.matrix.votes_on(fact).items():
+                sub.add_vote(fact, source, vote)
+        return Dataset(
+            matrix=sub,
+            truth={f: v for f, v in self.truth.items() if f in keep},
+            golden_set=frozenset(f for f in self.golden_set if f in keep),
+            name=name or f"{self.name}[{len(keep)} facts]",
+        )
+
+    def summary(self) -> str:
+        """One-line description used by examples and the harness."""
+        n_fstar = len(self.matrix.affirmative_only_facts())
+        return (
+            f"{self.name}: {self.matrix.num_facts} facts, "
+            f"{self.matrix.num_sources} sources, {self.matrix.num_votes} votes, "
+            f"{n_fstar} affirmative-only facts, "
+            f"{len(self.truth)} labelled, golden set {len(self.golden_set)}"
+        )

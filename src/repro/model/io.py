@@ -1,0 +1,231 @@
+"""Serialisation: load and save datasets and corroboration results.
+
+Two interchange formats:
+
+* **CSV votes** — one row per informative vote (``fact,source,vote``), the
+  layout crawl pipelines naturally produce.  Ground truth and golden-set
+  membership travel in an optional second CSV (``fact,label,golden``).
+* **JSON dataset** — a single self-contained document with votes, truth
+  and metadata; round-trips exactly.
+
+Results are saved as JSON (method, probabilities, trust, label overrides,
+and — when present — the trust trajectory), so an expensive corroboration
+run can be archived and re-analysed without re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+
+from repro.core.result import CorroborationResult
+from repro.core.trust import TrustTrajectory
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+PathLike = str | pathlib.Path
+
+
+# ---------------------------------------------------------------------------
+# CSV votes
+# ---------------------------------------------------------------------------
+def write_votes_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write the informative votes as ``fact,source,vote`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["fact", "source", "vote"])
+        for fact in dataset.matrix.facts:
+            for source, vote in sorted(dataset.matrix.votes_on(fact).items()):
+                writer.writerow([fact, source, vote.value])
+
+
+def read_votes_csv(
+    path: PathLike,
+    facts: list[str] | None = None,
+    sources: list[str] | None = None,
+) -> VoteMatrix:
+    """Read a ``fact,source,vote`` CSV into a :class:`VoteMatrix`.
+
+    ``facts`` / ``sources`` pre-register items that may have no votes (a
+    CSV cannot represent them otherwise).
+    """
+    matrix = VoteMatrix()
+    for source in sources or []:
+        matrix.add_source(source)
+    for fact in facts or []:
+        matrix.add_fact(fact)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"fact", "source", "vote"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(
+                f"votes CSV must have columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            vote = Vote.from_symbol(row["vote"])
+            if vote is None:
+                raise ValueError(
+                    f"line {line_number}: '-' votes must simply be omitted"
+                )
+            matrix.add_vote(row["fact"], row["source"], vote)
+    return matrix
+
+
+def write_truth_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write ground truth as ``fact,label,golden`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["fact", "label", "golden"])
+        for fact, label in dataset.truth.items():
+            writer.writerow(
+                [fact, "true" if label else "false", int(fact in dataset.golden_set)]
+            )
+
+
+def read_truth_csv(path: PathLike) -> tuple[dict[str, bool], frozenset[str]]:
+    """Read a ``fact,label,golden`` CSV; returns (truth, golden set)."""
+    truth: dict[str, bool] = {}
+    golden: set[str] = set()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"fact", "label"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(
+                f"truth CSV must have columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            label = row["label"].strip().lower()
+            if label not in {"true", "false"}:
+                raise ValueError(f"line {line_number}: label must be true/false")
+            truth[row["fact"]] = label == "true"
+            if int(row.get("golden") or 0):
+                golden.add(row["fact"])
+    return truth, frozenset(golden)
+
+
+# ---------------------------------------------------------------------------
+# JSON dataset
+# ---------------------------------------------------------------------------
+def dataset_to_json(dataset: Dataset) -> str:
+    """Serialise a dataset (votes, truth, golden set, name) to JSON."""
+    votes = {
+        fact: {s: v.value for s, v in sorted(dataset.matrix.votes_on(fact).items())}
+        for fact in dataset.matrix.facts
+    }
+    document = {
+        "name": dataset.name,
+        "sources": dataset.matrix.sources,
+        "facts": dataset.matrix.facts,
+        "votes": votes,
+        "truth": dict(dataset.truth),
+        "golden_set": sorted(dataset.golden_set),
+    }
+    return json.dumps(document, indent=2)
+
+
+def dataset_from_json(text: str) -> Dataset:
+    """Inverse of :func:`dataset_to_json`."""
+    document = json.loads(text)
+    matrix = VoteMatrix()
+    for source in document["sources"]:
+        matrix.add_source(source)
+    for fact in document["facts"]:
+        matrix.add_fact(fact)
+    for fact, votes in document["votes"].items():
+        for source, symbol in votes.items():
+            vote = Vote.from_symbol(symbol)
+            if vote is None:
+                raise ValueError(f"fact {fact!r}: '-' votes must be omitted")
+            matrix.add_vote(fact, source, vote)
+    return Dataset(
+        matrix=matrix,
+        truth={f: bool(v) for f, v in document.get("truth", {}).items()},
+        golden_set=frozenset(document.get("golden_set", [])),
+        name=document.get("name", "dataset"),
+    )
+
+
+def save_dataset(dataset: Dataset, path: PathLike) -> None:
+    """Write :func:`dataset_to_json` output to ``path``."""
+    pathlib.Path(path).write_text(dataset_to_json(dataset))
+
+
+def load_dataset(path: PathLike) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    return dataset_from_json(pathlib.Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+def result_to_json(result: CorroborationResult) -> str:
+    """Serialise a corroboration result (probabilities, trust, trajectory)."""
+    document = {
+        "method": result.method,
+        "iterations": result.iterations,
+        "probabilities": dict(result.probabilities),
+        "trust": dict(result.trust),
+        "label_overrides": dict(result.label_overrides),
+    }
+    if result.trajectory is not None:
+        document["trajectory"] = {
+            "sources": result.trajectory.sources,
+            "history": result.trajectory.as_rows(),
+        }
+    return json.dumps(document, indent=2)
+
+
+def result_from_json(text: str) -> CorroborationResult:
+    """Inverse of :func:`result_to_json` (round records are not persisted)."""
+    document = json.loads(text)
+    trajectory = None
+    if "trajectory" in document:
+        trajectory = TrustTrajectory(document["trajectory"]["sources"])
+        for vector in document["trajectory"]["history"]:
+            trajectory.record(vector)
+    return CorroborationResult(
+        method=document["method"],
+        probabilities={f: float(p) for f, p in document["probabilities"].items()},
+        trust={s: float(t) for s, t in document["trust"].items()},
+        iterations=int(document.get("iterations", 0)),
+        trajectory=trajectory,
+        label_overrides={
+            f: bool(v) for f, v in document.get("label_overrides", {}).items()
+        },
+    )
+
+
+def save_result(result: CorroborationResult, path: PathLike) -> None:
+    """Write :func:`result_to_json` output to ``path``."""
+    pathlib.Path(path).write_text(result_to_json(result))
+
+
+def load_result(path: PathLike) -> CorroborationResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_json(pathlib.Path(path).read_text())
+
+
+def dataset_from_csv_strings(votes_csv: str, truth_csv: str | None = None) -> Dataset:
+    """Build a dataset from in-memory CSV text (convenience for the CLI)."""
+    matrix = VoteMatrix()
+    reader = csv.DictReader(io.StringIO(votes_csv))
+    for row in reader:
+        vote = Vote.from_symbol(row["vote"])
+        if vote is not None:
+            matrix.add_vote(row["fact"], row["source"], vote)
+    truth: dict[str, bool] = {}
+    golden: frozenset[str] = frozenset()
+    if truth_csv is not None:
+        t_reader = csv.DictReader(io.StringIO(truth_csv))
+        golden_set = set()
+        for row in t_reader:
+            truth[row["fact"]] = row["label"].strip().lower() == "true"
+            if int(row.get("golden") or 0):
+                golden_set.add(row["fact"])
+        golden = frozenset(golden_set)
+    return Dataset(matrix=matrix, truth=truth, golden_set=golden)

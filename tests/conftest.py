@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's motivating example and scaled-down worlds.
+
+Expensive generated worlds are session-scoped; tests must not mutate them
+(build a fresh dataset via the generator functions when mutation is
+needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    generate_hubdub_like,
+    generate_restaurants,
+    generate_synthetic,
+    motivating_example,
+)
+
+
+@pytest.fixture()
+def motivating():
+    """A fresh Table 1 dataset (cheap to build, safe to mutate)."""
+    return motivating_example()
+
+
+@pytest.fixture(scope="session")
+def small_restaurant_world():
+    """A 3,000-listing restaurant world (same calibration, 12x smaller)."""
+    return generate_restaurants(num_facts=3_000)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_world():
+    """A 2,000-fact synthetic world with the paper's default source mix."""
+    return generate_synthetic(num_facts=2_000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_hubdub_world():
+    """A quarter-scale Hubdub-like world."""
+    return generate_hubdub_like(
+        num_questions=90, num_users=120, num_answer_facts=210, seed=830
+    )

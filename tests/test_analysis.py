@@ -1,0 +1,292 @@
+"""Tests for the analysis package: calibration, bootstrap, convergence,
+dependence, sensitivity sweeps, visualisation and the Markdown report."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    best_point,
+    bootstrap_metrics,
+    brier_score,
+    build_report,
+    calibration_report,
+    copying_pairs,
+    dependence_scores,
+    expected_calibration_error,
+    line_chart,
+    parameter_grid,
+    reliability_bins,
+    run_sweep,
+    spark_table,
+    sparkline,
+    summarize,
+    summarize_source,
+    tracking_error,
+)
+from repro.baselines import TwoEstimate, Voting
+from repro.core import IncEstHeu, IncEstimate
+from repro.core.trust import TrustTrajectory
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+@pytest.fixture()
+def perfect_probabilities(motivating):
+    return {f: (1.0 if v else 0.0) for f, v in motivating.truth.items()}
+
+
+class TestCalibration:
+    def test_perfect_probabilities_score_zero(self, motivating, perfect_probabilities):
+        assert brier_score(perfect_probabilities, motivating) == 0.0
+        assert expected_calibration_error(perfect_probabilities, motivating) == 0.0
+
+    def test_constant_half_brier(self, motivating):
+        probs = {f: 0.5 for f in motivating.facts}
+        assert brier_score(probs, motivating) == pytest.approx(0.25)
+
+    def test_bins_partition_counts(self, motivating):
+        probs = {f: i / 11 for i, f in enumerate(motivating.facts)}
+        bins = reliability_bins(probs, motivating, num_bins=5)
+        assert sum(b.count for b in bins) == 12
+        assert all(b.lower < b.upper for b in bins)
+
+    def test_probability_one_lands_in_last_bin(self, motivating):
+        probs = {f: 1.0 for f in motivating.facts}
+        bins = reliability_bins(probs, motivating, num_bins=10)
+        assert bins[-1].count == 12
+
+    def test_report_for_result(self, motivating):
+        result = IncEstimate(IncEstHeu()).run(motivating)
+        report = calibration_report(result, motivating)
+        assert report.num_facts == 12
+        assert 0.0 <= report.brier_score <= 1.0
+        assert 0.0 <= report.expected_calibration_error <= 1.0
+
+    def test_invalid_bins(self, motivating, perfect_probabilities):
+        with pytest.raises(ValueError):
+            reliability_bins(perfect_probabilities, motivating, num_bins=0)
+
+    def test_no_labels_raises(self):
+        ds = Dataset(matrix=VoteMatrix.from_rows(["s"], {"f": ["T"]}))
+        with pytest.raises(ValueError):
+            brier_score({"f": 0.5}, ds)
+
+
+class TestBootstrap:
+    def test_perfect_labels_give_degenerate_intervals(self, motivating):
+        labels = dict(motivating.truth)
+        intervals = bootstrap_metrics(labels, motivating, iterations=200)
+        for interval in intervals.values():
+            assert interval.point == 1.0
+            assert interval.lower == 1.0
+            assert interval.upper == 1.0
+
+    def test_interval_contains_point(self, motivating):
+        result = TwoEstimate().run(motivating)
+        intervals = bootstrap_metrics(result.labels(), motivating, iterations=300)
+        for interval in intervals.values():
+            assert interval.lower - 1e-9 <= interval.point <= interval.upper + 1e-9
+
+    def test_str_format(self, motivating):
+        intervals = bootstrap_metrics(dict(motivating.truth), motivating, iterations=50)
+        assert "[" in str(intervals["accuracy"])
+
+    def test_validation(self, motivating):
+        with pytest.raises(ValueError):
+            bootstrap_metrics(dict(motivating.truth), motivating, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(dict(motivating.truth), motivating, iterations=0)
+
+
+class TestConvergence:
+    def build_trajectory(self):
+        t = TrustTrajectory(["a", "b"])
+        for va, vb in [(0.9, 0.9), (0.7, 0.95), (0.4, 0.96), (0.55, 0.96), (0.55, 0.96)]:
+            t.record({"a": va, "b": vb})
+        return t
+
+    def test_summary_fields(self):
+        summary = summarize_source(self.build_trajectory(), "a")
+        assert summary.start == 0.9
+        assert summary.final == 0.55
+        assert summary.minimum == 0.4
+        assert summary.minimum_at == 2
+        assert summary.crossings == 2  # 0.7->0.4 and 0.4->0.55
+        assert summary.total_variation == pytest.approx(0.2 + 0.3 + 0.15 + 0.0)
+
+    def test_settled_at(self):
+        summary = summarize_source(self.build_trajectory(), "b", tolerance=0.02)
+        assert summary.settled_at == 1
+
+    def test_summarize_all(self):
+        summaries = summarize(self.build_trajectory())
+        assert set(summaries) == {"a", "b"}
+
+    def test_tracking_error_decreases_on_motivating(self, motivating):
+        result = IncEstimate(IncEstHeu(), trust_prior_strength=0.0).run(motivating)
+        errors = tracking_error(result.trajectory, motivating.true_source_accuracies())
+        assert errors[-1] < errors[0]
+
+    def test_tracking_error_shape(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = IncEstimate(IncEstHeu()).run(ds)
+        errors = tracking_error(result.trajectory, ds.true_source_accuracies())
+        assert len(errors) == result.trajectory.num_time_points
+        assert all(0.0 <= e <= 1.0 for e in errors)
+
+    def test_tracking_error_requires_known_accuracy(self):
+        t = TrustTrajectory(["a"])
+        t.record({"a": 0.9})
+        with pytest.raises(ValueError):
+            tracking_error(t, {"a": None})
+
+
+class TestDependence:
+    def build_copying_dataset(self):
+        # 20 false facts.  'original' affirms false0-9; 'copier' replicates
+        # false0-7 (8 shared of 10 each); 'indie' independently affirms
+        # false5-14 (5 shared with original).  Independence predicts
+        # 10*10/20 = 5 shared for each pair.
+        rows = {}
+        for i in range(20):
+            rows[f"false{i}"] = [
+                "T" if i < 10 else "-",
+                "T" if i < 8 or 18 <= i else "-",
+                "T" if 5 <= i < 15 else "-",
+            ]
+        for i in range(5):
+            rows[f"true{i}"] = ["T", "T", "T"]
+        matrix = VoteMatrix.from_rows(["original", "copier", "indie"], rows)
+        truth = {f: not f.startswith("false") for f in rows}
+        return Dataset(matrix=matrix, truth=truth)
+
+    def test_copier_pair_has_top_lift(self):
+        ds = self.build_copying_dataset()
+        scores = dependence_scores(ds)
+        top = scores[0]
+        assert {top.source_a, top.source_b} == {"original", "copier"}
+        assert top.shared_false == 8
+        # 17 false facts are affirmed by anyone; independence predicts
+        # 10*10/17 shared.
+        assert top.lift == pytest.approx(8 / (100 / 17))
+
+    def test_copying_pairs_threshold(self):
+        ds = self.build_copying_dataset()
+        flagged = copying_pairs(ds, min_lift=1.3, min_shared=5)
+        assert [{s.source_a, s.source_b} for s in flagged] == [
+            {"original", "copier"}
+        ]
+
+    def test_labels_can_replace_truth(self):
+        ds = self.build_copying_dataset()
+        labels = dict(ds.truth)
+        scores = dependence_scores(Dataset(matrix=ds.matrix), labels=labels)
+        assert scores[0].shared_false == 8
+
+    def test_no_reference_raises(self):
+        ds = Dataset(matrix=VoteMatrix.from_rows(["a", "b"], {"f": ["T", "T"]}))
+        with pytest.raises(ValueError):
+            dependence_scores(ds)
+
+
+class TestSensitivity:
+    def test_parameter_grid(self):
+        grid = parameter_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(grid) == 4
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_empty_grid(self):
+        assert parameter_grid({}) == [{}]
+
+    def test_run_sweep_and_best(self, motivating):
+        def factory(trust_prior_strength):
+            return IncEstimate(
+                IncEstHeu(), trust_prior_strength=trust_prior_strength
+            )
+
+        points = run_sweep(
+            factory, {"trust_prior_strength": [0.0, 0.5]}, [motivating]
+        )
+        assert len(points) == 2
+        best = best_point(points, metric="accuracy")
+        assert best.parameters["trust_prior_strength"] in (0.0, 0.5)
+        rows = [p.as_row() for p in points]
+        assert all("accuracy" in row for row in rows)
+
+    def test_best_point_validation(self):
+        with pytest.raises(ValueError):
+            best_point([], metric="f1")
+
+
+class TestViz:
+    def test_sparkline_endpoints(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_clipping(self):
+        assert sparkline([-5.0, 5.0]) == "▁█"
+
+    def test_sparkline_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=0.0)
+
+    def test_spark_table_labels(self):
+        text = spark_table({"alpha": [0.1, 0.9], "b": [0.5, 0.5]})
+        assert "alpha" in text
+        assert "0.10→0.90" in text
+
+    def test_line_chart_axes_and_legend(self):
+        text = line_chart({"m": [0.0, 0.5, 1.0]}, height=5, width=10)
+        assert "1.00" in text and "0.00" in text
+        assert "m" in text
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"m": [0.1]}, height=1)
+
+
+class TestReport:
+    def test_report_sections(self, motivating):
+        text = build_report(
+            motivating,
+            [Voting(), IncEstimate(IncEstHeu())],
+            title="Test report",
+            significance_iterations=200,
+        )
+        for heading in (
+            "# Test report",
+            "## Quality",
+            "## Source trust",
+            "## Probability calibration",
+            "## Significance",
+            "## Multi-value trust — IncEstimate[IncEstHeu]",
+        ):
+            assert heading in text
+
+    def test_report_requires_methods(self, motivating):
+        with pytest.raises(ValueError):
+            build_report(motivating, [])
+
+
+class TestVizInternals:
+    def test_downsample_preserves_endpoints(self):
+        from repro.analysis.viz import _downsample
+
+        values = [float(i) for i in range(100)]
+        sampled = _downsample(values, 10)
+        assert len(sampled) == 10
+        assert sampled[0] == 0.0
+        assert sampled[-1] == 99.0
+
+    def test_downsample_short_input_unchanged(self):
+        from repro.analysis.viz import _downsample
+
+        assert _downsample([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_line_chart_multi_series_markers(self):
+        from repro.analysis import line_chart
+
+        text = line_chart({"one": [0.2, 0.2], "two": [0.8, 0.8]}, height=6, width=10)
+        assert "*=one" in text and "+=two" in text
+        assert "*" in text and "+" in text

@@ -1,0 +1,99 @@
+"""Unit tests for BayesEstimate (Latent Truth Model, collapsed Gibbs)."""
+
+import pytest
+
+from repro.baselines import BayesEstimate
+from repro.baselines.bayesestimate import (
+    PAPER_ALPHA_FALSE,
+    PAPER_ALPHA_TRUE,
+    PAPER_BETA,
+)
+from repro.eval import evaluate_result
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+class TestPriors:
+    def test_paper_priors(self):
+        assert PAPER_ALPHA_FALSE == (100.0, 10_000.0)
+        assert PAPER_ALPHA_TRUE == (50.0, 50.0)
+        assert PAPER_BETA == (10.0, 10.0)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(ValueError):
+            BayesEstimate(alpha_false=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            BayesEstimate(beta=(1.0, -1.0))
+        with pytest.raises(ValueError):
+            BayesEstimate(samples=0)
+
+
+class TestSection22Behaviour:
+    """Paper Section 2.2: 'Using the BayesEstimate algorithm we obtain a
+    result of true for all restaurants' with a trust of ~1 per source."""
+
+    def test_all_true_on_motivating(self, motivating):
+        result = BayesEstimate(burn_in=50, samples=150, seed=7).run(motivating)
+        labels = result.labels()
+        # The high-precision prior outweighs even r12's F majority.
+        assert all(labels.values())
+        counts = evaluate_result(result, motivating)
+        assert counts.recall == 1.0
+        assert counts.precision == pytest.approx(7 / 12, abs=0.01)
+
+    def test_trust_near_one(self, motivating):
+        result = BayesEstimate(burn_in=50, samples=150, seed=7).run(motivating)
+        assert min(result.trust.values()) > 0.9
+
+
+class TestWeakPriorBehaviour:
+    def test_mild_prior_respects_f_majority(self):
+        # Fully symmetric priors make the LTM label-switching symmetric
+        # (posterior ~0.5 everywhere); a mild sources-are-honest prior is
+        # the weakest setting that identifies the model.
+        matrix = VoteMatrix.from_rows(
+            ["a", "b", "c"],
+            {
+                "good": ["T", "T", "T"],
+                "bad": ["F", "F", "F"],
+                "good2": ["T", "T", "-"],
+            },
+        )
+        ds = Dataset(matrix=matrix)
+        result = BayesEstimate(
+            alpha_false=(2.0, 8.0),
+            alpha_true=(8.0, 2.0),
+            beta=(5.0, 5.0),
+            burn_in=100,
+            samples=300,
+            seed=3,
+        ).run(ds)
+        assert result.probabilities["good"] > 0.7
+        assert result.probabilities["bad"] < 0.3
+
+    def test_probabilities_are_posterior_means(self, motivating):
+        result = BayesEstimate(burn_in=5, samples=20, seed=0).run(motivating)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+
+
+class TestDeterminismAndEdges:
+    def test_same_seed_same_result(self, motivating):
+        a = BayesEstimate(burn_in=5, samples=10, seed=42).run(motivating)
+        b = BayesEstimate(burn_in=5, samples=10, seed=42).run(motivating)
+        assert a.probabilities == b.probabilities
+
+    def test_unvoted_fact_follows_truth_prior(self):
+        matrix = VoteMatrix.from_rows(["a"], {"f": ["T"], "g": ["-"]})
+        result = BayesEstimate(burn_in=20, samples=100, seed=1).run(
+            Dataset(matrix=matrix)
+        )
+        # With no observations, g fluctuates around the (symmetric) truth
+        # prior rather than sticking at an extreme.
+        assert 0.1 < result.probabilities["g"] < 0.9
+
+    def test_source_without_t_votes_gets_neutral_trust(self):
+        matrix = VoteMatrix.from_rows(["a", "b"], {"f": ["T", "F"]})
+        result = BayesEstimate(burn_in=5, samples=10, seed=0).run(
+            Dataset(matrix=matrix)
+        )
+        assert result.trust["b"] == 0.5

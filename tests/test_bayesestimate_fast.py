@@ -1,0 +1,84 @@
+"""Tests for the vectorised blocked-Gibbs LTM (BayesEstimateFast)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BayesEstimate, BayesEstimateFast
+from repro.datasets import generate_restaurants
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+class TestPaperBehaviour:
+    def test_all_true_on_motivating(self, motivating):
+        result = BayesEstimateFast(burn_in=50, samples=150, seed=7).run(motivating)
+        assert all(result.labels().values())
+        assert min(result.trust.values()) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BayesEstimateFast(alpha_true=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            BayesEstimateFast(samples=0)
+
+    def test_empty_dataset(self):
+        result = BayesEstimateFast().run(Dataset(matrix=VoteMatrix()))
+        assert result.probabilities == {}
+
+    def test_deterministic_given_seed(self, motivating):
+        a = BayesEstimateFast(burn_in=5, samples=10, seed=3).run(motivating)
+        b = BayesEstimateFast(burn_in=5, samples=10, seed=3).run(motivating)
+        assert a.probabilities == b.probabilities
+
+
+class TestEquivalenceWithSequential:
+    """The blocked approximation must be indistinguishable from the exact
+    collapsed sampler at realistic scales."""
+
+    def test_labels_and_probabilities_match(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        fast = BayesEstimateFast(burn_in=10, samples=20, seed=7).run(ds)
+        slow = BayesEstimate(burn_in=10, samples=20, seed=7).run(ds)
+        agreement = np.mean(
+            [fast.label(f) == slow.label(f) for f in ds.matrix.facts]
+        )
+        mean_delta = np.mean(
+            [abs(fast.probabilities[f] - slow.probabilities[f]) for f in ds.matrix.facts]
+        )
+        assert agreement > 0.99
+        assert mean_delta < 0.02
+
+    def test_weak_prior_direction_matches(self):
+        matrix = VoteMatrix.from_rows(
+            ["a", "b", "c"],
+            {
+                "good": ["T", "T", "T"],
+                "bad": ["F", "F", "F"],
+                "good2": ["T", "T", "-"],
+            },
+        )
+        ds = Dataset(matrix=matrix)
+        result = BayesEstimateFast(
+            alpha_false=(2.0, 8.0),
+            alpha_true=(8.0, 2.0),
+            beta=(5.0, 5.0),
+            burn_in=100,
+            samples=300,
+            seed=3,
+        ).run(ds)
+        assert result.probabilities["good"] > 0.7
+        assert result.probabilities["bad"] < 0.3
+
+
+class TestSpeed:
+    def test_substantially_faster_at_scale(self):
+        import time
+
+        ds = generate_restaurants(num_facts=6_000).dataset
+        start = time.perf_counter()
+        BayesEstimateFast(burn_in=10, samples=20).run(ds)
+        fast_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        BayesEstimate(burn_in=10, samples=20).run(ds)
+        slow_seconds = time.perf_counter() - start
+        assert fast_seconds < slow_seconds / 5

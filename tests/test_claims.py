@@ -1,0 +1,159 @@
+"""Unit tests for the multi-valued question model (repro.model.claims)."""
+
+import pytest
+
+from repro.model.claims import (
+    Question,
+    QuestionSet,
+    answer_fact_id,
+    count_answer_errors,
+    predict_answers,
+    split_fact_id,
+)
+from repro.model.votes import Vote
+
+
+@pytest.fixture()
+def questions():
+    qs = QuestionSet(
+        [
+            Question("q1", ["yes", "no"], correct="yes"),
+            Question("q2", ["a", "b", "c"], correct="b"),
+        ]
+    )
+    qs.add_user_vote("u1", "q1", "yes")
+    qs.add_user_vote("u1", "q2", "a")
+    qs.add_user_vote("u2", "q2", "b")
+    return qs
+
+
+class TestFactIds:
+    def test_roundtrip(self):
+        fact = answer_fact_id("q7", "maybe")
+        assert split_fact_id(fact) == ("q7", "maybe")
+
+    def test_split_rejects_plain_ids(self):
+        with pytest.raises(ValueError):
+            split_fact_id("not-an-answer-id")
+
+
+class TestQuestionValidation:
+    def test_duplicate_answers_raise(self):
+        with pytest.raises(ValueError, match="duplicate answers"):
+            Question("q", ["x", "x"])
+
+    def test_correct_must_be_candidate(self):
+        with pytest.raises(ValueError, match="not among candidates"):
+            Question("q", ["x", "y"], correct="z")
+
+    def test_duplicate_question_ids_raise(self):
+        with pytest.raises(ValueError, match="duplicate question id"):
+            QuestionSet([Question("q", ["x", "y"]), Question("q", ["a", "b"])])
+
+
+class TestVoting:
+    def test_counts(self, questions):
+        assert questions.num_questions == 2
+        assert questions.num_answer_facts == 5
+        assert set(questions.users) == {"u1", "u2"}
+
+    def test_unknown_question_raises(self, questions):
+        with pytest.raises(KeyError):
+            questions.add_user_vote("u1", "q9", "yes")
+
+    def test_unknown_answer_raises(self, questions):
+        with pytest.raises(ValueError, match="no answer"):
+            questions.add_user_vote("u1", "q1", "maybe")
+
+    def test_changing_answer_raises(self, questions):
+        with pytest.raises(ValueError, match="already answered"):
+            questions.add_user_vote("u1", "q1", "no")
+
+    def test_repeating_same_answer_ok(self, questions):
+        questions.add_user_vote("u1", "q1", "yes")
+
+
+class TestEncoding:
+    def test_mutual_exclusion_votes(self, questions):
+        ds = questions.to_dataset()
+        # u1 picked a on q2: T on a, F on b and c.
+        assert ds.matrix.vote(answer_fact_id("q2", "a"), "u1") is Vote.TRUE
+        assert ds.matrix.vote(answer_fact_id("q2", "b"), "u1") is Vote.FALSE
+        assert ds.matrix.vote(answer_fact_id("q2", "c"), "u1") is Vote.FALSE
+
+    def test_truth_marks_exactly_one_answer_per_question(self, questions):
+        ds = questions.to_dataset()
+        for question in questions.questions:
+            labels = [
+                ds.truth[answer_fact_id(question.qid, a)] for a in question.answers
+            ]
+            assert sum(labels) == 1
+
+    def test_all_answer_facts_present(self, questions):
+        ds = questions.to_dataset()
+        assert ds.matrix.num_facts == questions.num_answer_facts
+
+
+class TestPrediction:
+    def test_argmax(self, questions):
+        probs = {
+            answer_fact_id("q1", "yes"): 0.9,
+            answer_fact_id("q1", "no"): 0.2,
+            answer_fact_id("q2", "a"): 0.3,
+            answer_fact_id("q2", "b"): 0.6,
+            answer_fact_id("q2", "c"): 0.1,
+        }
+        assert predict_answers(questions, probs) == {"q1": "yes", "q2": "b"}
+
+    def test_missing_probability_counts_as_zero(self, questions):
+        probs = {answer_fact_id("q1", "no"): 0.1}
+        predictions = predict_answers(questions, probs)
+        assert predictions["q1"] == "no"
+
+    def test_tie_breaks_to_first_candidate(self, questions):
+        probs = {
+            answer_fact_id("q1", "yes"): 0.5,
+            answer_fact_id("q1", "no"): 0.5,
+        }
+        assert predict_answers(questions, probs)["q1"] == "yes"
+
+
+class TestErrorMetric:
+    def test_all_correct_is_zero(self, questions):
+        assert count_answer_errors(questions, {"q1": "yes", "q2": "b"}) == 0
+
+    def test_wrong_prediction_counts_two(self, questions):
+        assert count_answer_errors(questions, {"q1": "no", "q2": "b"}) == 2
+
+    def test_missing_prediction_counts_one(self, questions):
+        assert count_answer_errors(questions, {"q2": "b"}) == 1
+
+    def test_unlabelled_questions_are_skipped(self):
+        qs = QuestionSet([Question("q", ["x", "y"])])  # no correct answer
+        assert count_answer_errors(qs, {"q": "x"}) == 0
+
+
+class TestSettleQuestions:
+    def test_settles_with_majority_corroborator(self, questions):
+        from repro.baselines import Voting
+        from repro.model.claims import settle_questions
+
+        verdicts = settle_questions(questions, Voting())
+        assert set(verdicts) == {"q1", "q2"}
+        q2 = verdicts["q2"]
+        # u2 voted b, u1 voted a: b has one T one F, a has one T one F...
+        assert q2.predicted in {"a", "b"}
+        assert q2.runner_up is not None
+        assert q2.margin >= 0.0
+        assert verdicts["q1"].predicted == "yes"
+        assert verdicts["q1"].is_correct is True
+
+    def test_unlabelled_question_verdict(self):
+        from repro.baselines import Voting
+        from repro.model.claims import Question, QuestionSet, settle_questions
+
+        qs = QuestionSet([Question("q", ["x", "y"])])
+        qs.add_user_vote("u", "q", "x")
+        verdicts = settle_questions(qs, Voting())
+        assert verdicts["q"].is_correct is None
+        assert verdicts["q"].predicted == "x"

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import METHODS, main
+from repro.model.io import load_dataset, write_truth_csv, write_votes_csv
+
+
+@pytest.fixture()
+def dataset_json(tmp_path):
+    path = tmp_path / "motivating.json"
+    assert main(["generate", "motivating", "--output", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_motivating(self, dataset_json):
+        dataset = load_dataset(dataset_json)
+        assert dataset.matrix.num_facts == 12
+
+    def test_synthetic_with_params(self, tmp_path, capsys):
+        path = tmp_path / "syn.json"
+        code = main(
+            [
+                "generate",
+                "synthetic",
+                "--output",
+                str(path),
+                "--num-facts",
+                "300",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert load_dataset(path).matrix.num_facts == 300
+        assert "written to" in capsys.readouterr().out
+
+    def test_restaurants_small(self, tmp_path):
+        path = tmp_path / "rest.json"
+        main(["generate", "restaurants", "--output", str(path), "--num-facts", "500"])
+        dataset = load_dataset(path)
+        assert dataset.matrix.num_sources == 6
+
+    def test_hubdub(self, tmp_path):
+        path = tmp_path / "hub.json"
+        main(["generate", "hubdub", "--output", str(path)])
+        assert load_dataset(path).matrix.num_facts == 830
+
+
+class TestCorroborate:
+    def test_from_dataset_json(self, dataset_json, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "incestimate",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "IncEstimate[IncEstHeu]" in stdout
+        assert "r12" in stdout  # listed among false facts
+        document = json.loads(out.read_text())
+        assert document["method"] == "IncEstimate[IncEstHeu]"
+
+    def test_from_csv_with_truth(self, motivating, tmp_path, capsys):
+        votes = tmp_path / "votes.csv"
+        truth = tmp_path / "truth.csv"
+        write_votes_csv(motivating, votes)
+        write_truth_csv(motivating, truth)
+        code = main(
+            [
+                "corroborate",
+                "--votes",
+                str(votes),
+                "--truth",
+                str(truth),
+                "--method",
+                "twoestimate",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "precision" in stdout
+
+    def test_every_registered_method_runs(self, dataset_json, capsys):
+        for name in METHODS:
+            assert main(["corroborate", "--dataset", str(dataset_json), "--method", name]) == 0
+        capsys.readouterr()
+
+
+class TestExperimentAndReport:
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "TwoEstimate" in stdout
+
+    def test_experiment_figure3a_tiny(self, capsys):
+        assert main(["experiment", "figure3a", "--scale", "0.02"]) == 0
+        assert "num_sources" in capsys.readouterr().out
+
+    def test_report_to_file(self, dataset_json, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--dataset",
+                str(dataset_json),
+                "--output",
+                str(out),
+                "--methods",
+                "voting",
+                "incestimate",
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "## Quality" in text
+
+    def test_methods_listing(self, capsys):
+        assert main(["methods"]) == 0
+        stdout = capsys.readouterr().out
+        assert "incestimate" in stdout
+
+
+class TestExperimentTable3:
+    def test_table3_tiny_scale(self, capsys):
+        assert main(["experiment", "table3", "--scale", "0.005"]) == 0
+        stdout = capsys.readouterr().out
+        assert "coverage" in stdout
+        assert "YellowPages" in stdout

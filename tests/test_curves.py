@@ -1,0 +1,91 @@
+"""Tests for threshold curves (PR / ROC) in repro.eval.curves."""
+
+import pytest
+
+from repro.core import IncEstHeu, IncEstimate
+from repro.baselines import Voting
+from repro.eval.curves import (
+    average_precision,
+    roc_auc,
+    threshold_sweep,
+)
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+@pytest.fixture()
+def labelled():
+    matrix = VoteMatrix.from_rows(
+        ["s"], {f"f{i}": ["T"] for i in range(6)}
+    )
+    truth = {f"f{i}": i % 2 == 0 for i in range(6)}
+    return Dataset(matrix=matrix, truth=truth)
+
+
+class TestThresholdSweep:
+    def test_extreme_points(self, labelled):
+        probs = {f"f{i}": i / 10 for i in range(6)}
+        points = threshold_sweep(probs, labelled)
+        # Lowest threshold labels everything true: recall 1.
+        assert points[0].recall == 1.0
+        # Sentinel threshold labels nothing true: recall 0, precision 1.
+        assert points[-1].recall == 0.0
+        assert points[-1].precision == 1.0
+
+    def test_recall_monotone_in_threshold(self, labelled):
+        probs = {f"f{i}": (i * 37 % 11) / 10 for i in range(6)}
+        points = threshold_sweep(probs, labelled)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_single_class_raises(self):
+        matrix = VoteMatrix.from_rows(["s"], {"f": ["T"]})
+        ds = Dataset(matrix=matrix, truth={"f": True})
+        with pytest.raises(ValueError, match="both classes"):
+            threshold_sweep({"f": 0.5}, ds)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self, labelled):
+        probs = {f: (0.9 if v else 0.1) for f, v in labelled.truth.items()}
+        assert average_precision(probs, labelled) == pytest.approx(1.0)
+
+    def test_inverted_ranking_is_low(self, labelled):
+        probs = {f: (0.1 if v else 0.9) for f, v in labelled.truth.items()}
+        assert average_precision(probs, labelled) < 0.5
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self, labelled):
+        probs = {f: (0.9 if v else 0.1) for f, v in labelled.truth.items()}
+        assert roc_auc(probs, labelled) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self, labelled):
+        probs = {f: (0.1 if v else 0.9) for f, v in labelled.truth.items()}
+        assert roc_auc(probs, labelled) == pytest.approx(0.0)
+
+    def test_constant_probabilities_are_half(self, labelled):
+        probs = {f: 0.5 for f in labelled.facts}
+        assert roc_auc(probs, labelled) == pytest.approx(0.5)
+
+    def test_ties_get_half_credit(self, labelled):
+        # Half the facts tied high, half tied low, classes split across
+        # the tie groups.
+        probs = {"f0": 0.9, "f1": 0.9, "f2": 0.1, "f3": 0.1, "f4": 0.9, "f5": 0.1}
+        auc = roc_auc(probs, labelled)
+        assert 0.0 <= auc <= 1.0
+
+
+class TestOnRealMethods:
+    def test_incestheu_dominates_voting_by_auc(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        vot = Voting().run(ds)
+        assert roc_auc(heu.probabilities, ds) > roc_auc(vot.probabilities, ds)
+
+    def test_average_precision_beats_base_rate(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        facts = ds.evaluation_facts()
+        base_rate = sum(ds.truth[f] for f in facts) / len(facts)
+        assert average_precision(heu.probabilities, ds) > base_rate

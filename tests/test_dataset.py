@@ -1,0 +1,97 @@
+"""Unit tests for repro.model.dataset."""
+
+import pytest
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+
+def build_dataset():
+    matrix = VoteMatrix.from_rows(
+        ["s1", "s2"],
+        {"f1": ["T", "T"], "f2": ["T", "F"], "f3": ["-", "T"]},
+    )
+    return Dataset(
+        matrix=matrix,
+        truth={"f1": True, "f2": False, "f3": True},
+        golden_set=frozenset({"f1", "f2"}),
+        name="toy",
+    )
+
+
+class TestValidation:
+    def test_truth_for_unknown_fact_raises(self):
+        matrix = VoteMatrix.from_rows(["s"], {"f1": ["T"]})
+        with pytest.raises(ValueError, match="absent from the"):
+            Dataset(matrix=matrix, truth={"ghost": True})
+
+    def test_golden_without_truth_raises(self):
+        matrix = VoteMatrix.from_rows(["s"], {"f1": ["T"]})
+        with pytest.raises(ValueError, match="truth label"):
+            Dataset(matrix=matrix, truth={}, golden_set=frozenset({"f1"}))
+
+
+class TestAccessors:
+    def test_facts_and_sources(self):
+        ds = build_dataset()
+        assert ds.facts == ["f1", "f2", "f3"]
+        assert ds.sources == ["s1", "s2"]
+
+    def test_evaluation_facts_prefers_golden(self):
+        ds = build_dataset()
+        assert ds.evaluation_facts() == ["f1", "f2"]
+
+    def test_evaluation_facts_without_golden(self):
+        matrix = VoteMatrix.from_rows(["s"], {"f1": ["T"], "f2": ["T"]})
+        ds = Dataset(matrix=matrix, truth={"f2": True})
+        assert ds.evaluation_facts() == ["f2"]
+
+    def test_summary_mentions_name_and_counts(self):
+        summary = build_dataset().summary()
+        assert "toy" in summary
+        assert "3 facts" in summary
+
+
+class TestSourceAccuracy:
+    def test_accuracy_on_golden(self):
+        ds = build_dataset()
+        # s1 on golden: T on f1 (true, correct), T on f2 (false, wrong) -> 0.5
+        assert ds.source_accuracy("s1") == pytest.approx(0.5)
+        # s2 on golden: T on f1 correct, F on f2 correct -> 1.0
+        assert ds.source_accuracy("s2") == pytest.approx(1.0)
+
+    def test_accuracy_unrestricted(self):
+        ds = build_dataset()
+        # s2 over all labelled facts: f1 ok, f2 ok, f3 T on true ok -> 1.0
+        assert ds.source_accuracy("s2", restrict_to_golden=False) == 1.0
+
+    def test_accuracy_none_when_no_votes_in_scope(self):
+        matrix = VoteMatrix.from_rows(["s1", "s2"], {"f1": ["T", "-"]})
+        ds = Dataset(matrix=matrix, truth={"f1": True})
+        assert ds.source_accuracy("s2") is None
+
+    def test_true_source_accuracies_covers_all_sources(self):
+        ds = build_dataset()
+        accuracies = ds.true_source_accuracies()
+        assert set(accuracies) == {"s1", "s2"}
+
+
+class TestRestrictedTo:
+    def test_restriction_keeps_votes_and_labels(self):
+        ds = build_dataset()
+        sub = ds.restricted_to(["f1", "f3"])
+        assert sub.facts == ["f1", "f3"]
+        assert sub.matrix.vote("f1", "s2") is Vote.TRUE
+        assert sub.truth == {"f1": True, "f3": True}
+        assert sub.golden_set == frozenset({"f1"})
+
+    def test_restriction_keeps_all_sources(self):
+        ds = build_dataset()
+        sub = ds.restricted_to(["f3"])
+        assert sub.sources == ["s1", "s2"]
+
+    def test_unknown_fact_raises(self):
+        ds = build_dataset()
+        with pytest.raises(KeyError):
+            ds.restricted_to(["nope"])

@@ -1,0 +1,72 @@
+"""Tests for the Hubdub-like multi-answer generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.hubdub import (
+    PAPER_NUM_ANSWER_FACTS,
+    PAPER_NUM_QUESTIONS,
+    PAPER_NUM_USERS,
+    generate_hubdub_like,
+)
+
+
+class TestShape:
+    def test_paper_shape(self):
+        world = generate_hubdub_like()
+        qs = world.questions
+        assert qs.num_questions == PAPER_NUM_QUESTIONS == 357
+        assert qs.num_answer_facts == PAPER_NUM_ANSWER_FACTS == 830
+        assert len(world.reliabilities) == PAPER_NUM_USERS == 471
+
+    def test_answer_counts_between_2_and_4(self, small_hubdub_world):
+        for question in small_hubdub_world.questions.questions:
+            assert 2 <= len(question.answers) <= 4
+
+    def test_every_question_has_correct_answer(self, small_hubdub_world):
+        for question in small_hubdub_world.questions.questions:
+            assert question.correct in question.answers
+
+    def test_difficulties_in_range(self, small_hubdub_world):
+        for value in small_hubdub_world.difficulties.values():
+            assert 0.5 <= value <= 2.5
+
+
+class TestVotes:
+    def test_conflict_rich(self, small_hubdub_world):
+        ds = small_hubdub_world.questions.to_dataset()
+        conflicted = len(ds.matrix.conflicted_facts())
+        # The Hubdub regime is the opposite of the restaurant one.
+        assert conflicted > ds.matrix.num_facts / 2
+
+    def test_reliable_users_answer_better(self):
+        world = generate_hubdub_like(seed=1)
+        qs = world.questions
+        correct_by = {q.qid: q.correct for q in qs.questions}
+        good, bad = [], []
+        for user, reliability in world.reliabilities.items():
+            picks = qs._votes.get(user, {})
+            if not picks:
+                continue
+            accuracy = np.mean([correct_by[q] == a for q, a in picks.items()])
+            (good if reliability > 0.7 else bad).append(accuracy)
+        assert np.mean(good) > np.mean(bad)
+
+    def test_determinism(self):
+        a = generate_hubdub_like(num_questions=50, num_users=40, num_answer_facts=120, seed=2)
+        b = generate_hubdub_like(num_questions=50, num_users=40, num_answer_facts=120, seed=2)
+        assert a.questions.to_dataset().truth == b.questions.to_dataset().truth
+
+
+class TestValidation:
+    def test_too_few_answers_raises(self):
+        with pytest.raises(ValueError):
+            generate_hubdub_like(num_questions=100, num_answer_facts=150)
+
+    def test_too_many_answers_raises(self):
+        with pytest.raises(ValueError):
+            generate_hubdub_like(num_questions=100, num_answer_facts=500)
+
+    def test_bad_difficulty_range_raises(self):
+        with pytest.raises(ValueError):
+            generate_hubdub_like(difficulty_range=(0.0, 1.0))

@@ -1,0 +1,51 @@
+"""Tests for the Table 1 dataset constants."""
+
+import pytest
+
+from repro.datasets.motivating import (
+    DERIVED_SOURCE_ACCURACY,
+    ROWS,
+    SOURCES,
+    TRUTH,
+    motivating_example,
+)
+from repro.model.votes import Vote
+
+
+class TestTable1:
+    def test_shape(self):
+        ds = motivating_example()
+        assert ds.matrix.num_facts == 12
+        assert ds.matrix.num_sources == 5
+        assert len(TRUTH) == 12
+        assert len(ROWS) == 12
+
+    def test_ground_truth_split(self):
+        assert sum(TRUTH.values()) == 7  # 7 open, 5 closed
+
+    def test_affirmative_dominated(self):
+        ds = motivating_example()
+        conflicted = ds.matrix.conflicted_facts()
+        # "most restaurants (except for r6 and r12) receive T votes only"
+        assert sorted(conflicted) == ["r12", "r6"]
+
+    def test_spot_check_votes(self):
+        ds = motivating_example()
+        assert ds.matrix.vote("r6", "s3") is Vote.FALSE
+        assert ds.matrix.vote("r6", "s4") is Vote.TRUE
+        assert ds.matrix.vote("r1", "s1") is None
+        assert ds.matrix.vote("r2", "s1") is Vote.TRUE
+
+    def test_vote_counts(self):
+        ds = motivating_example()
+        assert ds.matrix.num_votes == 31
+
+    def test_derived_source_accuracies(self):
+        ds = motivating_example()
+        for source in SOURCES:
+            accuracy = ds.source_accuracy(source, restrict_to_golden=False)
+            assert accuracy == pytest.approx(DERIVED_SOURCE_ACCURACY[source]), source
+
+    def test_every_fact_labelled(self):
+        ds = motivating_example()
+        assert set(ds.evaluation_facts()) == set(ds.matrix.facts)

@@ -1,0 +1,125 @@
+"""Tests for the Table-3-calibrated restaurant world simulator."""
+
+import pytest
+
+from repro.datasets.restaurants import (
+    PAPER_NUM_FACTS,
+    PAPER_PROFILES,
+    SourceProfile,
+    generate_restaurants,
+)
+from repro.model.votes import Vote
+
+
+class TestProfiles:
+    def test_paper_profiles_complete(self):
+        names = [p.name for p in PAPER_PROFILES]
+        assert names == [
+            "YellowPages",
+            "Foursquare",
+            "MenuPages",
+            "OpenTable",
+            "CitySearch",
+            "Yelp",
+        ]
+
+    def test_f_quotas(self):
+        quotas = {p.name: p.f_votes for p in PAPER_PROFILES}
+        assert quotas["Foursquare"] == 10
+        assert quotas["MenuPages"] == 256
+        assert quotas["Yelp"] == 425
+        assert quotas["YellowPages"] == 0
+
+    def test_rate_derivation(self):
+        profile = SourceProfile("X", coverage=0.5, accuracy=0.8, f_votes=0)
+        rate_open, rate_closed = profile.t_vote_rates(1000, true_fraction=0.5)
+        # 500 votes, 400 correct (all T on open), 100 wrong (T on closed).
+        assert rate_open == pytest.approx(0.8)
+        assert rate_closed == pytest.approx(0.2)
+
+    def test_infeasible_profile_raises(self):
+        profile = SourceProfile("X", coverage=0.9, accuracy=0.2, f_votes=0)
+        with pytest.raises(ValueError):
+            # 0.72 N wrong T votes on only 0.1 N closed facts.
+            profile.t_vote_rates(1000, true_fraction=0.9)
+
+
+class TestCalibration:
+    def test_coverage_near_targets(self, small_restaurant_world):
+        realised = small_restaurant_world.coverage_row()
+        for profile in PAPER_PROFILES:
+            assert realised[profile.name] == pytest.approx(
+                profile.coverage, abs=0.08
+            ), profile.name
+
+    def test_accuracy_near_targets(self, small_restaurant_world):
+        realised = small_restaurant_world.accuracy_row()
+        for profile in PAPER_PROFILES:
+            assert realised[profile.name] == pytest.approx(
+                profile.accuracy, abs=0.10
+            ), profile.name
+
+    def test_f_vote_counts_scale(self, small_restaurant_world):
+        counts = small_restaurant_world.f_vote_counts()
+        scale = 3_000 / PAPER_NUM_FACTS
+        for profile in PAPER_PROFILES:
+            expected = round(profile.f_votes * scale)
+            assert abs(counts[profile.name] - expected) <= 3, profile.name
+
+    def test_golden_set_composition(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        golden = ds.evaluation_facts()
+        assert len(golden) == 340 + 261
+        true_count = sum(ds.truth[f] for f in golden)
+        assert true_count == 340
+
+    def test_every_listing_has_a_vote(self, small_restaurant_world):
+        matrix = small_restaurant_world.dataset.matrix
+        assert all(matrix.votes_on(f) for f in matrix.facts)
+
+    def test_affirmative_dominated(self, small_restaurant_world):
+        matrix = small_restaurant_world.dataset.matrix
+        conflicted = len(matrix.conflicted_facts())
+        # "only 654 listings (<2%) have F votes" at full scale.
+        assert conflicted / matrix.num_facts < 0.05
+
+    def test_f_votes_only_from_flagging_sources(self, small_restaurant_world):
+        matrix = small_restaurant_world.dataset.matrix
+        flaggers = {p.name for p in PAPER_PROFILES if p.f_votes > 0}
+        for fact in matrix.conflicted_facts():
+            for source, vote in matrix.votes_on(fact).items():
+                if vote is Vote.FALSE:
+                    assert source in flaggers
+
+    def test_overlap_matrix_properties(self, small_restaurant_world):
+        rows = small_restaurant_world.overlap_matrix()
+        names = [p.name for p in PAPER_PROFILES]
+        by_source = {row["source"]: row for row in rows}
+        for a in names:
+            assert by_source[a][a] == 1.0
+            for b in names:
+                assert by_source[a][b] == pytest.approx(by_source[b][a])
+
+    def test_opentable_overlaps_least(self, small_restaurant_world):
+        # Table 3: OpenTable's tiny coverage gives it the smallest overlaps.
+        rows = {r["source"]: r for r in small_restaurant_world.overlap_matrix()}
+        yp_row = rows["YellowPages"]
+        assert yp_row["OpenTable"] == min(
+            v for k, v in yp_row.items() if k not in ("source", "YellowPages")
+        )
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_world(self):
+        a = generate_restaurants(num_facts=500, seed=3)
+        b = generate_restaurants(num_facts=500, seed=3)
+        assert a.dataset.truth == b.dataset.truth
+        assert a.dataset.golden_set == b.dataset.golden_set
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generate_restaurants(num_facts=10)
+
+    def test_bad_true_fraction_raises(self):
+        with pytest.raises(ValueError):
+            generate_restaurants(true_fraction=1.0)

@@ -1,0 +1,176 @@
+"""Tests for the entity-resolution pipeline (normalize, similarity,
+resolution) and the raw-crawl simulator that exercises it."""
+
+import pytest
+
+from repro.datasets.rawcrawl import generate_raw_crawl, generate_universe
+from repro.dedup import (
+    DEFAULT_THRESHOLD,
+    RawListing,
+    UnionFind,
+    cosine,
+    entities_to_dataset,
+    listing_similarity,
+    ngram_similarity,
+    ngram_vector,
+    normalize_address,
+    normalize_name,
+    pairwise_dedup_quality,
+    resolve_listings,
+    term_similarity,
+    term_vector,
+)
+from repro.model.votes import Vote
+
+
+class TestNormalizeAddress:
+    def test_paper_example_variants_unify(self):
+        # 'Danny's Grand Sea Palace' at '346 West 46th St' (Example 1).
+        variants = [
+            "346 W. 46th St, New York",
+            "346 West 46th Street, NYC",
+            "346 West Forty-Sixth Street, New York, NY",
+            "346 w 46 street new york city",
+        ]
+        normalized = {normalize_address(v) for v in variants}
+        assert normalized == {"346 west 46 street newyork"}
+
+    def test_ordinal_suffixes(self):
+        assert normalize_address("9th Ave") == "9 avenue"
+        assert normalize_address("23rd St") == "23 street"
+        assert normalize_address("2nd Ave") == "2 avenue"
+
+    def test_spelled_ordinals(self):
+        assert normalize_address("Fifth Avenue") == "5 avenue"
+        assert normalize_address("Twenty-Third Street") == "23 street"
+        assert normalize_address("Ninetieth St") == "90 street"
+
+    def test_directions(self):
+        assert normalize_address("12 E Houston") == "12 east houston"
+        assert normalize_address("12 E. Houston") == "12 east houston"
+
+    def test_punctuation_stripped(self):
+        assert normalize_address("1, Main; St.") == "1 main street"
+
+
+class TestNormalizeName:
+    def test_case_and_punctuation(self):
+        assert normalize_name("Danny's GRAND Sea-Palace") == "dannys grand sea palace"
+
+    def test_leading_article_dropped(self):
+        assert normalize_name("The Palm") == normalize_name("Palm")
+
+    def test_ampersand(self):
+        assert normalize_name("Fish & Chips") == "fish and chips"
+
+
+class TestSimilarity:
+    def test_identical_texts_score_one(self):
+        assert term_similarity("golden dragon", "golden dragon") == pytest.approx(1.0)
+        assert ngram_similarity("golden", "golden") == pytest.approx(1.0)
+
+    def test_disjoint_texts_score_zero(self):
+        assert term_similarity("abc def", "xyz qrs") == 0.0
+
+    def test_reordered_terms_score_one_at_term_level(self):
+        assert term_similarity("sea palace grand", "grand sea palace") == pytest.approx(1.0)
+
+    def test_small_typo_keeps_ngram_similarity_high(self):
+        assert ngram_similarity("dannys grand sea palace", "danny grand sea palace") > 0.8
+
+    def test_combined_threshold_behaviour(self):
+        same = listing_similarity("dannys grand sea palace", "danny grand sea palace")
+        different = listing_similarity("dannys grand sea palace", "golden dragon")
+        assert same >= DEFAULT_THRESHOLD
+        assert different < DEFAULT_THRESHOLD
+
+    def test_cosine_empty_vector(self):
+        assert cosine(term_vector(""), term_vector("x")) == 0.0
+
+    def test_ngram_vector_short_string(self):
+        assert ngram_vector("a") == {"#a#": 1}
+
+    def test_ngram_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_vector("abc", n=0)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(3)
+        assert uf.find(0) != uf.find(2)
+        uf.union(1, 2)
+        assert len({uf.find(i) for i in range(4)}) == 1
+
+
+class TestResolution:
+    def listings(self):
+        return [
+            RawListing("A", "Danny's Grand Sea Palace", "346 W. 46th St, New York"),
+            RawListing("B", "Dannys Grand Sea Palace", "346 West 46th Street, NYC"),
+            RawListing("B", "Golden Dragon", "346 West 46th Street, NYC"),
+            RawListing("C", "Golden Dragon", "12 Mott St, New York", closed=True),
+        ]
+
+    def test_same_entity_merges_across_sources(self):
+        entities = resolve_listings(self.listings())
+        assert len(entities) == 3
+        merged = max(entities, key=lambda e: len(e.listings))
+        assert merged.sources == {"A", "B"}
+
+    def test_different_names_same_address_stay_apart(self):
+        entities = resolve_listings(self.listings())
+        names = {e.canonical_name for e in entities}
+        assert any("golden dragon" in n for n in names)
+        assert any("sea palace" in n for n in names)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            resolve_listings([], threshold=0.0)
+
+    def test_entities_to_dataset_votes(self):
+        entities = resolve_listings(self.listings())
+        ds = entities_to_dataset(entities, ["A", "B", "C"])
+        assert ds.matrix.num_facts == 3
+        closed_entity = next(
+            e for e in entities if any(l.closed for l in e.listings)
+        )
+        assert ds.matrix.vote(closed_entity.entity_id, "C") is Vote.FALSE
+
+    def test_closed_listing_beats_open_same_source(self):
+        listings = [
+            RawListing("A", "Golden Dragon", "12 Mott St, New York", closed=False),
+            RawListing("A", "Golden Dragon", "12 Mott Street, NYC", closed=True),
+        ]
+        entities = resolve_listings(listings)
+        assert len(entities) == 1
+        ds = entities_to_dataset(entities, ["A"])
+        assert ds.matrix.vote(entities[0].entity_id, "A") is Vote.FALSE
+
+
+class TestRawCrawlPipeline:
+    def test_universe_determinism(self):
+        assert generate_universe(seed=9)[0] == generate_universe(seed=9)[0]
+
+    def test_crawl_has_duplicates(self):
+        listings, _ = generate_raw_crawl(seed=46)
+        hints = {l.entity_hint for l in listings}
+        assert len(listings) > len(hints)
+
+    def test_dedup_recovers_entities(self):
+        listings, _ = generate_raw_crawl(seed=46)
+        entities = resolve_listings(listings)
+        quality = pairwise_dedup_quality(entities)
+        assert quality["precision"] > 0.95
+        assert quality["recall"] > 0.8
+
+    def test_quality_requires_hints(self):
+        entities = resolve_listings(
+            [RawListing("A", "Golden Dragon", "12 Mott St, New York")]
+        )
+        with pytest.raises(ValueError):
+            pairwise_dedup_quality(entities)

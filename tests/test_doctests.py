@@ -1,0 +1,32 @@
+"""Run the library's docstring examples as tests.
+
+Only modules whose docstrings carry executable examples are listed; adding
+a doctest elsewhere means adding the module here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.sensitivity
+import repro.analysis.viz
+import repro.core.entropy
+import repro.dedup.normalize
+import repro.model.matrix
+import repro.model.votes
+
+MODULES = [
+    repro.analysis.sensitivity,
+    repro.analysis.viz,
+    repro.core.entropy,
+    repro.dedup.normalize,
+    repro.model.matrix,
+    repro.model.votes,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} listed but has no doctests"
+    assert results.failed == 0

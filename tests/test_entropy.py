@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.entropy (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import binary_entropy, binary_entropy_array, collective_entropy
+
+
+class TestBinaryEntropy:
+    def test_certain_facts_have_zero_entropy(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == 1.0
+
+    def test_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_paper_default_trust_point(self):
+        # H(0.9) ≈ 0.469 bits — the entropy of a fact backed by one
+        # default-trust source.
+        assert binary_entropy(0.9) == pytest.approx(0.4689955, abs=1e-6)
+
+    def test_monotone_toward_half(self):
+        values = [binary_entropy(p) for p in (0.5, 0.6, 0.7, 0.8, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            binary_entropy(-0.1)
+        with pytest.raises(ValueError):
+            binary_entropy(1.1)
+
+
+class TestCollectiveEntropy:
+    def test_sum(self):
+        assert collective_entropy([0.5, 0.5]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert collective_entropy([]) == 0.0
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        probs = np.linspace(0.0, 1.0, 21)
+        vector = binary_entropy_array(probs)
+        scalar = np.array([binary_entropy(float(p)) for p in probs])
+        assert np.allclose(vector, scalar)
+
+    def test_clips_tiny_drift(self):
+        # Values a hair outside [0, 1] (floating point drift) are tolerated.
+        out = binary_entropy_array(np.array([-1e-12, 1.0 + 1e-12]))
+        assert np.all(out == 0.0)
+
+    def test_2d_input(self):
+        out = binary_entropy_array(np.full((3, 4), 0.5))
+        assert out.shape == (3, 4)
+        assert np.allclose(out, 1.0)

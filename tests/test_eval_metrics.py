@@ -1,0 +1,128 @@
+"""Unit tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.core.result import CorroborationResult
+from repro.eval.metrics import (
+    ConfusionCounts,
+    confusion,
+    evaluate_labels,
+    geometric_mean,
+    trust_mse,
+)
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+class TestConfusionCounts:
+    def test_metrics(self):
+        counts = ConfusionCounts(
+            true_positives=6, false_positives=2, true_negatives=3, false_negatives=1
+        )
+        assert counts.total == 12
+        assert counts.errors == 3
+        assert counts.precision == pytest.approx(0.75)
+        assert counts.recall == pytest.approx(6 / 7)
+        assert counts.accuracy == pytest.approx(0.75)
+        assert counts.f1 == pytest.approx(2 * 0.75 * (6 / 7) / (0.75 + 6 / 7))
+
+    def test_degenerate_zero_divisions(self):
+        empty = ConfusionCounts(0, 0, 0, 0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.accuracy == 0.0
+        assert empty.f1 == 0.0
+
+    def test_paper_table2_twoestimate_row(self):
+        # TwoEstimate on the motivating example: everything true except
+        # r12 -> TP=7, FP=4, TN=1, FN=0 -> P=0.64, R=1, A=0.67.
+        counts = ConfusionCounts(7, 4, 1, 0)
+        assert counts.precision == pytest.approx(0.64, abs=0.01)
+        assert counts.recall == 1.0
+        assert counts.accuracy == pytest.approx(0.67, abs=0.01)
+
+
+class TestConfusion:
+    def test_counting(self):
+        labels = {"a": True, "b": True, "c": False, "d": False}
+        truth = {"a": True, "b": False, "c": False, "d": True}
+        counts = confusion(labels, truth)
+        assert (
+            counts.true_positives,
+            counts.false_positives,
+            counts.true_negatives,
+            counts.false_negatives,
+        ) == (1, 1, 1, 1)
+
+    def test_missing_prediction_raises(self):
+        with pytest.raises(KeyError):
+            confusion({}, {"a": True})
+
+    def test_extra_predictions_ignored(self):
+        counts = confusion({"a": True, "zz": False}, {"a": True})
+        assert counts.total == 1
+
+
+class TestEvaluateLabels:
+    def test_golden_scope(self):
+        matrix = VoteMatrix.from_rows(["s"], {"a": ["T"], "b": ["T"], "c": ["T"]})
+        ds = Dataset(
+            matrix=matrix,
+            truth={"a": True, "b": False, "c": True},
+            golden_set=frozenset({"a", "b"}),
+        )
+        counts = evaluate_labels({"a": True, "b": True, "c": False}, ds)
+        # Only a and b count; c's wrong label is outside the golden set.
+        assert counts.total == 2
+        assert counts.false_positives == 1
+
+
+class TestTrustMse:
+    def test_equation10(self):
+        estimated = {"s1": 1.0, "s2": 0.5}
+        actual = {"s1": 0.8, "s2": 0.5}
+        assert trust_mse(estimated, actual) == pytest.approx((0.2**2) / 2)
+
+    def test_unknown_actual_skipped(self):
+        assert trust_mse({"s1": 1.0}, {"s1": 1.0, "s2": None}) == 0.0
+
+    def test_missing_estimate_raises(self):
+        with pytest.raises(KeyError):
+            trust_mse({}, {"s1": 0.5})
+
+    def test_no_known_sources_raises(self):
+        with pytest.raises(ValueError):
+            trust_mse({"s1": 1.0}, {"s1": None})
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_zero_propagates(self):
+        assert geometric_mean([0.0, 5.0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestResultValidation:
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            CorroborationResult(method="x", probabilities={"f": 1.5}, trust={})
+
+    def test_label_override_wins(self):
+        result = CorroborationResult(
+            method="x",
+            probabilities={"f": 0.5},
+            trust={},
+            label_overrides={"f": False},
+        )
+        assert result.label("f") is False
+        assert result.labels() == {"f": False}
+        assert result.false_facts() == ["f"]

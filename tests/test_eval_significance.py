@@ -1,0 +1,81 @@
+"""Unit tests for the paired significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    correctness_vector,
+    mcnemar_test,
+    paired_permutation_test,
+)
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+class TestCorrectnessVector:
+    def test_alignment(self):
+        matrix = VoteMatrix.from_rows(["s"], {"b": ["T"], "a": ["T"]})
+        ds = Dataset(matrix=matrix, truth={"a": True, "b": False})
+        vector = correctness_vector({"a": True, "b": True}, ds)
+        # Sorted fact order: a (correct), b (wrong).
+        assert vector == [True, False]
+
+
+class TestMcNemar:
+    def test_identical_methods_p_one(self):
+        a = [True, False, True] * 10
+        assert mcnemar_test(a, a) == 1.0
+
+    def test_strong_asymmetry_is_significant(self):
+        a = [True] * 100
+        b = [False] * 60 + [True] * 40
+        assert mcnemar_test(a, b) < 0.001
+
+    def test_small_sample_exact_binomial(self):
+        a = [True, True, True, False]
+        b = [False, True, True, True]
+        # One discordant pair each way: p = 1.
+        assert mcnemar_test(a, b) == 1.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = list(rng.random(200) < 0.8)
+        b = list(rng.random(200) < 0.6)
+        assert mcnemar_test(a, b) == pytest.approx(mcnemar_test(b, a))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([True], [True, False])
+
+
+class TestPermutation:
+    def test_identical_methods_p_one(self):
+        a = [True, False] * 20
+        assert paired_permutation_test(a, a) == 1.0
+
+    def test_strong_difference_significant(self):
+        a = [True] * 120
+        b = [False] * 80 + [True] * 40
+        assert paired_permutation_test(a, b, iterations=2000, seed=1) < 0.01
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        a = list(rng.random(50) < 0.7)
+        b = list(rng.random(50) < 0.7)
+        p = paired_permutation_test(a, b, iterations=500)
+        assert 0.0 < p <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = [True] * 30 + [False] * 10
+        b = [True] * 25 + [False] * 15
+        p1 = paired_permutation_test(a, b, seed=3)
+        p2 = paired_permutation_test(a, b, seed=3)
+        assert p1 == p2
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([True], [True], iterations=0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([True], [True, False])

@@ -1,0 +1,91 @@
+"""Unit tests for table rendering and the experiment harness."""
+
+import pytest
+
+from repro.baselines import TwoEstimate, Voting
+from repro.core import IncEstHeu, IncEstimate
+from repro.eval import (
+    errors_table,
+    mse_table,
+    quality_table,
+    render_series,
+    render_table,
+    run_methods,
+    timing_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        rows = [{"method": "A", "accuracy": 0.5}, {"method": "B", "accuracy": 0.75}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "method" in lines[1] and "accuracy" in lines[1]
+        assert "0.50" in text and "0.75" in text
+
+    def test_missing_cells_render_dash(self):
+        text = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_float_digits(self):
+        text = render_table([{"x": 0.123456}], float_digits=4)
+        assert "0.1235" in text
+
+    def test_bool_rendering(self):
+        text = render_table([{"ok": True}])
+        assert "yes" in text
+
+
+class TestRenderSeries:
+    def test_figure_layout(self):
+        text = render_series(
+            {"m1": [0.1, 0.2], "m2": [0.3, 0.4]},
+            x_values=[10, 20],
+            x_label="n",
+            title="fig",
+        )
+        assert "fig" in text
+        assert "m1" in text and "m2" in text
+        assert "10" in text and "0.400" in text
+
+
+class TestHarness:
+    @pytest.fixture()
+    def runs(self, motivating):
+        return run_methods([Voting(), TwoEstimate(), IncEstimate(IncEstHeu())], motivating)
+
+    def test_run_methods_times_everything(self, runs):
+        assert [r.method for r in runs] == [
+            "Voting",
+            "TwoEstimate",
+            "IncEstimate[IncEstHeu]",
+        ]
+        assert all(r.seconds >= 0 for r in runs)
+
+    def test_quality_table(self, runs, motivating):
+        rows = quality_table(runs, motivating)
+        assert {row["method"] for row in rows} == {r.method for r in runs}
+        for row in rows:
+            for metric in ("precision", "recall", "accuracy", "f1"):
+                assert 0.0 <= row[metric] <= 1.0
+
+    def test_mse_table_has_truth_row(self, runs, motivating):
+        rows = mse_table(runs, motivating)
+        assert rows[0]["method"] == "Source accuracy"
+        assert len(rows) == len(runs) + 1
+        for row in rows[1:]:
+            assert row["MSE"] >= 0.0
+
+    def test_timing_table(self, runs):
+        rows = timing_table(runs)
+        assert all("seconds" in row for row in rows)
+
+    def test_errors_table(self, runs, motivating):
+        rows = errors_table(runs, motivating)
+        by_method = {row["method"]: row["errors"] for row in rows}
+        # TwoEstimate misses the 4 false facts it labels true.
+        assert by_method["TwoEstimate"] == 4

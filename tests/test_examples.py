@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavier scripts are exercised through their ``main()`` with stdout
+captured; the full-scale restaurant audit is covered by the benchmarks, so
+its module here only needs to import and run on the default world once
+(kept out of the default test run via a marker-free but slower test at the
+end of the file).
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def _run_example(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend("examples")
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "hubdub_questions",
+            "crawl_dedup_pipeline",
+            "numeric_claims",
+            "restaurant_audit",
+        }:
+            del sys.modules[name]
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart", capsys)
+    assert "Corroboration quality" in out
+    assert "r12" in out
+
+
+def test_crawl_dedup_pipeline(capsys):
+    out = _run_example("crawl_dedup_pipeline", capsys)
+    assert "Deduplicated" in out
+    assert "Corroboration on the resolved crawl" in out
+
+
+def test_numeric_claims(capsys):
+    out = _run_example("numeric_claims", capsys)
+    assert "out-voted truth" in out
+    assert "TwoEstimate" in out
+
+
+def test_restaurant_audit(capsys):
+    out = _run_example("restaurant_audit", capsys)
+    assert "Golden-set quality" in out
+    assert "flagged as closed" in out
+
+
+def test_hubdub_questions(capsys):
+    out = _run_example("hubdub_questions", capsys)
+    assert "Number of errors" in out

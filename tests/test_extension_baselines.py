@@ -1,0 +1,107 @@
+"""Unit tests for the extension comparators: Cosine, TruthFinder,
+AvgLog / Invest / PooledInvest."""
+
+import math
+
+import pytest
+
+from repro.baselines import AvgLog, Cosine, Invest, PooledInvest, TruthFinder
+from repro.baselines.truthfinder import trustworthiness_score
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+@pytest.fixture()
+def clear_cut():
+    """Two reliable sources against one contrarian."""
+    rows = {f"t{i}": ["T", "T", "F"] for i in range(8)}
+    rows.update({f"u{i}": ["T", "T", "-"] for i in range(4)})
+    matrix = VoteMatrix.from_rows(["good1", "good2", "bad"], rows)
+    return Dataset(matrix=matrix)
+
+
+ALL_METHODS = [Cosine, TruthFinder, AvgLog, Invest, PooledInvest]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("method_cls", ALL_METHODS)
+    def test_probabilities_in_unit_interval(self, method_cls, motivating):
+        result = method_cls().run(motivating)
+        assert set(result.probabilities) == set(motivating.facts)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+        assert all(0.0 <= t <= 1.0 for t in result.trust.values())
+
+    @pytest.mark.parametrize("method_cls", ALL_METHODS)
+    def test_majority_wins_on_clear_cut_data(self, method_cls, clear_cut):
+        labels = method_cls().run(clear_cut).labels()
+        assert all(labels.values()), f"{method_cls.__name__} flipped the majority"
+
+    @pytest.mark.parametrize("method_cls", ALL_METHODS)
+    def test_contrarian_ranked_below_majority(self, method_cls, clear_cut):
+        trust = method_cls().run(clear_cut).trust
+        assert trust["bad"] < trust["good1"]
+        assert trust["bad"] < trust["good2"]
+
+    @pytest.mark.parametrize("method_cls", ALL_METHODS)
+    def test_deterministic(self, method_cls, motivating):
+        a = method_cls().run(motivating)
+        b = method_cls().run(motivating)
+        assert a.probabilities == b.probabilities
+
+
+class TestCosine:
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            Cosine(damping=1.0)
+
+    def test_unvoted_fact_is_neutral(self):
+        matrix = VoteMatrix.from_rows(["a"], {"f": ["T"], "g": ["-"]})
+        result = Cosine().run(Dataset(matrix=matrix))
+        assert result.probabilities["g"] == pytest.approx(0.5)
+
+
+class TestTruthFinder:
+    def test_trustworthiness_score(self):
+        assert trustworthiness_score(0.0) == 0.0
+        assert trustworthiness_score(0.9) == pytest.approx(-math.log(0.1))
+        with pytest.raises(ValueError):
+            trustworthiness_score(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TruthFinder(initial_trust=1.0)
+        with pytest.raises(ValueError):
+            TruthFinder(dampening=0.0)
+
+    def test_more_backers_higher_confidence(self):
+        matrix = VoteMatrix.from_rows(
+            ["a", "b", "c"], {"one": ["T", "-", "-"], "three": ["T", "T", "T"]}
+        )
+        result = TruthFinder().run(Dataset(matrix=matrix))
+        assert result.probabilities["three"] > result.probabilities["one"]
+
+
+class TestPasternackFamily:
+    def test_avglog_rewards_volume(self):
+        # Two unanimous sources, one with far more claims.
+        rows = {f"f{i}": ["T", "-"] for i in range(20)}
+        rows["shared"] = ["T", "T"]
+        matrix = VoteMatrix.from_rows(["big", "small"], rows)
+        result = AvgLog().run(Dataset(matrix=matrix))
+        assert result.trust["big"] > result.trust["small"]
+
+    def test_invest_growth_sharpens_winner(self, clear_cut):
+        invest = Invest().run(clear_cut)
+        # 2-vs-1 votes with equal-ish trust: belief share must exceed the
+        # linear 2/3 because of the g=1.2 growth.
+        assert invest.probabilities["t0"] > 2 / 3
+
+    def test_pooled_invest_runs_and_agrees_on_majority(self, clear_cut):
+        pooled = PooledInvest().run(clear_cut)
+        assert all(pooled.labels().values())
+
+    def test_unvoted_fact_neutral(self):
+        matrix = VoteMatrix.from_rows(["a"], {"f": ["T"], "g": ["-"]})
+        for method in (AvgLog(), Invest(), PooledInvest()):
+            result = method.run(Dataset(matrix=matrix))
+            assert result.probabilities["g"] == pytest.approx(0.5)

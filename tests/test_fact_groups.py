@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.fact_groups."""
+
+import pytest
+
+from repro.core.fact_groups import FactGroup, group_facts, group_probability
+from repro.datasets import motivating_example
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+
+class TestGrouping:
+    def test_same_signature_groups_together(self, motivating):
+        groups = group_facts(motivating.matrix)
+        by_facts = {tuple(g.facts): g for g in groups}
+        # r7 and r8 share (s2 T, s4 T, s5 T); r4 and r10 share (s4 T, s5 T).
+        assert ("r7", "r8") in by_facts
+        assert ("r4", "r10") in by_facts
+
+    def test_group_count_on_motivating(self, motivating):
+        groups = group_facts(motivating.matrix)
+        # 12 facts, r7/r8 and r4/r10 merge -> 10 groups.
+        assert len(groups) == 10
+        assert sum(g.size for g in groups) == 12
+
+    def test_subset_grouping(self, motivating):
+        groups = group_facts(motivating.matrix, ["r7", "r8", "r9"])
+        assert len(groups) == 2
+
+    def test_unvoted_facts_form_empty_signature_group(self):
+        m = VoteMatrix()
+        m.add_fact("a")
+        m.add_fact("b")
+        groups = group_facts(m)
+        assert len(groups) == 1
+        assert groups[0].signature == ()
+        assert groups[0].size == 2
+
+
+class TestFactGroup:
+    def test_voters_and_votes(self, motivating):
+        groups = {tuple(g.facts): g for g in group_facts(motivating.matrix)}
+        r6 = groups[("r6",)]
+        assert r6.voters == ["s3", "s4"]
+        assert r6.votes() == {"s3": Vote.FALSE, "s4": Vote.TRUE}
+
+    def test_affirmative_only(self):
+        g1 = FactGroup(signature=(("s1", "T"),), facts=["f"])
+        g2 = FactGroup(signature=(("s1", "T"), ("s2", "F")), facts=["f"])
+        g3 = FactGroup(signature=(), facts=["f"])
+        assert g1.is_affirmative_only()
+        assert not g2.is_affirmative_only()
+        assert not g3.is_affirmative_only()
+
+    def test_take_removes_from_front(self):
+        group = FactGroup(signature=(("s", "T"),), facts=["a", "b", "c"])
+        assert group.take(2) == ["a", "b"]
+        assert group.facts == ["c"]
+        assert group.size == 1
+
+    def test_take_more_than_available(self):
+        group = FactGroup(signature=(), facts=["a"])
+        assert group.take(5) == ["a"]
+        assert group.size == 0
+
+    def test_take_negative_raises(self):
+        group = FactGroup(signature=(), facts=["a"])
+        with pytest.raises(ValueError):
+            group.take(-1)
+
+    def test_repr(self):
+        group = FactGroup(signature=(("s", "T"),), facts=["a"])
+        assert "s:T" in repr(group)
+
+
+class TestGroupProbability:
+    def test_all_affirmative_average(self):
+        trust = {"s1": 0.8, "s2": 0.6}
+        sig = (("s1", "T"), ("s2", "T"))
+        assert group_probability(sig, trust, 0.5) == pytest.approx(0.7)
+
+    def test_mixed_votes(self):
+        trust = {"s1": 0.8, "s2": 0.6}
+        sig = (("s1", "T"), ("s2", "F"))
+        # (0.8 + (1 - 0.6)) / 2
+        assert group_probability(sig, trust, 0.5) == pytest.approx(0.6)
+
+    def test_empty_signature_uses_default(self):
+        assert group_probability((), {}, 0.1) == 0.1
+
+    def test_paper_r12_round0(self):
+        # r12 = (s2 F, s3 F, s4 T) at default trust 0.9 -> 0.3667 (Sec. 2.3
+        # computes "a low score" -> corroborated false).
+        trust = {s: 0.9 for s in ("s2", "s3", "s4")}
+        sig = (("s2", "F"), ("s3", "F"), ("s4", "T"))
+        assert group_probability(sig, trust, 0.9) == pytest.approx(0.3667, abs=1e-3)

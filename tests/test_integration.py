@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the paper's claims, end to end."""
+
+import pytest
+
+from repro.baselines import BayesEstimate, TwoEstimate, Voting
+from repro.core import IncEstHeu, IncEstPS, IncEstimate
+from repro.datasets import generate_synthetic
+from repro.datasets.rawcrawl import generate_raw_crawl
+from repro.dedup import entities_to_dataset, resolve_listings
+from repro.eval import (
+    correctness_vector,
+    evaluate_result,
+    paired_permutation_test,
+    run_methods,
+    trust_mse_for,
+)
+from repro.model.dataset import Dataset
+
+
+class TestHeadlineClaim:
+    """Section 1: the incremental algorithm 'significantly outperforms
+    existing approaches in precision and accuracy'."""
+
+    def test_restaurants_ranking(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        two = TwoEstimate().run(ds)
+        heu_counts = evaluate_result(heu, ds)
+        two_counts = evaluate_result(two, ds)
+        assert heu_counts.accuracy > two_counts.accuracy + 0.05
+        assert heu_counts.precision > two_counts.precision
+
+    def test_improvement_is_statistically_significant(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        two = TwoEstimate().run(ds)
+        p = paired_permutation_test(
+            correctness_vector(heu.labels(), ds),
+            correctness_vector(two.labels(), ds),
+            iterations=2_000,
+            seed=0,
+        )
+        assert p < 0.01
+
+    def test_trust_mse_ranking(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        two = TwoEstimate().run(ds)
+        assert trust_mse_for(heu, ds) < trust_mse_for(two, ds)
+
+
+class TestSingleValueCollapseClaim:
+    """Section 4.2: single-value methods label all of F* true and give
+    every source a near-perfect trust score."""
+
+    @pytest.mark.parametrize(
+        "method",
+        [Voting(), TwoEstimate(), BayesEstimate(burn_in=3, samples=6)],
+        ids=["voting", "twoestimate", "bayes"],
+    )
+    def test_affirmative_only_facts_all_true(self, small_restaurant_world, method):
+        ds = small_restaurant_world.dataset
+        labels = method.run(ds).labels()
+        affirmative = ds.matrix.affirmative_only_facts()
+        assert all(labels[f] for f in affirmative)
+
+
+class TestIncEstPSFailureMode:
+    """Section 6.2.4: IncEstPS keeps trust at 1 until the F-vote facts are
+    all that remain, and identifies almost no false facts."""
+
+    def test_ps_labels_nearly_everything_true(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        ps = IncEstimate(IncEstPS()).run(ds)
+        heu = IncEstimate(IncEstHeu()).run(ds)
+        assert len(ps.false_facts()) < len(heu.false_facts()) / 5
+
+    def test_ps_trust_stays_high_early(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        ps = IncEstimate(IncEstPS()).run(ds)
+        trajectory = ps.trajectory
+        midpoint = trajectory.num_time_points // 2
+        assert all(v > 0.85 for v in trajectory.at(midpoint).values())
+
+
+class TestFigure2Shape:
+    """Figure 2(b): the low-accuracy aggregators dip while the curated
+    sources stay high."""
+
+    def test_heu_trust_separates_source_quality(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = IncEstimate(IncEstHeu()).run(ds)
+        trust = result.trust
+        curated = min(trust["MenuPages"], trust["OpenTable"], trust["Yelp"])
+        aggregators = max(trust["YellowPages"], trust["CitySearch"])
+        assert curated > aggregators
+
+
+class TestCrawlToCorroborationPipeline:
+    """Raw crawl -> dedup -> corroboration, exercising every substrate."""
+
+    def test_full_pipeline(self):
+        listings, truth = generate_raw_crawl(seed=46)
+        entities = resolve_listings(listings)
+        sources = sorted({l.source for l in listings})
+        ds = entities_to_dataset(entities, sources)
+        # Attach ground truth via the entity hints (majority hint).
+        labels = {}
+        for entity in entities:
+            hint = entity.listings[0].entity_hint
+            labels[entity.entity_id] = truth[hint]
+        ds = Dataset(matrix=ds.matrix, truth=labels, name="crawl")
+        result = IncEstimate(IncEstHeu(), trust_prior_strength=0.005).run(ds)
+        counts = evaluate_result(result, ds)
+        baseline = evaluate_result(Voting().run(ds), ds)
+        assert counts.accuracy >= baseline.accuracy - 0.02
+        assert set(result.probabilities) == set(ds.matrix.facts)
+
+
+class TestSyntheticRegime:
+    def test_heu_beats_baselines_on_default_mix(self):
+        world = generate_synthetic(num_facts=4_000, seed=2)
+        ds = world.dataset
+        runs = run_methods(
+            [Voting(), TwoEstimate(), IncEstimate(IncEstHeu())], ds
+        )
+        accuracies = {
+            r.method: evaluate_result(r.result, ds).accuracy for r in runs
+        }
+        assert accuracies["IncEstimate[IncEstHeu]"] > accuracies["TwoEstimate"] + 0.05
+        assert accuracies["IncEstimate[IncEstHeu]"] > accuracies["Voting"] + 0.05
+
+
+class TestArchiveRoundtrip:
+    """Run → serialise → reload → evaluate: the archival workflow."""
+
+    def test_result_survives_disk(self, small_restaurant_world, tmp_path):
+        from repro.eval import evaluate_result
+        from repro.model.io import load_result, save_result
+
+        ds = small_restaurant_world.dataset
+        result = IncEstimate(IncEstHeu()).run(ds)
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        restored = load_result(path)
+        original = evaluate_result(result, ds)
+        reloaded = evaluate_result(restored, ds)
+        assert original.accuracy == reloaded.accuracy
+        assert original.precision == reloaded.precision
+        # The multi-value trajectory survives too (Figure 2 data).
+        assert restored.trajectory.as_rows() == result.trajectory.as_rows()
+
+    def test_dataset_survives_disk(self, small_restaurant_world, tmp_path):
+        from repro.eval import evaluate_result
+        from repro.model.io import load_dataset, save_dataset
+
+        ds = small_restaurant_world.dataset
+        path = tmp_path / "world.json"
+        save_dataset(ds, path)
+        reloaded = load_dataset(path)
+        a = evaluate_result(IncEstimate(IncEstHeu()).run(ds), ds)
+        b = evaluate_result(IncEstimate(IncEstHeu()).run(reloaded), reloaded)
+        assert a.accuracy == pytest.approx(b.accuracy)

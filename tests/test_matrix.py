@@ -1,0 +1,145 @@
+"""Unit tests for repro.model.matrix (sparse vote matrix)."""
+
+import pytest
+
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+
+@pytest.fixture()
+def simple_matrix():
+    m = VoteMatrix()
+    m.add_source("s1")
+    m.add_source("s2")
+    m.add_fact("f1")
+    m.add_fact("f2")
+    m.add_fact("f3")
+    m.add_vote("f1", "s1", Vote.TRUE)
+    m.add_vote("f1", "s2", Vote.FALSE)
+    m.add_vote("f2", "s1", Vote.TRUE)
+    return m
+
+
+class TestConstruction:
+    def test_counts(self, simple_matrix):
+        assert simple_matrix.num_facts == 3
+        assert simple_matrix.num_sources == 2
+        assert simple_matrix.num_votes == 3
+
+    def test_registration_is_idempotent(self, simple_matrix):
+        simple_matrix.add_fact("f1")
+        simple_matrix.add_source("s1")
+        assert simple_matrix.num_facts == 3
+        assert simple_matrix.num_sources == 2
+        # Re-registering does not erase votes.
+        assert simple_matrix.vote("f1", "s1") is Vote.TRUE
+
+    def test_re_adding_same_vote_is_fine(self, simple_matrix):
+        simple_matrix.add_vote("f1", "s1", Vote.TRUE)
+        assert simple_matrix.num_votes == 3
+
+    def test_conflicting_vote_raises(self, simple_matrix):
+        with pytest.raises(ValueError, match="conflicting vote"):
+            simple_matrix.add_vote("f1", "s1", Vote.FALSE)
+
+    def test_non_vote_raises(self, simple_matrix):
+        with pytest.raises(TypeError):
+            simple_matrix.add_vote("f1", "s1", "T")
+
+    def test_vote_implicitly_registers(self):
+        m = VoteMatrix()
+        m.add_vote("f", "s", Vote.TRUE)
+        assert "f" in m
+        assert m.sources == ["s"]
+
+
+class TestLookup:
+    def test_vote(self, simple_matrix):
+        assert simple_matrix.vote("f1", "s2") is Vote.FALSE
+
+    def test_missing_vote_is_none(self, simple_matrix):
+        assert simple_matrix.vote("f3", "s1") is None
+        assert simple_matrix.vote("nope", "s1") is None
+
+    def test_votes_on(self, simple_matrix):
+        assert simple_matrix.votes_on("f1") == {"s1": Vote.TRUE, "s2": Vote.FALSE}
+        assert simple_matrix.votes_on("f3") == {}
+
+    def test_votes_on_returns_copy(self, simple_matrix):
+        votes = simple_matrix.votes_on("f1")
+        votes["s1"] = Vote.FALSE
+        assert simple_matrix.vote("f1", "s1") is Vote.TRUE
+
+    def test_votes_by(self, simple_matrix):
+        assert simple_matrix.votes_by("s1") == {"f1": Vote.TRUE, "f2": Vote.TRUE}
+
+    def test_voters(self, simple_matrix):
+        assert set(simple_matrix.voters("f1")) == {"s1", "s2"}
+
+    def test_iter_and_len(self, simple_matrix):
+        assert list(simple_matrix) == ["f1", "f2", "f3"]
+        assert len(simple_matrix) == 3
+
+    def test_repr(self, simple_matrix):
+        assert "facts=3" in repr(simple_matrix)
+
+
+class TestSignatures:
+    def test_signature_is_sorted_canonical(self, simple_matrix):
+        assert simple_matrix.signature("f1") == (("s1", "T"), ("s2", "F"))
+
+    def test_empty_signature(self, simple_matrix):
+        assert simple_matrix.signature("f3") == ()
+
+    def test_affirmative_only(self, simple_matrix):
+        assert simple_matrix.has_only_affirmative("f2")
+        assert not simple_matrix.has_only_affirmative("f1")  # has an F
+        assert not simple_matrix.has_only_affirmative("f3")  # no votes
+
+    def test_affirmative_only_facts(self, simple_matrix):
+        assert simple_matrix.affirmative_only_facts() == ["f2"]
+
+    def test_conflicted_facts(self, simple_matrix):
+        assert simple_matrix.conflicted_facts() == ["f1"]
+
+
+class TestFromRows:
+    def test_paper_layout(self):
+        m = VoteMatrix.from_rows(
+            ["s1", "s2", "s3"], {"r1": ["T", "-", "F"], "r2": ["-", "-", "-"]}
+        )
+        assert m.vote("r1", "s1") is Vote.TRUE
+        assert m.vote("r1", "s2") is None
+        assert m.vote("r1", "s3") is Vote.FALSE
+        assert m.votes_on("r2") == {}
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="expected 2 vote symbols"):
+            VoteMatrix.from_rows(["s1", "s2"], {"r1": ["T"]})
+
+
+class TestStatistics:
+    def test_coverage(self, simple_matrix):
+        assert simple_matrix.coverage("s1") == pytest.approx(2 / 3)
+        assert simple_matrix.coverage("s2") == pytest.approx(1 / 3)
+
+    def test_coverage_empty_matrix(self):
+        m = VoteMatrix()
+        m.add_source("s")
+        assert m.coverage("s") == 0.0
+
+    def test_overlap_jaccard(self, simple_matrix):
+        # s1 voted {f1, f2}, s2 voted {f1}: |∩|=1, |∪|=2.
+        assert simple_matrix.overlap("s1", "s2") == pytest.approx(0.5)
+
+    def test_overlap_self_is_one(self, simple_matrix):
+        assert simple_matrix.overlap("s1", "s1") == 1.0
+
+    def test_overlap_symmetric(self, simple_matrix):
+        assert simple_matrix.overlap("s1", "s2") == simple_matrix.overlap("s2", "s1")
+
+    def test_overlap_no_votes(self):
+        m = VoteMatrix()
+        m.add_source("a")
+        m.add_source("b")
+        assert m.overlap("a", "b") == 0.0

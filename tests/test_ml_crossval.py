@@ -1,0 +1,78 @@
+"""Unit tests for stratified k-fold CV and the MLCorroborator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate_result
+from repro.ml import (
+    LogisticRegression,
+    cross_val_probabilities,
+    ml_logistic,
+    ml_svm,
+    stratified_folds,
+)
+
+
+class TestStratifiedFolds:
+    def test_partition(self):
+        labels = np.array([True] * 30 + [False] * 20)
+        folds = stratified_folds(labels, k=5, seed=1)
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices) == list(range(50))
+        assert len(folds) == 5
+
+    def test_class_ratio_preserved(self):
+        labels = np.array([True] * 40 + [False] * 20)
+        for fold in stratified_folds(labels, k=10, seed=0):
+            positives = labels[fold].sum()
+            assert 3 <= positives <= 5  # 40/10 = 4 ± rounding
+
+    def test_too_many_folds_raises(self):
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([True, False]), k=3)
+
+    def test_k_below_two_raises(self):
+        with pytest.raises(ValueError):
+            stratified_folds(np.array([True, False]), k=1)
+
+    def test_deterministic(self):
+        labels = np.array([True, False] * 10)
+        a = stratified_folds(labels, k=4, seed=9)
+        b = stratified_folds(labels, k=4, seed=9)
+        assert all((x == y).all() for x, y in zip(a, b))
+
+
+class TestCrossValProbabilities:
+    def test_held_out_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 3))
+        y = (x[:, 0] > 0)
+        probs = cross_val_probabilities(LogisticRegression, x, y, k=5)
+        assert probs.shape == (80,)
+        assert np.all((probs >= 0) & (probs <= 1))
+        # Learnable signal: held-out probabilities separate the classes.
+        assert probs[y].mean() - probs[~y].mean() > 0.3
+
+
+class TestMLCorroborators:
+    def test_logistic_on_restaurants(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = ml_logistic().run(ds)
+        counts = evaluate_result(result, ds)
+        # Paper Table 4: ML-Logistic accuracy 0.82 on the full crawl; the
+        # small world should still comfortably beat the 0.57 true-fraction
+        # base rate.
+        assert counts.accuracy > 0.7
+        assert set(result.probabilities) == set(ds.matrix.facts)
+
+    def test_svm_on_restaurants(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = ml_svm().run(ds)
+        counts = evaluate_result(result, ds)
+        assert counts.accuracy > 0.65
+
+    def test_trust_reported_per_source(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = ml_logistic().run(ds)
+        assert set(result.trust) == set(ds.matrix.sources)
+        assert all(0.0 <= t <= 1.0 for t in result.trust.values())

@@ -1,0 +1,57 @@
+"""Unit tests for the ML featurisation (repro.ml.features)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.features import labelled_examples, vote_features
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+@pytest.fixture()
+def ds():
+    matrix = VoteMatrix.from_rows(
+        ["s1", "s2", "s3"],
+        {"f1": ["T", "F", "-"], "f2": ["-", "T", "T"], "f3": ["-", "-", "-"]},
+    )
+    return Dataset(
+        matrix=matrix,
+        truth={"f1": True, "f2": False},
+        golden_set=frozenset({"f1", "f2"}),
+    )
+
+
+class TestVoteFeatures:
+    def test_encoding(self, ds):
+        features, facts, sources = vote_features(ds)
+        assert facts == ["f1", "f2", "f3"]
+        assert sources == ["s1", "s2", "s3"]
+        assert features.tolist() == [
+            [1.0, -1.0, 0.0],
+            [0.0, 1.0, 1.0],
+            [0.0, 0.0, 0.0],
+        ]
+
+    def test_subset(self, ds):
+        features, facts, _ = vote_features(ds, ["f2"])
+        assert facts == ["f2"]
+        assert features.shape == (1, 3)
+
+
+class TestLabelledExamples:
+    def test_golden_scope(self, ds):
+        features, labels, facts, _ = labelled_examples(ds)
+        assert facts == ["f1", "f2"]
+        assert labels.tolist() == [True, False]
+        assert features.shape == (2, 3)
+
+    def test_no_labels_raises(self):
+        matrix = VoteMatrix.from_rows(["s"], {"f": ["T"]})
+        with pytest.raises(ValueError):
+            labelled_examples(Dataset(matrix=matrix))
+
+    def test_order_alignment(self, ds):
+        features, labels, facts, _ = labelled_examples(ds)
+        by_fact = dict(zip(facts, features.tolist()))
+        assert by_fact["f1"] == [1.0, -1.0, 0.0]
+        assert np.count_nonzero(labels) == 1

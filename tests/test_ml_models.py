@@ -1,0 +1,116 @@
+"""Unit tests for the from-scratch logistic regression and SMO SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, LogisticRegression
+
+
+def linear_data(n=200, noise=0.2, seed=0, d=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = np.arange(1, d + 1, dtype=float) * np.where(np.arange(d) % 2, -1, 1)
+    y = (x @ w + noise * rng.normal(size=n)) > 0
+    return x, y, w
+
+
+class TestLogisticRegression:
+    def test_fits_linear_data(self):
+        x, y, _ = linear_data()
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_probabilities_calibrated_direction(self):
+        x, y, _ = linear_data()
+        model = LogisticRegression().fit(x, y)
+        p = model.predict_proba(x)
+        assert p[y].mean() > p[~y].mean()
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_recovers_weight_direction(self):
+        x, y, w = linear_data(n=2000, noise=0.05)
+        model = LogisticRegression().fit(x, y)
+        learned = model.weights[1:]
+        cos = learned @ w / (np.linalg.norm(learned) * np.linalg.norm(w))
+        assert cos > 0.98
+
+    def test_intercept_learned(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 2))
+        y = (x[:, 0] + 2.0) > 0  # shifted boundary
+        model = LogisticRegression().fit(x, y)
+        assert model.weights[0] > 0  # positive intercept
+
+    def test_separable_data_stays_finite(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([False, False, True, True])
+        model = LogisticRegression().fit(x, y)
+        assert np.all(np.isfinite(model.weights))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((2, 1)), np.array([0.5, 1.0]))
+
+    def test_invalid_ridge(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(ridge=-1)
+
+
+class TestLinearSVM:
+    def test_fits_linear_data(self):
+        x, y, _ = linear_data(n=300)
+        model = LinearSVM().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.93
+
+    def test_recovers_weight_direction(self):
+        x, y, w = linear_data(n=300, noise=0.1)
+        model = LinearSVM().fit(x, y)
+        cos = model.weights @ w / (np.linalg.norm(model.weights) * np.linalg.norm(w))
+        assert cos > 0.95
+
+    def test_single_class_degenerates_gracefully(self):
+        x = np.zeros((5, 2))
+        y = np.ones(5, dtype=bool)
+        model = LinearSVM().fit(x, y)
+        assert model.predict(np.zeros((2, 2))).all()
+
+    def test_decision_function_margin_sign(self):
+        x, y, _ = linear_data(n=200)
+        model = LinearSVM().fit(x, y)
+        margins = model.decision_function(x)
+        assert ((margins >= 0) == model.predict(x)).all()
+
+    def test_predict_proba_monotone_in_margin(self):
+        x, y, _ = linear_data(n=200)
+        model = LinearSVM().fit(x, y)
+        margins = model.decision_function(x)
+        probs = model.predict_proba(x)
+        order = np.argsort(margins)
+        assert np.all(np.diff(probs[order]) >= -1e-12)
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((0, 2)), np.zeros(0, dtype=bool))
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        x, y, _ = linear_data(n=150)
+        a = LinearSVM(seed=5).fit(x, y)
+        b = LinearSVM(seed=5).fit(x, y)
+        assert np.allclose(a.weights, b.weights)
+        assert a.bias == b.bias

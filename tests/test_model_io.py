@@ -1,0 +1,126 @@
+"""Tests for dataset/result serialisation (repro.model.io)."""
+
+import pytest
+
+from repro.core import IncEstimate
+from repro.model.io import (
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset,
+    load_result,
+    read_truth_csv,
+    read_votes_csv,
+    result_from_json,
+    result_to_json,
+    save_dataset,
+    save_result,
+    write_truth_csv,
+    write_votes_csv,
+)
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+
+@pytest.fixture()
+def dataset():
+    matrix = VoteMatrix.from_rows(
+        ["s1", "s2"], {"f1": ["T", "F"], "f2": ["T", "-"], "f3": ["-", "-"]}
+    )
+    return Dataset(
+        matrix=matrix,
+        truth={"f1": True, "f2": False},
+        golden_set=frozenset({"f1"}),
+        name="io-test",
+    )
+
+
+class TestJsonRoundtrip:
+    def test_dataset_roundtrip(self, dataset):
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert restored.name == "io-test"
+        assert restored.matrix.facts == dataset.matrix.facts
+        assert restored.matrix.sources == dataset.matrix.sources
+        assert restored.truth == dataset.truth
+        assert restored.golden_set == dataset.golden_set
+        for fact in dataset.matrix.facts:
+            assert restored.matrix.votes_on(fact) == dataset.matrix.votes_on(fact)
+
+    def test_file_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        save_dataset(dataset, path)
+        restored = load_dataset(path)
+        assert restored.truth == dataset.truth
+
+    def test_voteless_facts_survive(self, dataset):
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert "f3" in restored.matrix
+        assert restored.matrix.votes_on("f3") == {}
+
+
+class TestCsvRoundtrip:
+    def test_votes_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "votes.csv"
+        write_votes_csv(dataset, path)
+        matrix = read_votes_csv(path, facts=["f3"])
+        assert matrix.vote("f1", "s2") is Vote.FALSE
+        assert matrix.vote("f2", "s1") is Vote.TRUE
+        assert "f3" in matrix  # pre-registered voteless fact
+
+    def test_truth_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "truth.csv"
+        write_truth_csv(dataset, path)
+        truth, golden = read_truth_csv(path)
+        assert truth == dataset.truth
+        assert golden == dataset.golden_set
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_votes_csv(path)
+        with pytest.raises(ValueError, match="columns"):
+            read_truth_csv(path)
+
+    def test_dash_vote_rejected(self, tmp_path):
+        path = tmp_path / "votes.csv"
+        path.write_text("fact,source,vote\nf,s,-\n")
+        with pytest.raises(ValueError, match="omitted"):
+            read_votes_csv(path)
+
+    def test_bad_truth_label_rejected(self, tmp_path):
+        path = tmp_path / "truth.csv"
+        path.write_text("fact,label\nf,maybe\n")
+        with pytest.raises(ValueError, match="true/false"):
+            read_truth_csv(path)
+
+
+class TestResultRoundtrip:
+    def test_result_with_trajectory(self, motivating, tmp_path):
+        result = IncEstimate().run(motivating)
+        restored = result_from_json(result_to_json(result))
+        assert restored.method == result.method
+        assert restored.probabilities == result.probabilities
+        assert restored.trust == result.trust
+        assert restored.labels() == result.labels()
+        assert restored.trajectory is not None
+        assert restored.trajectory.as_rows() == result.trajectory.as_rows()
+
+    def test_result_file_roundtrip(self, motivating, tmp_path):
+        result = IncEstimate().run(motivating)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.iterations == result.iterations
+
+    def test_label_overrides_survive(self):
+        from repro.core.result import CorroborationResult
+
+        result = CorroborationResult(
+            method="x",
+            probabilities={"f": 0.5},
+            trust={"s": 0.9},
+            label_overrides={"f": False},
+        )
+        restored = result_from_json(result_to_json(result))
+        assert restored.label("f") is False

@@ -1,0 +1,122 @@
+"""Tests for the dataset perturbation utilities."""
+
+import pytest
+
+from repro.core import IncEstHeu, IncEstimate
+from repro.datasets.perturb import (
+    adversarial_source,
+    drop_source,
+    drop_votes,
+    flip_votes,
+    inject_copier,
+)
+from repro.eval import evaluate_result
+from repro.model.votes import Vote
+
+
+class TestFlipVotes:
+    def test_zero_fraction_is_identity(self, motivating):
+        out = flip_votes(motivating, 0.0)
+        for fact in motivating.facts:
+            assert out.matrix.votes_on(fact) == motivating.matrix.votes_on(fact)
+
+    def test_one_fraction_flips_everything(self, motivating):
+        out = flip_votes(motivating, 1.0)
+        for fact in motivating.facts:
+            for source, vote in motivating.matrix.votes_on(fact).items():
+                assert out.matrix.vote(fact, source) is vote.flipped()
+
+    def test_original_untouched(self, motivating):
+        before = motivating.matrix.num_votes
+        flip_votes(motivating, 0.5)
+        assert motivating.matrix.num_votes == before
+
+    def test_truth_and_golden_carried(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        out = flip_votes(ds, 0.1)
+        assert out.truth == ds.truth
+        assert out.golden_set == ds.golden_set
+
+    def test_invalid_fraction(self, motivating):
+        with pytest.raises(ValueError):
+            flip_votes(motivating, 1.5)
+
+    def test_deterministic(self, motivating):
+        a = flip_votes(motivating, 0.5, seed=1)
+        b = flip_votes(motivating, 0.5, seed=1)
+        for fact in motivating.facts:
+            assert a.matrix.votes_on(fact) == b.matrix.votes_on(fact)
+
+
+class TestDropVotes:
+    def test_fraction_removed(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        out = drop_votes(ds, 0.3, seed=2)
+        ratio = out.matrix.num_votes / ds.matrix.num_votes
+        assert 0.6 < ratio < 0.8
+
+    def test_facts_survive_even_when_voteless(self, motivating):
+        out = drop_votes(motivating, 1.0)
+        assert out.matrix.num_votes == 0
+        assert out.matrix.num_facts == 12
+
+
+class TestDropSource:
+    def test_source_removed(self, motivating):
+        out = drop_source(motivating, "s4")
+        assert "s4" not in out.matrix.sources
+        assert all("s4" not in out.matrix.votes_on(f) for f in out.facts)
+
+    def test_unknown_source_raises(self, motivating):
+        with pytest.raises(KeyError):
+            drop_source(motivating, "nope")
+
+
+class TestInjectCopier:
+    def test_copier_replicates_votes(self, motivating):
+        out = inject_copier(motivating, "s4", copy_fraction=1.0)
+        assert out.matrix.votes_by("copier") == motivating.matrix.votes_by("s4")
+
+    def test_partial_copy(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        out = inject_copier(ds, "YellowPages", copy_fraction=0.5, seed=3)
+        original = len(ds.matrix.votes_by("YellowPages"))
+        copied = len(out.matrix.votes_by("copier"))
+        assert 0.4 * original < copied < 0.6 * original
+
+    def test_existing_name_rejected(self, motivating):
+        with pytest.raises(ValueError):
+            inject_copier(motivating, "s1", name="s2")
+
+    def test_detected_by_dependence_scan(self, small_restaurant_world):
+        from repro.analysis import dependence_scores
+
+        ds = small_restaurant_world.dataset
+        out = inject_copier(ds, "YellowPages", copy_fraction=0.95, seed=0)
+        scores = dependence_scores(out)
+        top = scores[0]
+        assert {top.source_a, top.source_b} == {"YellowPages", "copier"}
+
+
+class TestAdversarialSource:
+    def test_votes_invert_truth(self, motivating):
+        out = adversarial_source(motivating, coverage=1.0)
+        for fact, label in motivating.truth.items():
+            vote = out.matrix.vote(fact, "adversary")
+            assert vote is (Vote.FALSE if label else Vote.TRUE)
+
+    def test_requires_truth(self, motivating):
+        from repro.model.dataset import Dataset
+
+        bare = Dataset(matrix=motivating.matrix)
+        with pytest.raises(ValueError):
+            adversarial_source(bare)
+
+    def test_incestimate_degrades_gracefully(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        poisoned = adversarial_source(ds, coverage=0.3, seed=1)
+        clean = evaluate_result(IncEstimate(IncEstHeu()).run(ds), ds)
+        dirty = evaluate_result(IncEstimate(IncEstHeu()).run(poisoned), poisoned)
+        # Not a hard guarantee — just that one adversary at 30% coverage
+        # does not collapse the run.
+        assert dirty.accuracy > clean.accuracy - 0.25

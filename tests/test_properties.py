@@ -1,0 +1,259 @@
+"""Hypothesis property-based tests on the core data structures and
+invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import binary_entropy
+from repro.core.fact_groups import group_facts, group_probability
+from repro.core.scoring import corroborate, decide, update_trust
+from repro.dedup.normalize import normalize_address, normalize_name
+from repro.dedup.similarity import cosine, listing_similarity, ngram_vector, term_vector
+from repro.eval.metrics import ConfusionCounts
+from repro.eval.significance import mcnemar_test
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+from repro.model.votes import Vote
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+trust_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Entropy (Equation 3)
+# ---------------------------------------------------------------------------
+class TestEntropyProperties:
+    @given(probabilities)
+    def test_range(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0
+
+    @given(probabilities)
+    def test_symmetry(self, p):
+        assert math.isclose(
+            binary_entropy(p), binary_entropy(1.0 - p), abs_tol=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=0.49))
+    def test_strictly_below_maximum_away_from_half(self, p):
+        assert binary_entropy(p) < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Corrob / Update_Trust (Equations 5-8)
+# ---------------------------------------------------------------------------
+@st.composite
+def votes_and_trust(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    sources = [f"s{i}" for i in range(n)]
+    votes = {
+        s: Vote.TRUE if draw(st.booleans()) else Vote.FALSE for s in sources
+    }
+    trust = {s: draw(trust_values) for s in sources}
+    return votes, trust
+
+
+class TestCorroborateProperties:
+    @given(votes_and_trust())
+    def test_probability_in_unit_interval(self, data):
+        votes, trust = data
+        assert 0.0 <= corroborate(votes, trust) <= 1.0
+
+    @given(votes_and_trust())
+    def test_flipping_all_votes_complements_probability(self, data):
+        votes, trust = data
+        flipped = {s: v.flipped() for s, v in votes.items()}
+        assert math.isclose(
+            corroborate(votes, trust),
+            1.0 - corroborate(flipped, trust),
+            abs_tol=1e-9,
+        )
+
+    @given(votes_and_trust(), trust_values)
+    def test_monotone_in_affirming_source_trust(self, data, new_trust):
+        votes, trust = data
+        source, vote = next(iter(votes.items()))
+        raised = dict(trust)
+        raised[source] = max(trust[source], new_trust)
+        before = corroborate(votes, trust)
+        after = corroborate(votes, raised)
+        if vote is Vote.TRUE:
+            assert after >= before - 1e-12
+        else:
+            assert after <= before + 1e-12
+
+
+@st.composite
+def small_dataset(draw):
+    num_sources = draw(st.integers(min_value=1, max_value=4))
+    num_facts = draw(st.integers(min_value=1, max_value=8))
+    sources = [f"s{i}" for i in range(num_sources)]
+    matrix = VoteMatrix()
+    for s in sources:
+        matrix.add_source(s)
+    for fi in range(num_facts):
+        fact = f"f{fi}"
+        matrix.add_fact(fact)
+        for s in sources:
+            symbol = draw(st.sampled_from(["T", "F", "-"]))
+            vote = Vote.from_symbol(symbol)
+            if vote is not None:
+                matrix.add_vote(fact, s, vote)
+    return matrix
+
+
+class TestUpdateTrustProperties:
+    @given(small_dataset(), st.data())
+    def test_trust_in_unit_interval(self, matrix, data):
+        labels = {
+            f: data.draw(st.booleans(), label=f"label_{f}") for f in matrix.facts
+        }
+        trust = update_trust(matrix, labels)
+        assert all(0.0 <= t <= 1.0 for t in trust.values())
+
+    @given(small_dataset())
+    def test_all_true_labels_reward_affirmers(self, matrix):
+        labels = {f: True for f in matrix.facts}
+        trust = update_trust(matrix, labels, default_trust=0.9)
+        for source in matrix.sources:
+            votes = matrix.votes_by(source)
+            if votes and all(v is Vote.TRUE for v in votes.values()):
+                assert trust[source] == 1.0
+
+    @given(small_dataset())
+    def test_flipping_labels_complements_trust(self, matrix):
+        labels = {f: True for f in matrix.facts}
+        flipped = {f: False for f in matrix.facts}
+        t1 = update_trust(matrix, labels, default_trust=0.5)
+        t2 = update_trust(matrix, flipped, default_trust=0.5)
+        for source in matrix.sources:
+            if matrix.votes_by(source):
+                assert math.isclose(t1[source] + t2[source], 1.0, abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Fact groups
+# ---------------------------------------------------------------------------
+class TestGroupingProperties:
+    @given(small_dataset())
+    def test_groups_partition_facts(self, matrix):
+        groups = group_facts(matrix)
+        members = [f for g in groups for f in g.facts]
+        assert sorted(members) == sorted(matrix.facts)
+
+    @given(small_dataset())
+    def test_group_members_share_signature(self, matrix):
+        for group in group_facts(matrix):
+            signatures = {matrix.signature(f) for f in group.facts}
+            assert signatures == {group.signature}
+
+    @given(small_dataset(), st.data())
+    def test_group_probability_matches_member_corroboration(self, matrix, data):
+        trust = {
+            s: data.draw(trust_values, label=f"trust_{s}") for s in matrix.sources
+        }
+        for group in group_facts(matrix):
+            p_group = group_probability(group.signature, trust, 0.5)
+            for fact in group.facts:
+                p_fact = corroborate(matrix.votes_on(fact), trust, 0.5)
+                assert math.isclose(p_group, p_fact, abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+class TestMetricProperties:
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_confusion_metrics_bounded(self, tp, fp, tn, fn):
+        counts = ConfusionCounts(tp, fp, tn, fn)
+        for value in (counts.precision, counts.recall, counts.accuracy, counts.f1):
+            assert 0.0 <= value <= 1.0
+        assert counts.errors == fp + fn
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_mcnemar_self_comparison(self, vector):
+        assert mcnemar_test(vector, vector) == 1.0
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+        st.data(),
+    )
+    def test_mcnemar_p_value_range(self, a, data):
+        b = [data.draw(st.booleans(), label=f"b_{i}") for i in range(len(a))]
+        assert 0.0 < mcnemar_test(a, b) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Dedup
+# ---------------------------------------------------------------------------
+text_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127)
+    | st.sampled_from(" ',-.&"),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestDedupProperties:
+    @given(text_strategy)
+    def test_normalize_address_idempotent(self, text):
+        once = normalize_address(text)
+        assert normalize_address(once) == once
+
+    @given(text_strategy)
+    def test_normalize_name_idempotent(self, text):
+        once = normalize_name(text)
+        assert normalize_name(once) == once
+
+    @given(text_strategy, text_strategy)
+    def test_similarity_symmetric_and_bounded(self, a, b):
+        s1 = listing_similarity(a, b)
+        s2 = listing_similarity(b, a)
+        assert math.isclose(s1, s2, abs_tol=1e-9)
+        assert 0.0 <= s1 <= 1.0 + 1e-9
+
+    @given(text_strategy)
+    def test_self_similarity_is_one_for_nonempty(self, text):
+        if text.strip():
+            if text.split():
+                assert math.isclose(
+                    cosine(term_vector(text), term_vector(text)), 1.0, abs_tol=1e-9
+                )
+            assert math.isclose(
+                cosine(ngram_vector(text), ngram_vector(text)), 1.0, abs_tol=1e-9
+            )
+
+
+# ---------------------------------------------------------------------------
+# End-to-end invariant: every corroborator's output is well-formed
+# ---------------------------------------------------------------------------
+class TestCorroboratorContract:
+    @given(small_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_incestimate_contract(self, matrix):
+        from repro.core import IncEstimate
+
+        dataset = Dataset(matrix=matrix)
+        result = IncEstimate().run(dataset)
+        assert set(result.probabilities) == set(matrix.facts)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+        assert set(result.trust) == set(matrix.sources)
+        assert all(0.0 <= t <= 1.0 for t in result.trust.values())
+        for fact in matrix.facts:
+            assert result.label(fact) in (True, False)
+
+    @given(small_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_twoestimate_contract(self, matrix):
+        from repro.baselines import TwoEstimate
+
+        dataset = Dataset(matrix=matrix)
+        result = TwoEstimate().run(dataset)
+        assert set(result.probabilities) == set(matrix.facts)
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in result.probabilities.values())

@@ -1,0 +1,95 @@
+"""Unit tests for the Corrob / Update_Trust operators (Equations 5–8).
+
+The Update_Trust tests pin the exact round-by-round trust vectors of the
+paper's Section 2.3 walkthrough (Figure 1).
+"""
+
+import pytest
+
+from repro.core.scoring import corroborate, decide, update_trust
+from repro.datasets import motivating_example
+from repro.model.votes import Vote
+
+
+class TestDecide:
+    def test_threshold_is_half_inclusive(self):
+        assert decide(0.5)
+        assert decide(0.9)
+        assert not decide(0.49)
+
+    def test_custom_threshold(self):
+        assert not decide(0.5, threshold=0.6)
+
+
+class TestCorroborate:
+    def test_affirmative_average(self):
+        votes = {"a": Vote.TRUE, "b": Vote.TRUE}
+        assert corroborate(votes, {"a": 0.8, "b": 0.4}) == pytest.approx(0.6)
+
+    def test_negative_vote_uses_complement(self):
+        votes = {"a": Vote.TRUE, "b": Vote.FALSE}
+        assert corroborate(votes, {"a": 0.8, "b": 0.4}) == pytest.approx(0.7)
+
+    def test_no_votes_returns_default(self):
+        assert corroborate({}, {}, default_probability=0.25) == 0.25
+
+    def test_walkthrough_round1_r9(self):
+        # r9 = (s3 T, s5 T) at default 0.9 -> 0.9 -> true.
+        votes = {"s3": Vote.TRUE, "s5": Vote.TRUE}
+        assert corroborate(votes, {"s3": 0.9, "s5": 0.9}) == pytest.approx(0.9)
+
+    def test_walkthrough_round2_r5(self):
+        # r5 = (s1 T, s4 T) after round 1: s1 still default 0.9, s4 = 0.
+        votes = {"s1": Vote.TRUE, "s4": Vote.TRUE}
+        probability = corroborate(votes, {"s1": 0.9, "s4": 0.0})
+        assert probability == pytest.approx(0.45)
+        assert not decide(probability)
+
+
+class TestUpdateTrustWalkthrough:
+    """Figure 1's trust vectors, reproduced exactly."""
+
+    def test_round1_vector(self, motivating):
+        # After evaluating r9 -> true and r12 -> false:
+        trust = update_trust(
+            motivating.matrix, {"r9": True, "r12": False}, default_trust=0.9
+        )
+        assert trust["s1"] == 0.9  # the '-' entry: no evaluated votes
+        assert trust["s2"] == 1.0
+        assert trust["s3"] == 1.0
+        assert trust["s4"] == 0.0
+        assert trust["s5"] == 1.0
+
+    def test_round2_vector(self, motivating):
+        evaluated = {"r9": True, "r12": False, "r5": False, "r6": False}
+        trust = update_trust(motivating.matrix, evaluated, default_trust=0.9)
+        assert [trust[s] for s in ("s1", "s2", "s3", "s4", "s5")] == [
+            0.0,
+            1.0,
+            1.0,
+            0.0,
+            1.0,
+        ]
+
+    def test_final_vector(self, motivating):
+        # All facts evaluated with the walkthrough's final labels (true for
+        # everything except r5, r6, r12) -> {0.67, 1, 1, 0.7, 1}.
+        labels = {f: True for f in motivating.facts}
+        labels.update({"r5": False, "r6": False, "r12": False})
+        trust = update_trust(motivating.matrix, labels, default_trust=0.9)
+        assert trust["s1"] == pytest.approx(2 / 3)
+        assert trust["s2"] == 1.0
+        assert trust["s3"] == 1.0
+        assert trust["s4"] == pytest.approx(0.7)
+        assert trust["s5"] == 1.0
+
+
+class TestUpdateTrustEdgeCases:
+    def test_empty_evaluations_keep_default(self, motivating):
+        trust = update_trust(motivating.matrix, {}, default_trust=0.42)
+        assert all(value == 0.42 for value in trust.values())
+
+    def test_f_vote_on_false_fact_counts_correct(self, motivating):
+        trust = update_trust(motivating.matrix, {"r6": False}, default_trust=0.9)
+        assert trust["s3"] == 1.0  # s3's F vote agrees with the false label
+        assert trust["s4"] == 0.0  # s4's T vote disagrees

@@ -1,0 +1,139 @@
+"""Unit tests for the IncEstHeu / IncEstPS selection strategies."""
+
+import pytest
+
+from repro.core.fact_groups import FactGroup, group_facts
+from repro.core.selection import (
+    IncEstHeu,
+    IncEstPS,
+    SelectionContext,
+    SelectionItem,
+    _delta_h_scores,
+)
+
+import numpy as np
+
+
+def make_context(groups, trust, correct=None, total=None):
+    sources = list(trust)
+    return SelectionContext(
+        groups=groups,
+        trust=trust,
+        default_trust=0.9,
+        default_fact_probability=0.1,
+        correct_counts=correct or {s: 0 for s in sources},
+        total_counts=total or {s: 0 for s in sources},
+    )
+
+
+def motivating_groups(motivating):
+    return group_facts(motivating.matrix)
+
+
+class TestIncEstPS:
+    def test_selects_highest_probability_group(self, motivating):
+        groups = motivating_groups(motivating)
+        context = make_context(groups, {s: 0.9 for s in motivating.sources})
+        selection = IncEstPS().select(context)
+        assert len(selection) == 1
+        item = selection[0]
+        # The r3 group (s1, s3, s5 all T) ties with other all-T groups at
+        # 0.9; argmax picks the first such group in dataset order (r2).
+        assert item.group.is_affirmative_only()
+        assert item.count == item.group.size
+        assert item.label is None
+
+    def test_empty_context(self):
+        context = make_context([], {"s": 0.9})
+        assert IncEstPS().select(context) == []
+
+
+class TestIncEstHeuValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IncEstHeu(own_entropy_weight=-1)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            IncEstHeu(projection_smoothing=-1)
+
+
+class TestIncEstHeuSelection:
+    def test_balanced_pair_with_labels(self, motivating):
+        groups = motivating_groups(motivating)
+        context = make_context(groups, {s: 0.9 for s in motivating.sources})
+        selection = IncEstHeu().select(context)
+        assert len(selection) == 2
+        positive, negative = selection
+        assert positive.label is True
+        assert negative.label is False
+        assert positive.count == negative.count >= 1
+        # The negative group must actually sit at or below 0.5.
+        from repro.core.fact_groups import group_probability
+
+        assert (
+            group_probability(negative.group.signature, context.trust, 0.1) <= 0.5
+        )
+
+    def test_one_sided_flush(self):
+        groups = [
+            FactGroup(signature=(("s", "T"),), facts=["a", "b"]),
+            FactGroup(signature=(("s", "T"), ("t", "T")), facts=["c"]),
+        ]
+        context = make_context(groups, {"s": 0.9, "t": 0.9})
+        selection = IncEstHeu(flush_when_one_sided=True).select(context)
+        assert sum(item.count for item in selection) == 3
+        assert all(item.label is None for item in selection)
+
+    def test_one_sided_without_flush_consumes_one_group(self):
+        groups = [
+            FactGroup(signature=(("s", "T"),), facts=["a", "b"]),
+            FactGroup(signature=(("s", "T"), ("t", "T")), facts=["c"]),
+        ]
+        context = make_context(groups, {"s": 0.9, "t": 0.9})
+        selection = IncEstHeu(flush_when_one_sided=False).select(context)
+        assert len(selection) == 1
+        assert selection[0].count == selection[0].group.size
+
+    def test_balanced_count_is_min_of_sizes(self):
+        groups = [
+            FactGroup(signature=(("good", "T"),), facts=[f"p{i}" for i in range(5)]),
+            FactGroup(signature=(("bad", "F"),), facts=["n1", "n2"]),
+        ]
+        context = make_context(groups, {"good": 0.9, "bad": 0.9})
+        selection = IncEstHeu().select(context)
+        counts = {item.label: item.count for item in selection}
+        assert counts == {True: 2, False: 2}
+
+    def test_empty_context(self):
+        context = make_context([], {"s": 0.9})
+        assert IncEstHeu().select(context) == []
+
+
+class TestDeltaHScores:
+    def test_no_op_candidate_scores_zero_under_smoothing(self):
+        # A group whose hypothetical evaluation exactly agrees with the
+        # anchored projection leaves every other group's probability (and
+        # thus entropy) untouched only if trust does not move; with a large
+        # smoothing constant the movement is negligible.
+        groups = [
+            FactGroup(signature=(("s", "T"),), facts=["a"]),
+            FactGroup(signature=(("t", "T"),), facts=["b"]),
+        ]
+        context = make_context(groups, {"s": 0.9, "t": 0.9})
+        scores = _delta_h_scores(
+            context, np.array([0.9, 0.9]), smoothing=1e9
+        )
+        assert np.allclose(scores, 0.0, atol=1e-6)
+
+    def test_scores_shape(self, motivating):
+        groups = motivating_groups(motivating)
+        context = make_context(groups, {s: 0.9 for s in motivating.sources})
+        probs = np.asarray(context.group_probabilities())
+        scores = _delta_h_scores(context, probs)
+        assert scores.shape == (len(groups),)
+        assert np.all(np.isfinite(scores))
+
+    def test_selection_item_defaults(self):
+        item = SelectionItem(FactGroup(signature=(), facts=["x"]), 1)
+        assert item.label is None

@@ -1,0 +1,96 @@
+"""Tests for the step-wise CorroborationSession."""
+
+import pytest
+
+from repro.core import IncEstHeu, IncEstimate
+from repro.datasets import motivating_example
+
+
+@pytest.fixture()
+def algorithm():
+    return IncEstimate(IncEstHeu(), trust_prior_strength=0.0)
+
+
+class TestStepSemantics:
+    def test_initial_state(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        assert not session.done
+        assert session.time_point == 0
+        assert session.remaining_facts == 12
+        assert session.evaluated_facts == 0
+        assert all(v == 0.9 for v in session.trust.values())
+
+    def test_step_advances_state(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        records = session.step()
+        assert session.time_point == 1
+        assert session.evaluated_facts == sum(r.num_facts for r in records)
+        assert session.remaining_facts == 12 - session.evaluated_facts
+        assert session.rounds == records
+
+    def test_walkthrough_round1_trust(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        session.step()
+        session.step()
+        # After the first two balanced rounds (r5/r6 + r9/r12 groups), the
+        # trust vector reflects the committed labels.
+        trust = session.trust
+        assert trust["s4"] < 0.5  # s4 backed the false facts
+        assert trust["s3"] == 1.0
+
+    def test_current_labels_accumulate(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        session.step()
+        labels = session.current_labels()
+        assert len(labels) == session.evaluated_facts
+
+    def test_step_after_done_raises(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        while not session.done:
+            session.step()
+        with pytest.raises(RuntimeError, match="complete"):
+            session.step()
+
+    def test_finalize_before_done_raises(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        session.step()
+        with pytest.raises(RuntimeError, match="unevaluated"):
+            session.finalize()
+
+    def test_finalize_idempotent(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        while not session.done:
+            session.step()
+        a = session.finalize()
+        b = session.finalize()
+        assert a.probabilities == b.probabilities
+        assert a.trajectory.num_time_points == b.trajectory.num_time_points
+
+    def test_remaining_groups_are_copies(self, algorithm, motivating):
+        session = algorithm.session(motivating)
+        groups = session.remaining_groups
+        groups[0].take(groups[0].size)  # mutate the copy
+        assert session.remaining_facts == 12
+
+
+class TestEquivalenceWithRun:
+    def test_stepwise_equals_run(self, algorithm, motivating):
+        direct = algorithm.run(motivating)
+        session = algorithm.session(motivating)
+        while not session.done:
+            session.step()
+        stepped = session.finalize()
+        assert stepped.probabilities == direct.probabilities
+        assert stepped.trust == direct.trust
+        assert stepped.labels() == direct.labels()
+        assert stepped.iterations == direct.iterations
+
+    def test_equivalence_on_generated_world(self):
+        from repro.datasets import generate_synthetic
+
+        ds = generate_synthetic(num_facts=400, seed=3).dataset
+        algorithm = IncEstimate(IncEstHeu())
+        direct = algorithm.run(ds)
+        stepped = algorithm.session(ds).run_to_completion()
+        assert stepped.probabilities == direct.probabilities
+        assert stepped.trust == direct.trust

@@ -1,0 +1,31 @@
+"""Small-scale test of the significance experiment (E12)."""
+
+from repro.experiments import build_world, significance_table
+
+
+class TestSignificanceTable:
+    def test_rows_and_ranges(self):
+        world = build_world(num_facts=2_000)
+        rows = significance_table(
+            world,
+            bayes_burn_in=2,
+            bayes_samples=4,
+            permutation_iterations=500,
+        )
+        assert len(rows) == 7  # every Table 4 method except IncEstHeu
+        for row in rows:
+            assert 0.0 < row["permutation_p"] <= 1.0
+            assert 0.0 <= row["mcnemar_p"] <= 1.0
+            assert -1.0 <= row["accuracy_delta"] <= 1.0
+
+    def test_beats_single_value_methods(self):
+        world = build_world(num_facts=2_000)
+        rows = significance_table(
+            world,
+            bayes_burn_in=2,
+            bayes_samples=4,
+            permutation_iterations=500,
+        )
+        by_method = {row["vs"]: row for row in rows}
+        for method in ("Voting", "TwoEstimate"):
+            assert by_method[method]["accuracy_delta"] > 0.0

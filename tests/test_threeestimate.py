@@ -1,0 +1,61 @@
+"""Unit tests for ThreeEstimate (difficulty-aware Galland variant)."""
+
+import pytest
+
+from repro.baselines import ThreeEstimate, TwoEstimate
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+class TestReductionProperty:
+    """Paper footnote 3: on T-only data ThreeEstimate simplifies to
+    TwoEstimate."""
+
+    def test_matches_twoestimate_on_affirmative_only_data(self):
+        matrix = VoteMatrix.from_rows(
+            ["a", "b", "c"],
+            {
+                "f1": ["T", "T", "-"],
+                "f2": ["T", "-", "T"],
+                "f3": ["-", "T", "T"],
+                "f4": ["T", "-", "-"],
+            },
+        )
+        ds = Dataset(matrix=matrix)
+        three = ThreeEstimate().run(ds)
+        two = TwoEstimate().run(ds)
+        assert three.labels() == two.labels()
+        for source in ds.sources:
+            assert three.trust[source] == pytest.approx(two.trust[source], abs=1e-6)
+
+    def test_difficulty_collapses_to_zero_when_unanimous(self):
+        matrix = VoteMatrix.from_rows(["a", "b"], {"f": ["T", "T"]})
+        result = ThreeEstimate().run(Dataset(matrix=matrix))
+        # Unanimously backed fact, every vote agrees with the label: the
+        # sources end perfect and the fact probability hits 1.
+        assert result.probabilities["f"] == pytest.approx(1.0)
+
+
+class TestConflictHandling:
+    def test_outvoted_f_vote(self, motivating):
+        result = ThreeEstimate().run(motivating)
+        labels = result.labels()
+        # Like TwoEstimate, the F-majority fact r12 is identified.
+        assert labels["r12"] is False
+
+    def test_probabilities_in_range(self, motivating):
+        result = ThreeEstimate().run(motivating)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+        assert all(0.0 <= t <= 1.0 for t in result.trust.values())
+
+
+class TestValidation:
+    def test_bad_initial_difficulty(self):
+        with pytest.raises(ValueError):
+            ThreeEstimate(initial_difficulty=2.0)
+
+    def test_unvoted_fact_and_source(self):
+        matrix = VoteMatrix.from_rows(["a", "b"], {"f": ["T", "-"], "g": ["-", "-"]})
+        result = ThreeEstimate(default_trust=0.8).run(Dataset(matrix=matrix))
+        assert result.trust["b"] == pytest.approx(0.8)
+        assert result.probabilities["g"] == pytest.approx(0.8)

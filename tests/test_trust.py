@@ -1,0 +1,73 @@
+"""Unit tests for the TrustTrajectory multi-value trust ledger."""
+
+import pytest
+
+from repro.core.trust import TrustTrajectory
+
+
+@pytest.fixture()
+def trajectory():
+    t = TrustTrajectory(["s1", "s2"])
+    t.record({"s1": 0.9, "s2": 0.9})
+    t.record({"s1": 1.0, "s2": 0.5})
+    return t
+
+
+class TestRecording:
+    def test_record_returns_index(self):
+        t = TrustTrajectory(["s"])
+        assert t.record({"s": 0.9}) == 0
+        assert t.record({"s": 0.8}) == 1
+
+    def test_missing_source_raises(self):
+        t = TrustTrajectory(["s1", "s2"])
+        with pytest.raises(ValueError, match="missing sources"):
+            t.record({"s1": 0.9})
+
+    def test_extra_sources_are_ignored(self):
+        t = TrustTrajectory(["s1"])
+        t.record({"s1": 0.9, "ghost": 0.1})
+        assert t.at(0) == {"s1": 0.9}
+
+    def test_len_and_num_time_points(self, trajectory):
+        assert len(trajectory) == 2
+        assert trajectory.num_time_points == 2
+
+
+class TestAccess:
+    def test_at_returns_copy(self, trajectory):
+        vector = trajectory.at(0)
+        vector["s1"] = 0.0
+        assert trajectory.at(0)["s1"] == 0.9
+
+    def test_final(self, trajectory):
+        assert trajectory.final() == {"s1": 1.0, "s2": 0.5}
+
+    def test_final_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrustTrajectory(["s"]).final()
+
+    def test_series(self, trajectory):
+        assert trajectory.series("s2") == [0.9, 0.5]
+
+    def test_series_unknown_source_raises(self, trajectory):
+        with pytest.raises(KeyError):
+            trajectory.series("nope")
+
+    def test_as_rows(self, trajectory):
+        rows = trajectory.as_rows()
+        assert rows == [{"s1": 0.9, "s2": 0.9}, {"s1": 1.0, "s2": 0.5}]
+
+
+class TestEvaluationTimes:
+    def test_mark_and_lookup(self, trajectory):
+        trajectory.mark_evaluated(["f1", "f2"], 0)
+        trajectory.mark_evaluated(["f3"], 1)
+        assert trajectory.evaluation_time("f1") == 0
+        assert trajectory.evaluation_time("f3") == 1
+        assert trajectory.evaluation_time("unseen") is None
+
+    def test_double_evaluation_raises(self, trajectory):
+        trajectory.mark_evaluated(["f1"], 0)
+        with pytest.raises(ValueError, match="already evaluated"):
+            trajectory.mark_evaluated(["f1"], 1)

@@ -1,0 +1,92 @@
+"""Unit tests for TwoEstimate, pinned to the paper's Section 2.1 numbers."""
+
+import pytest
+
+from repro.baselines import TwoEstimate
+from repro.baselines.twoestimate import rescale_unit
+from repro.eval import evaluate_result
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+import numpy as np
+
+
+class TestPaperNumbers:
+    """Section 2.1: 'a result of true for all the restaurants except for
+    r12, and a trust score of {1, 1, 0.8, 0.9, 1}'."""
+
+    def test_labels(self, motivating):
+        labels = TwoEstimate().run(motivating).labels()
+        assert labels["r12"] is False
+        assert all(labels[f] for f in motivating.facts if f != "r12")
+
+    def test_trust_vector(self, motivating):
+        trust = TwoEstimate().run(motivating).trust
+        expected = {"s1": 1.0, "s2": 1.0, "s3": 0.8, "s4": 0.9, "s5": 1.0}
+        for source, value in expected.items():
+            assert trust[source] == pytest.approx(value), source
+
+    def test_table2_metrics(self, motivating):
+        counts = evaluate_result(TwoEstimate().run(motivating), motivating)
+        # Paper Table 2: precision 0.64, recall 1, accuracy 0.67.
+        assert counts.recall == 1.0
+        assert counts.precision == pytest.approx(7 / 11, abs=0.01)
+        assert counts.accuracy == pytest.approx(8 / 12, abs=0.01)
+
+
+class TestMechanics:
+    def test_invalid_normalization_rejected(self):
+        with pytest.raises(ValueError):
+            TwoEstimate(normalization="bogus")
+
+    def test_converges_quickly_on_affirmative_data(self):
+        matrix = VoteMatrix.from_rows(
+            ["a", "b"], {f"f{i}": ["T", "T"] for i in range(10)}
+        )
+        result = TwoEstimate().run(Dataset(matrix=matrix))
+        assert result.iterations <= 5
+        assert all(result.labels().values())
+        assert all(t == pytest.approx(1.0) for t in result.trust.values())
+
+    def test_sources_without_votes_keep_default(self):
+        matrix = VoteMatrix.from_rows(["a", "b"], {"f": ["T", "-"]})
+        result = TwoEstimate(default_trust=0.7).run(Dataset(matrix=matrix))
+        assert result.trust["b"] == pytest.approx(0.7)
+
+    def test_unvoted_facts_keep_default_probability(self):
+        matrix = VoteMatrix.from_rows(["a"], {"f": ["T"], "g": ["-"]})
+        result = TwoEstimate(default_trust=0.9).run(Dataset(matrix=matrix))
+        assert result.probabilities["g"] == pytest.approx(0.9)
+
+    def test_rescale_variant_runs(self, motivating):
+        result = TwoEstimate(normalization="rescale").run(motivating)
+        assert set(result.probabilities) == set(motivating.facts)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+
+    def test_deterministic(self, motivating):
+        a = TwoEstimate().run(motivating)
+        b = TwoEstimate().run(motivating)
+        assert a.probabilities == b.probabilities
+
+
+class TestRescaleUnit:
+    def test_affine(self):
+        out = rescale_unit(np.array([0.2, 0.6, 1.0]))
+        assert out == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_constant_vector_unchanged(self):
+        values = np.array([0.4, 0.4])
+        assert rescale_unit(values) == pytest.approx([0.4, 0.4])
+
+
+class TestSingleValueCollapse:
+    """Section 4.2's claim: a single-value algorithm labels every
+    affirmative-only fact true with near-perfect source trust."""
+
+    def test_collapse_on_restaurants(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        result = TwoEstimate().run(ds)
+        affirmative = ds.matrix.affirmative_only_facts()
+        labels = result.labels()
+        assert all(labels[f] for f in affirmative)
+        assert min(result.trust.values()) > 0.9

@@ -1,0 +1,90 @@
+"""Unit tests for the Voting and Counting baselines."""
+
+import pytest
+
+from repro.baselines import Counting, Voting
+from repro.eval import evaluate_result
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
+
+
+@pytest.fixture()
+def toy():
+    matrix = VoteMatrix.from_rows(
+        ["s1", "s2", "s3", "s4"],
+        {
+            "all_t": ["T", "T", "T", "T"],
+            "majority_t": ["T", "T", "F", "-"],
+            "tie": ["T", "F", "-", "-"],
+            "majority_f": ["T", "F", "F", "-"],
+            "one_t": ["T", "-", "-", "-"],
+            "no_votes": ["-", "-", "-", "-"],
+        },
+    )
+    return Dataset(matrix=matrix)
+
+
+class TestVoting:
+    def test_labels(self, toy):
+        labels = Voting().run(toy).labels()
+        assert labels["all_t"] is True
+        assert labels["majority_t"] is True
+        assert labels["tie"] is True  # ties resolve to true
+        assert labels["majority_f"] is False
+        assert labels["one_t"] is True
+        assert labels["no_votes"] is True  # 0.5 default, tie rule
+
+    def test_probabilities_are_vote_fractions(self, toy):
+        result = Voting().run(toy)
+        assert result.probabilities["majority_t"] == pytest.approx(2 / 3)
+        assert result.probabilities["majority_f"] == pytest.approx(1 / 3)
+        assert result.probabilities["no_votes"] == 0.5
+
+    def test_trust_reported_for_all_sources(self, toy):
+        result = Voting().run(toy)
+        assert set(result.trust) == {"s1", "s2", "s3", "s4"}
+
+
+class TestCounting:
+    def test_strict_majority_of_all_sources(self, toy):
+        labels = Counting().run(toy).labels()
+        assert labels["all_t"] is True  # 4/4
+        assert labels["majority_t"] is False  # 2/4 is not MORE than half
+        assert labels["one_t"] is False
+        assert labels["no_votes"] is False
+
+    def test_three_of_four_is_majority(self):
+        matrix = VoteMatrix.from_rows(["a", "b", "c", "d"], {"f": ["T", "T", "T", "-"]})
+        labels = Counting().run(Dataset(matrix=matrix)).labels()
+        assert labels["f"] is True
+
+    def test_probability_denominator_is_all_sources(self, toy):
+        result = Counting().run(toy)
+        assert result.probabilities["majority_t"] == pytest.approx(0.5)
+        # The label override encodes the strict rule.
+        assert result.label("majority_t") is False
+
+    def test_empty_matrix_raises(self):
+        with pytest.raises(ValueError):
+            Counting().run(Dataset(matrix=VoteMatrix()))
+
+
+class TestOnPaperData:
+    def test_voting_perfect_recall_on_motivating(self, motivating):
+        counts = evaluate_result(Voting().run(motivating), motivating)
+        assert counts.recall == 1.0
+        # 7 true facts out of 11 predicted true (r12 has an F majority).
+        assert counts.precision == pytest.approx(7 / 11)
+
+    def test_voting_on_restaurants_recall_one(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        counts = evaluate_result(Voting().run(ds), ds)
+        assert counts.recall >= 0.99
+        assert counts.precision < 0.8  # affirmative flood -> low precision
+
+    def test_counting_high_precision_low_recall(self, small_restaurant_world):
+        ds = small_restaurant_world.dataset
+        counts = evaluate_result(Counting().run(ds), ds)
+        # Paper Table 4 shape: precision well above recall.
+        assert counts.precision > 0.8
+        assert counts.recall < 0.7
