@@ -1,0 +1,42 @@
+"""Core-engine performance baseline — regenerates ``BENCH_core.json``.
+
+Runs the incremental algorithm's bench matrix (restaurants + Hubdub-like,
+IncEstHeu + IncEstPS, engine and scalar backends) and rewrites the
+machine-readable baseline at the repository root, so the committed file
+always reflects the code it sits next to.  The schema is documented in
+:mod:`repro.eval.bench`; the CI smoke validates the same schema from a
+``--quick`` run in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.eval.bench import run_core_bench, validate_payload, write_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_bench_core_json(benchmark, paper_world, hubdub_world):
+    datasets = {
+        "restaurants": paper_world.dataset,
+        "hubdub-like": hubdub_world.questions.to_dataset(),
+    }
+
+    def run():
+        return run_core_bench(datasets=datasets, repeats=3)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    validate_payload(payload)
+    # The engine must never lose to the scalar reference path it replaces.
+    for row in payload["summary"]:
+        assert row["speedup"] > 1.0, row
+    (REPO_ROOT / "BENCH_core.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_bench_quick_schema(tmp_path):
+    """The --quick path (the CI smoke) emits a schema-valid file."""
+    payload = write_bench(tmp_path / "BENCH_core.json", repeats=1, quick=True)
+    validate_payload(payload)
+    assert (tmp_path / "BENCH_core.json").exists()

@@ -1,92 +1,14 @@
-"""Shared dense group-level arrays for the iterative baselines.
+"""Backwards-compatible shim — the dense group arrays moved to core.
 
-TwoEstimate / ThreeEstimate / Cosine score every fact from who voted and
-how, so facts with identical vote signatures are interchangeable.  The
-iterative baselines therefore run over *fact groups* (cf.
-:mod:`repro.core.fact_groups`) with group sizes as weights, which turns each
-iteration into a handful of small dense matrix products — the restaurant
-dataset collapses from ~37k facts to a few hundred groups.
+:class:`~repro.core.arrays.GroupArrays` started life here as a private
+helper of the iterative baselines; once the incremental algorithm's array
+engine began sharing it, it was promoted to :mod:`repro.core.arrays`
+(which also made construction array-native and cached per matrix).  This
+module remains only so external code importing the old path keeps working.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from repro.core.arrays import GroupArrays
 
-import numpy as np
-
-from repro.core.fact_groups import FactGroup, group_facts
-from repro.model.dataset import Dataset
-from repro.model.matrix import FactId, SourceId
-from repro.model.votes import Vote
-
-
-@dataclasses.dataclass
-class GroupArrays:
-    """Dense incidence matrices of the fact groups of a dataset.
-
-    Attributes:
-        groups: the fact groups, aligned with the array rows.
-        sources: source ids, aligned with the array columns.
-        affirm: affirm[g, s] == 1 iff source s casts a T vote in group g.
-        deny: deny[g, s] == 1 iff source s casts an F vote in group g.
-        voted: affirm + deny.
-        degree: number of voters per group (row sum of ``voted``).
-        sizes: number of facts per group.
-    """
-
-    groups: list[FactGroup]
-    sources: list[SourceId]
-    affirm: np.ndarray
-    deny: np.ndarray
-    voted: np.ndarray
-    degree: np.ndarray
-    sizes: np.ndarray
-
-    @classmethod
-    def from_dataset(cls, dataset: Dataset) -> "GroupArrays":
-        groups = group_facts(dataset.matrix)
-        sources = dataset.matrix.sources
-        source_index = {s: i for i, s in enumerate(sources)}
-        affirm = np.zeros((len(groups), len(sources)))
-        deny = np.zeros((len(groups), len(sources)))
-        for gi, group in enumerate(groups):
-            for source, symbol in group.signature:
-                if symbol == Vote.TRUE.value:
-                    affirm[gi, source_index[source]] = 1.0
-                else:
-                    deny[gi, source_index[source]] = 1.0
-        voted = affirm + deny
-        return cls(
-            groups=groups,
-            sources=sources,
-            affirm=affirm,
-            deny=deny,
-            voted=voted,
-            degree=voted.sum(axis=1),
-            sizes=np.array([g.size for g in groups], dtype=float),
-        )
-
-    @property
-    def num_groups(self) -> int:
-        return len(self.groups)
-
-    @property
-    def num_sources(self) -> int:
-        return len(self.sources)
-
-    def fact_probabilities(self, group_probs: np.ndarray) -> dict[FactId, float]:
-        """Expand per-group probabilities back to a per-fact mapping."""
-        probabilities: dict[FactId, float] = {}
-        for group, prob in zip(self.groups, group_probs):
-            value = float(prob)
-            for fact in group.facts:
-                probabilities[fact] = value
-        return probabilities
-
-    def trust_mapping(self, trust: np.ndarray) -> dict[SourceId, float]:
-        """Per-source trust vector as a source-id keyed mapping."""
-        return {s: float(t) for s, t in zip(self.sources, trust)}
-
-    def source_has_votes(self) -> np.ndarray:
-        """Boolean mask of sources that cast at least one vote."""
-        return (self.voted * self.sizes[:, None]).sum(axis=0) > 0
+__all__ = ["GroupArrays"]

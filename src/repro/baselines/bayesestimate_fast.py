@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines._arrays import GroupArrays
+from repro.core.arrays import GroupArrays
 from repro.baselines.bayesestimate import (
     PAPER_ALPHA_FALSE,
     PAPER_ALPHA_TRUE,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines._arrays import GroupArrays
+from repro.core.arrays import GroupArrays
 from repro.core.result import CorroborationResult, Corroborator
 from repro.model.dataset import Dataset
 

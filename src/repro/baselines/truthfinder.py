@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.baselines._arrays import GroupArrays
+from repro.core.arrays import GroupArrays
 from repro.core.result import CorroborationResult, Corroborator
 from repro.model.dataset import Dataset
 

@@ -1,0 +1,586 @@
+"""Dense group-level arrays: the shared numeric backbone of the library.
+
+Every algorithm here scores a fact from *who voted and how*, so facts with
+identical vote signatures are interchangeable and all numeric work happens
+over **fact groups** (:mod:`repro.core.fact_groups`).  This module holds the
+two array structures built on that observation:
+
+* :class:`GroupArrays` — immutable dense incidence matrices of a matrix's
+  fact groups.  The iterative baselines (TwoEstimate, 3-Estimates, Cosine,
+  BayesEstimate, …) run their fixpoint loops directly over these matrices;
+  it moved here from ``repro.baselines._arrays`` once the incremental
+  algorithm started sharing it.
+* :class:`SessionArrays` — the *session-lifetime engine* of the incremental
+  algorithm: per-source ``correct``/``total`` counters and the trust vector
+  as numpy arrays updated in place, an active-group mask instead of list
+  rebuilds, and vectorised group probabilities.  One instance is built per
+  :class:`~repro.core.session.CorroborationSession` and maintained
+  incrementally across time points, so the ΔH selection step consumes
+  cached incidence matrices instead of reconstructing them from group
+  signatures at every time point.
+
+Construction is array-native: the vote matrix maintains a packed signature
+code per fact (:meth:`~repro.model.matrix.VoteMatrix.signature_codes`), so
+grouping is a single integer-key partition — no per-fact signature tuples,
+no sorting — and the result is cached on the matrix
+(:meth:`~repro.model.matrix.VoteMatrix.derived_cache`, invalidated on
+mutation) so repeated runs over the same append-only matrix share it.
+
+Bit-exactness.  The engine is required to reproduce the scalar reference
+path *exactly* (same probabilities, same tie-breaks, same trust
+trajectories).  Two rules make that hold:
+
+* probabilities are computed by a **sequential column fold** over the
+  sorted-signature contributions (see
+  :meth:`SessionArrays.compute_probabilities`), which performs the same
+  float additions in the same order as the
+  :func:`~repro.core.fact_groups.group_probability` loop — a plain
+  ``affirm @ trust`` matmul or ``np.add.reduceat`` would use a different
+  summation order and drift in the last ulp;
+* counters are updated with the same ``+= n`` operations, in the same
+  per-selection order, as the scalar dict updates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.fact_groups import FactGroup
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, Signature, SourceId, VoteMatrix
+from repro.model.votes import Vote
+
+#: Matrices with at most this many sources pack a whole signature code into
+#: an int64 (2 bits per source), enabling the numpy grouping path; wider
+#: matrices fall back to Python-int partitioning.
+_INT64_SOURCE_LIMIT = 31
+
+#: Key under which :meth:`GroupArrays.for_matrix` caches itself in the
+#: matrix's derived-structure cache.
+_CACHE_KEY = "group_arrays"
+
+#: Key of the cached :class:`_EngineTemplate` (flat per-vote structures).
+_TEMPLATE_KEY = "engine_template"
+
+
+def _partition_by_code(matrix: VoteMatrix) -> tuple[list[int], list[list[FactId]]]:
+    """Partition facts by packed signature code, first-occurrence order.
+
+    Returns the distinct codes and the member facts per code, ordered by
+    each group's first member fact — the exact order of
+    :func:`~repro.core.fact_groups.group_facts`.
+    """
+    codes = matrix.signature_codes()
+    if not codes:
+        return [], []
+    if matrix.num_sources <= _INT64_SOURCE_LIMIT:
+        arr = np.fromiter(codes.values(), dtype=np.int64, count=len(codes))
+        uniq, first_index, inverse = np.unique(
+            arr, return_index=True, return_inverse=True
+        )
+        # np.unique sorts by value; re-rank the unique codes by where each
+        # first appeared so group order matches dataset order.
+        order = np.argsort(first_index, kind="stable")
+        rank = np.empty(len(order), dtype=np.intp)
+        rank[order] = np.arange(len(order))
+        rows = rank[inverse.ravel()]
+        counts = np.bincount(rows, minlength=len(uniq))
+        fact_order = np.argsort(rows, kind="stable")
+        facts_sorted = np.array(matrix.facts, dtype=object)[fact_order]
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        group_codes = [int(c) for c in uniq[order]]
+        facts_lists = [
+            facts_sorted[offsets[g] : offsets[g + 1]].tolist()
+            for g in range(len(group_codes))
+        ]
+        return group_codes, facts_lists
+    buckets: dict[int, list[FactId]] = {}
+    for fact, code in codes.items():
+        members = buckets.get(code)
+        if members is None:
+            buckets[code] = [fact]
+        else:
+            members.append(fact)
+    return list(buckets.keys()), list(buckets.values())
+
+
+def _decode_codes(group_codes: list[int], num_sources: int) -> np.ndarray:
+    """Per-group vote values (0 = no vote, 1 = T, 2 = F) as a (G, S) array."""
+    n_groups = len(group_codes)
+    if n_groups == 0 or num_sources == 0:
+        return np.zeros((n_groups, num_sources), dtype=np.uint8)
+    nbytes = (2 * num_sources + 7) // 8
+    buf = b"".join(code.to_bytes(nbytes, "little") for code in group_codes)
+    bits = np.unpackbits(
+        np.frombuffer(buf, dtype=np.uint8).reshape(n_groups, nbytes),
+        axis=1,
+        bitorder="little",
+    )
+    t_bits = bits[:, 0 : 2 * num_sources : 2]
+    f_bits = bits[:, 1 : 2 * num_sources : 2]
+    return (t_bits + 2 * f_bits).astype(np.uint8)
+
+
+def _signature_from_values(values: np.ndarray, sources: list[SourceId]) -> Signature:
+    """Canonical sorted signature tuple of one decoded group row."""
+    return tuple(
+        sorted(
+            (sources[col], Vote.TRUE.value if values[col] == 1 else Vote.FALSE.value)
+            for col in np.flatnonzero(values)
+        )
+    )
+
+
+@dataclasses.dataclass
+class GroupArrays:
+    """Dense incidence matrices of the fact groups of a matrix.
+
+    Treat instances as **immutable**: they are shared — cached on the vote
+    matrix and across corroborator runs.  Code that needs to consume groups
+    (the incremental session) must copy the fact lists first.
+
+    Attributes:
+        groups: the fact groups, aligned with the array rows.
+        sources: source ids, aligned with the array columns.
+        affirm: affirm[g, s] == 1 iff source s casts a T vote in group g.
+        deny: deny[g, s] == 1 iff source s casts an F vote in group g.
+        voted: affirm + deny.
+        degree: number of voters per group (row sum of ``voted``).
+        sizes: number of facts per group.
+    """
+
+    groups: list[FactGroup]
+    sources: list[SourceId]
+    affirm: np.ndarray
+    deny: np.ndarray
+    voted: np.ndarray
+    degree: np.ndarray
+    sizes: np.ndarray
+
+    @classmethod
+    def from_matrix(cls, matrix: VoteMatrix) -> "GroupArrays":
+        """Build the dense group arrays of ``matrix`` (array-native path).
+
+        Produces exactly the groups of
+        :func:`~repro.core.fact_groups.group_facts` — same order, same
+        signatures, same member order — but derives them from the matrix's
+        packed signature codes instead of per-fact signature tuples.
+        """
+        sources = matrix.sources
+        group_codes, facts_lists = _partition_by_code(matrix)
+        values = _decode_codes(group_codes, len(sources))
+        groups = [
+            FactGroup(signature=_signature_from_values(values[g], sources), facts=facts)
+            for g, facts in enumerate(facts_lists)
+        ]
+        affirm = (values == 1).astype(float)
+        deny = (values == 2).astype(float)
+        voted = affirm + deny
+        return cls(
+            groups=groups,
+            sources=sources,
+            affirm=affirm,
+            deny=deny,
+            voted=voted,
+            degree=voted.sum(axis=1),
+            sizes=np.array([len(facts) for facts in facts_lists], dtype=float),
+        )
+
+    @classmethod
+    def for_matrix(cls, matrix: VoteMatrix) -> "GroupArrays":
+        """The (cached) dense group arrays of ``matrix``.
+
+        The instance is cached in the matrix's derived-structure cache and
+        invalidated automatically when the matrix mutates, so every
+        corroborator run over the same matrix shares one grouping pass.
+        """
+        cache = matrix.derived_cache()
+        arrays = cache.get(_CACHE_KEY)
+        if arrays is None:
+            arrays = cls.from_matrix(matrix)
+            cache[_CACHE_KEY] = arrays
+        return arrays
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "GroupArrays":
+        return cls.for_matrix(dataset.matrix)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    def fact_probabilities(self, group_probs: np.ndarray) -> dict[FactId, float]:
+        """Expand per-group probabilities back to a per-fact mapping."""
+        probabilities: dict[FactId, float] = {}
+        for group, prob in zip(self.groups, group_probs):
+            value = float(prob)
+            for fact in group.facts:
+                probabilities[fact] = value
+        return probabilities
+
+    def trust_mapping(self, trust: np.ndarray) -> dict[SourceId, float]:
+        """Per-source trust vector as a source-id keyed mapping."""
+        return {s: float(t) for s, t in zip(self.sources, trust)}
+
+    def source_has_votes(self) -> np.ndarray:
+        """Boolean mask of sources that cast at least one vote."""
+        return (self.voted * self.sizes[:, None]).sum(axis=0) > 0
+
+
+@dataclasses.dataclass
+class _EngineTemplate:
+    """Immutable flat vote structures shared by every session of a matrix.
+
+    One entry per (group, voter) pair, in *sorted-signature order* — the
+    iteration order of the Equation 5 scalar loop — plus per-row index
+    arrays for the counter updates.  Nothing here mutates during a run, so
+    sessions over the same matrix share one instance via the derived cache.
+    """
+
+    flat_rows: np.ndarray
+    flat_cols: np.ndarray
+    flat_src: np.ndarray
+    flat_is_true: np.ndarray
+    row_sources: list[np.ndarray]
+    row_true: list[np.ndarray]
+    row_false: list[np.ndarray]
+    max_degree: int
+
+
+def _build_engine_template(base: GroupArrays) -> _EngineTemplate:
+    source_pos = {s: i for i, s in enumerate(base.sources)}
+    flat_rows: list[int] = []
+    flat_cols: list[int] = []
+    flat_src: list[int] = []
+    flat_is_true: list[bool] = []
+    row_sources: list[np.ndarray] = []
+    row_true: list[np.ndarray] = []
+    row_false: list[np.ndarray] = []
+    max_degree = 0
+    for row, group in enumerate(base.groups):
+        srcs: list[int] = []
+        trues: list[int] = []
+        falses: list[int] = []
+        for j, (source, symbol) in enumerate(group.signature):
+            idx = source_pos[source]
+            flat_rows.append(row)
+            flat_cols.append(j)
+            flat_src.append(idx)
+            is_true = symbol == Vote.TRUE.value
+            flat_is_true.append(is_true)
+            srcs.append(idx)
+            (trues if is_true else falses).append(idx)
+        max_degree = max(max_degree, len(group.signature))
+        row_sources.append(np.array(srcs, dtype=np.intp))
+        row_true.append(np.array(trues, dtype=np.intp))
+        row_false.append(np.array(falses, dtype=np.intp))
+    return _EngineTemplate(
+        flat_rows=np.array(flat_rows, dtype=np.intp),
+        flat_cols=np.array(flat_cols, dtype=np.intp),
+        flat_src=np.array(flat_src, dtype=np.intp),
+        flat_is_true=np.array(flat_is_true, dtype=bool),
+        row_sources=row_sources,
+        row_true=row_true,
+        row_false=row_false,
+        max_degree=max_degree,
+    )
+
+
+def _engine_template(matrix: VoteMatrix, base: GroupArrays) -> _EngineTemplate:
+    """The (cached) flat vote structures of ``matrix``'s group arrays."""
+    cache = matrix.derived_cache()
+    template = cache.get(_TEMPLATE_KEY)
+    if template is None:
+        template = _build_engine_template(base)
+        cache[_TEMPLATE_KEY] = template
+    return template
+
+
+@dataclasses.dataclass
+class _DHSlices:
+    """Active-row slices of the ΔH incidence matrices (see ``dh_slices``)."""
+
+    affirm: np.ndarray
+    deny: np.ndarray
+    degree: np.ndarray
+    degree_pos: np.ndarray
+    sizes: np.ndarray
+    affirm_sized: np.ndarray
+    deny_sized: np.ndarray
+    voted_sized: np.ndarray
+
+
+class VectorMapping(Mapping):
+    """Read-only source-id → float view over a live numpy vector.
+
+    Serves dict-shaped consumers (custom selection strategies reading
+    ``SelectionContext.correct_counts``) without copying the engine's
+    counter vectors on every time point.  The view is *live*: lookups
+    reflect the vector's in-place updates.
+    """
+
+    __slots__ = ("_keys", "_index", "_vector")
+
+    def __init__(
+        self,
+        keys: list[SourceId],
+        index: dict[SourceId, int],
+        vector: np.ndarray,
+    ) -> None:
+        self._keys = keys
+        self._index = index
+        self._vector = vector
+
+    def __getitem__(self, key: SourceId) -> float:
+        return float(self._vector[self._index[key]])
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:
+        return f"VectorMapping({len(self._keys)} sources)"
+
+
+class SessionArrays:
+    """Session-lifetime numeric state of the incremental algorithm.
+
+    Built **once** per :class:`~repro.core.session.CorroborationSession`
+    and updated in place as time points commit facts:
+
+    * :attr:`groups` are fresh (consumable) copies of the matrix's fact
+      groups; :attr:`active` masks the rows that still hold facts.
+    * :attr:`correct` / :attr:`total` are the per-source agreement counters
+      (Equation 8 numerator/denominator, including prior pseudo-votes) and
+      :attr:`trust` the derived trust vector — the array mirrors of the
+      scalar session's dicts, updated with identical float operations.
+    * :meth:`compute_probabilities` evaluates σ(FG) for every group in one
+      vectorised sweep whose additions replay the Equation 5 loop order
+      exactly (see the module docstring), so the engine's probabilities are
+      bit-identical to :func:`~repro.core.fact_groups.group_probability`.
+
+    The ΔH selection step reads the cached :attr:`base` incidence matrices
+    through :meth:`active_rows` instead of rebuilding them per time point.
+    """
+
+    def __init__(
+        self,
+        matrix: VoteMatrix,
+        default_trust: float,
+        prior: float,
+    ) -> None:
+        base = GroupArrays.for_matrix(matrix)
+        self.base = base
+        self.sources: list[SourceId] = base.sources
+        #: Fresh consumable copies — ``take()`` happens on these, never on
+        #: the shared cached groups.
+        self.groups: list[FactGroup] = [
+            FactGroup(signature=g.signature, facts=list(g.facts))
+            for g in base.groups
+        ]
+        for row, group in enumerate(self.groups):
+            group.engine_row = row
+        n_groups = len(self.groups)
+        n_sources = len(self.sources)
+        self.active = np.ones(n_groups, dtype=bool)
+        self.sizes = base.sizes.copy()
+        self.correct = np.full(n_sources, default_trust * prior, dtype=float)
+        self.total = np.full(n_sources, float(prior), dtype=float)
+        self.trust = np.full(n_sources, float(default_trust), dtype=float)
+        self._default_trust = float(default_trust)
+
+        # Flat (entry-per-vote) structures in *sorted-signature order* —
+        # immutable, so shared across sessions via the matrix-level cache.
+        template = _engine_template(matrix, base)
+        self._flat_rows = template.flat_rows
+        self._flat_cols = template.flat_cols
+        self._flat_src = template.flat_src
+        self._flat_is_true = template.flat_is_true
+        self._row_sources = template.row_sources
+        self._row_true = template.row_true
+        self._row_false = template.row_false
+        self._max_degree = template.max_degree
+        self._contrib = np.zeros((n_groups, template.max_degree), dtype=float)
+        self._active_rows_cache: np.ndarray | None = None
+        self._active_groups_cache: list[FactGroup] | None = None
+        self._counter_views: tuple[VectorMapping, VectorMapping] | None = None
+        self._dh_cache: _DHSlices | None = None
+        # Size-scaled incidence matrices (incidence × group size), kept in
+        # sync with `sizes` so the ΔH step's hypothetical counter deltas
+        # are plain row slices instead of per-step broadcasts.  Row values
+        # equal `base.affirm[g] * sizes[g]` at all times (elementwise
+        # products of identical floats, so bit-identical to computing the
+        # broadcast fresh).
+        self.affirm_sized = base.affirm * self.sizes[:, None]
+        self.deny_sized = base.deny * self.sizes[:, None]
+        self.voted_sized = base.voted * self.sizes[:, None]
+        #: σ(FG) for every group row under the current trust; refreshed by
+        #: :meth:`compute_probabilities` at the start of each time point.
+        self.probabilities = np.empty(n_groups, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    def active_rows(self) -> np.ndarray:
+        """Indices of the non-empty group rows, in group order (cached)."""
+        if self._active_rows_cache is None:
+            self._active_rows_cache = np.flatnonzero(self.active)
+        return self._active_rows_cache
+
+    def has_active(self) -> bool:
+        """Whether any group still holds unevaluated facts."""
+        return len(self.active_rows()) > 0
+
+    def active_groups(self) -> list[FactGroup]:
+        """The non-empty groups, in row order (cached between changes)."""
+        if self._active_groups_cache is None:
+            groups = self.groups
+            self._active_groups_cache = [groups[row] for row in self.active_rows()]
+        return self._active_groups_cache
+
+    def remaining_facts(self) -> int:
+        """Total number of unevaluated facts across the active groups."""
+        return int(self.sizes[self.active_rows()].sum())
+
+    def trust_dict(self) -> dict[SourceId, float]:
+        """The current trust vector as a plain source → float dict."""
+        return dict(zip(self.sources, self.trust.tolist()))
+
+    def counter_dicts(self) -> tuple[dict[SourceId, float], dict[SourceId, float]]:
+        """(correct, total) counters as plain dicts (API-compat copies)."""
+        return (
+            dict(zip(self.sources, self.correct.tolist())),
+            dict(zip(self.sources, self.total.tolist())),
+        )
+
+    def counter_views(self) -> tuple["VectorMapping", "VectorMapping"]:
+        """(correct, total) counters as live non-copying mappings.
+
+        The views track the in-place counter updates, so the same pair can
+        be handed to every :class:`~repro.core.selection.SelectionContext`
+        of a session without per-step dict construction.
+        """
+        if self._counter_views is None:
+            index = {s: i for i, s in enumerate(self.sources)}
+            self._counter_views = (
+                VectorMapping(self.sources, index, self.correct),
+                VectorMapping(self.sources, index, self.total),
+            )
+        return self._counter_views
+
+    def dh_slices(self) -> _DHSlices:
+        """Active-row slices of the ΔH incidence matrices (cached).
+
+        The slices are rebuilt whenever a row deactivates; in between,
+        :meth:`apply_evaluation` patches the affected row of the mutable
+        members (``sizes`` and the size-scaled matrices) in place with the
+        exact values a fresh fancy-index slice would hold, so consumers
+        always see bit-identical data without the per-call slicing cost.
+        """
+        if self._dh_cache is None:
+            rows_idx = self.active_rows()
+            base = self.base
+            degree = base.degree[rows_idx]
+            self._dh_cache = _DHSlices(
+                affirm=base.affirm[rows_idx],
+                deny=base.deny[rows_idx],
+                degree=degree,
+                degree_pos=degree > 0,
+                sizes=self.sizes[rows_idx],
+                affirm_sized=self.affirm_sized[rows_idx],
+                deny_sized=self.deny_sized[rows_idx],
+                voted_sized=self.voted_sized[rows_idx],
+            )
+        return self._dh_cache
+
+    # ------------------------------------------------------------------
+    # Per-time-point numeric kernel
+    # ------------------------------------------------------------------
+    def compute_probabilities(self, default_fact_probability: float) -> np.ndarray:
+        """σ(FG) for every group row under the current trust (Equation 5).
+
+        Vectorised over groups, but summed in the *same order* as the
+        scalar loop: contributions are scattered into a (groups × degree)
+        matrix in sorted-signature order and folded column by column, so
+        each group's additions happen left-to-right exactly like
+        ``group_probability``.  Groups with an empty signature keep
+        ``default_fact_probability``.
+        """
+        n_groups = len(self.groups)
+        if n_groups == 0:
+            self.probabilities = np.empty(0, dtype=float)
+            return self.probabilities
+        if self._max_degree == 0:
+            self.probabilities = np.full(n_groups, default_fact_probability)
+            return self.probabilities
+        trust = self.trust
+        complement = 1.0 - trust
+        contrib = self._contrib
+        contrib[self._flat_rows, self._flat_cols] = np.where(
+            self._flat_is_true,
+            trust[self._flat_src],
+            complement[self._flat_src],
+        )
+        totals = contrib[:, 0].copy()
+        for col in range(1, self._max_degree):
+            totals += contrib[:, col]
+        degree = self.base.degree
+        with np.errstate(divide="ignore", invalid="ignore"):
+            probs = totals / degree
+        self.probabilities = np.where(degree > 0, probs, default_fact_probability)
+        return self.probabilities
+
+    def apply_evaluation(self, row: int, count: int, label: bool) -> None:
+        """Fold ``count`` evaluated facts of group ``row`` into the counters.
+
+        Mirrors the scalar update: every voter's ``total`` grows by the
+        number of facts taken, and the voters whose vote agrees with the
+        committed label grow their ``correct`` by the same amount.
+        Deactivates the row once its facts are exhausted.
+        """
+        n = float(count)
+        self.total[self._row_sources[row]] += n
+        agreeing = self._row_true[row] if label else self._row_false[row]
+        self.correct[agreeing] += n
+        self.sizes[row] -= n
+        size = self.sizes[row]
+        base = self.base
+        self.affirm_sized[row] = base.affirm[row] * size
+        self.deny_sized[row] = base.deny[row] * size
+        self.voted_sized[row] = base.voted[row] * size
+        if size <= 0:
+            self.active[row] = False
+            self._active_rows_cache = None
+            self._active_groups_cache = None
+            self._dh_cache = None
+        elif self._dh_cache is not None:
+            cache = self._dh_cache
+            pos = int(np.searchsorted(self.active_rows(), row))
+            cache.sizes[pos] = size
+            cache.affirm_sized[pos] = self.affirm_sized[row]
+            cache.deny_sized[pos] = self.deny_sized[row]
+            cache.voted_sized[pos] = self.voted_sized[row]
+
+    def refresh_trust(self) -> np.ndarray:
+        """Recompute the trust vector from the counters (Equation 8)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = self.correct / self.total
+        self.trust = np.where(self.total != 0, ratio, self._default_trust)
+        return self.trust

@@ -50,9 +50,25 @@ def binary_entropy_array(probabilities: np.ndarray) -> np.ndarray:
     probabilities as averages of trust scores, which can drift a few ulp
     outside the interval.
     """
-    p = np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0)
-    q = 1.0 - p
-    # Where p is exactly 0 or 1 the xlogy-style limit is 0.
+    # minimum/maximum instead of np.clip: identical values for non-NaN
+    # inputs, without np.clip's dispatch overhead (this runs three times
+    # per time point of the incremental algorithm).  The arithmetic below
+    # runs in place on scratch buffers — IEEE 754 multiplication is
+    # commutative and negation is exact, so `lp = log2(p); lp *= p;
+    # lp += q*log2(q); -lp` is bit-identical to the textbook
+    # `-(p*log2(p)) - (q*log2(q))` while touching half the memory.
+    p = np.maximum(np.asarray(probabilities, dtype=float), 0.0)
+    np.minimum(p, 1.0, out=p)
+    q = np.subtract(1.0, p)
+    # Where p is exactly 0 or 1 the xlogy-style limit is 0.  With p clipped
+    # into [0, 1] the only non-finite outcomes are the 0·log 0 NaNs, so a
+    # masked store replaces the (much slower) generic nan_to_num.
     with np.errstate(divide="ignore", invalid="ignore"):
-        h = -(p * np.log2(p)) - (q * np.log2(q))
-    return np.nan_to_num(h, nan=0.0, posinf=0.0, neginf=0.0)
+        h = np.log2(p)
+        h *= p
+        lq = np.log2(q)
+        lq *= q
+        h += lq
+        np.negative(h, out=h)
+    h[np.isnan(h)] = 0.0
+    return h

@@ -24,10 +24,16 @@ class FactGroup:
     Attributes:
         signature: canonical ((source, "T"/"F"), ...) tuple.
         facts: the member facts, in dataset order.
+        engine_row: row index of this group inside a
+            :class:`~repro.core.arrays.SessionArrays`; ``None`` for groups
+            that are not owned by an array engine.  Excluded from equality.
     """
 
     signature: Signature
     facts: list[FactId]
+    engine_row: int | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def size(self) -> int:
@@ -60,6 +66,49 @@ class FactGroup:
     def __repr__(self) -> str:
         sig = ",".join(f"{s}:{v}" for s, v in self.signature) or "<no votes>"
         return f"FactGroup({sig}; {self.size} facts)"
+
+
+class FactGroupView:
+    """Read-only, live view of a :class:`FactGroup`.
+
+    Exposes the group's full inspection API but none of its mutators
+    (no ``take``), so handing a view out cannot corrupt the owner's state.
+    The view is *live*: ``facts`` and ``size`` track the underlying group
+    as the incremental algorithm consumes it.
+    :attr:`~repro.core.session.CorroborationSession.remaining_groups`
+    returns these instead of deep-copying every group per access.
+    """
+
+    __slots__ = ("_group",)
+
+    def __init__(self, group: FactGroup) -> None:
+        self._group = group
+
+    @property
+    def signature(self) -> Signature:
+        return self._group.signature
+
+    @property
+    def facts(self) -> tuple[FactId, ...]:
+        """The member facts as an immutable snapshot tuple."""
+        return tuple(self._group.facts)
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    @property
+    def voters(self) -> list[SourceId]:
+        return self._group.voters
+
+    def votes(self) -> dict[SourceId, Vote]:
+        return self._group.votes()
+
+    def is_affirmative_only(self) -> bool:
+        return self._group.is_affirmative_only()
+
+    def __repr__(self) -> str:
+        return f"FactGroupView({self._group!r})"
 
 
 def group_facts(matrix: VoteMatrix, facts: Iterable[FactId] | None = None) -> list[FactGroup]:

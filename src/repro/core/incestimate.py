@@ -60,6 +60,9 @@ class IncEstimate(Corroborator):
             3(b) point at zero inaccurate sources, where most false facts
             receive no votes at all).  Facts with at least one vote are
             never touched by this value.
+        engine: run sessions on the array engine (default) or on the
+            scalar reference path; results are bit-identical either way
+            (see :class:`~repro.core.session.CorroborationSession`).
         trust_prior_strength: strength of a Bayesian prior anchoring each
             source's trust at λ, expressed as a *fraction of the dataset
             size*: the trust update becomes (correct + λ·k) / (total + k)
@@ -80,6 +83,7 @@ class IncEstimate(Corroborator):
         default_trust: float = DEFAULT_TRUST,
         default_fact_probability: float | None = None,
         trust_prior_strength: float = 5e-4,
+        engine: bool = True,
     ) -> None:
         if not 0.0 <= default_trust <= 1.0:
             raise ValueError(f"default_trust must be in [0, 1], got {default_trust}")
@@ -95,6 +99,7 @@ class IncEstimate(Corroborator):
             else default_fact_probability
         )
         self.trust_prior_strength = trust_prior_strength
+        self.engine = engine
         self.name = f"IncEstimate[{self.strategy.name}]"
 
     def run(self, dataset: Dataset) -> CorroborationResult:
@@ -117,4 +122,5 @@ class IncEstimate(Corroborator):
             default_fact_probability=self.default_fact_probability,
             trust_prior_strength=self.trust_prior_strength,
             method_name=self.name,
+            engine=self.engine,
         )

@@ -13,6 +13,8 @@ from __future__ import annotations
 import abc
 import dataclasses
 
+import numpy as np
+
 from repro.core.scoring import DECISION_THRESHOLD, decide
 from repro.core.trust import TrustTrajectory
 from repro.model.dataset import Dataset
@@ -68,12 +70,20 @@ class CorroborationResult:
         return [f for f in self.probabilities if not self.label(f)]
 
     def __post_init__(self) -> None:
-        bad = {
-            f: p
-            for f, p in self.probabilities.items()
-            if not (-1e-9 <= p <= 1.0 + 1e-9)
-        }
-        if bad:
+        if not self.probabilities:
+            return
+        # Vectorised range check — results carry tens of thousands of
+        # facts, and every construction pays this validation.
+        values = np.fromiter(
+            self.probabilities.values(), dtype=float, count=len(self.probabilities)
+        )
+        in_range = (values >= -1e-9) & (values <= 1.0 + 1e-9)
+        if not in_range.all():
+            bad = {
+                f: p
+                for f, p in self.probabilities.items()
+                if not (-1e-9 <= p <= 1.0 + 1e-9)
+            }
             fact, prob = next(iter(bad.items()))
             raise ValueError(
                 f"{self.method}: {len(bad)} fact probabilities outside [0,1] "

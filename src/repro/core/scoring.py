@@ -78,7 +78,10 @@ def update_trust(
     for source in matrix.sources:
         correct = 0
         total = 0
-        for fact, vote in matrix.votes_by(source).items():
+        # iter_votes_by avoids copying each source's full vote dict on
+        # every trust update (this function runs once per iteration in the
+        # fixpoint baselines).
+        for fact, vote in matrix.iter_votes_by(source):
             label = evaluated_labels.get(fact)
             if label is None:
                 continue

@@ -26,6 +26,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.arrays import SessionArrays
 from repro.core.entropy import binary_entropy_array
 from repro.core.fact_groups import FactGroup, group_probability
 from repro.model.matrix import SourceId
@@ -51,6 +52,13 @@ class SelectionContext:
             values, including any prior pseudo-votes the driver seeds them
             with); strategies use them to *hypothetically* advance the
             trust update without touching real state.
+        arrays: the session's array engine, when the driver runs one.  When
+            set, ``groups`` is exactly the engine's active groups (in row
+            order), the engine's :attr:`~repro.core.arrays.SessionArrays.\
+probabilities` are current for this time point, and the ΔH ranking reads
+            the cached incidence matrices instead of rebuilding them.
+            ``None`` for hand-built contexts and the scalar reference path;
+            every strategy must work in both modes.
     """
 
     groups: Sequence[FactGroup]
@@ -59,13 +67,25 @@ class SelectionContext:
     default_fact_probability: float
     correct_counts: Mapping[SourceId, float]
     total_counts: Mapping[SourceId, float]
+    arrays: SessionArrays | None = None
 
     def group_probabilities(self) -> list[float]:
         """σ(FG) for each remaining group under the current trust."""
-        return [
-            group_probability(g.signature, self.trust, self.default_fact_probability)
-            for g in self.groups
-        ]
+        return self.group_probabilities_array().tolist()
+
+    def group_probabilities_array(self) -> np.ndarray:
+        """:meth:`group_probabilities` as a float ndarray (no copies when
+        the array engine is active)."""
+        if self.arrays is not None:
+            return self.arrays.probabilities[self.arrays.active_rows()]
+        return np.array(
+            [
+                group_probability(
+                    g.signature, self.trust, self.default_fact_probability
+                )
+                for g in self.groups
+            ]
+        )
 
 
 @dataclasses.dataclass
@@ -121,7 +141,7 @@ class IncEstPS(SelectionStrategy):
     def select(self, context: SelectionContext) -> Selection:
         if not context.groups:
             return []
-        probabilities = context.group_probabilities()
+        probabilities = context.group_probabilities_array()
         best = int(np.argmax(probabilities))
         group = context.groups[best]
         return [SelectionItem(group, group.size)]
@@ -191,21 +211,36 @@ class IncEstHeu(SelectionStrategy):
         groups = list(context.groups)
         if not groups:
             return []
-        probabilities = np.asarray(context.group_probabilities())
-        positive = [i for i, p in enumerate(probabilities) if p > 0.5]
-        negative = [i for i, p in enumerate(probabilities) if p <= 0.5]
+        probabilities = context.group_probabilities_array()
+        positive_mask = probabilities > 0.5
+        positive = np.flatnonzero(positive_mask)
+        negative = np.flatnonzero(~positive_mask)
 
-        if not positive or not negative:
+        # Per-side winner = highest score, lowest index on ties — which is
+        # exactly np.argmax's first-maximum rule over the side's subarray.
+        def side_best(side: np.ndarray, scores: np.ndarray) -> int:
+            return int(side[np.argmax(scores[side])])
+
+        # When a side has a single member the argmax over it is forced, so
+        # the ΔH ranking (the expensive part) is skipped entirely; the
+        # selection is identical because the scores are only ever consumed
+        # through per-side maxima.
+        if len(positive) == 0 or len(negative) == 0:
             if self.flush_when_one_sided:
                 return [SelectionItem(g, g.size) for g in groups]
-            side = positive or negative
-            scores = self._scores(context, probabilities)
-            best = max(side, key=lambda i: (scores[i], -i))
+            side = positive if len(positive) else negative
+            if len(side) == 1:
+                best = int(side[0])
+            else:
+                best = side_best(side, self._scores(context, probabilities))
             return [SelectionItem(groups[best], groups[best].size)]
 
-        scores = self._scores(context, probabilities)
-        best_pos = max(positive, key=lambda i: (scores[i], -i))
-        best_neg = max(negative, key=lambda i: (scores[i], -i))
+        if len(positive) == 1 and len(negative) == 1:
+            best_pos, best_neg = int(positive[0]), int(negative[0])
+        else:
+            scores = self._scores(context, probabilities)
+            best_pos = side_best(positive, scores)
+            best_neg = side_best(negative, scores)
         n = min(groups[best_pos].size, groups[best_neg].size)
         return [
             SelectionItem(groups[best_pos], n, label=True),
@@ -220,7 +255,10 @@ class IncEstHeu(SelectionStrategy):
         )
         if self.own_entropy_weight == 0.0:
             return cross
-        sizes = np.array([g.size for g in context.groups], dtype=float)
+        if context.arrays is not None:
+            sizes = context.arrays.dh_slices().sizes
+        else:
+            sizes = np.array([g.size for g in context.groups], dtype=float)
         own = binary_entropy_array(probabilities) * sizes
         return cross - self.own_entropy_weight * own
 
@@ -240,78 +278,102 @@ def _delta_h_scores(
     over every other remaining group (group entropy = group size × H(σ)).
     """
     groups = context.groups
-    sources = list(context.trust)
-    source_index = {s: i for i, s in enumerate(sources)}
-    n_groups = len(groups)
-    n_sources = len(sources)
+    arrays = context.arrays
+    if arrays is not None:
+        # Engine path: read the cached active-row slices of the
+        # session-lifetime incidence matrices instead of rebuilding them
+        # from signatures.  The slices hold the same float values the
+        # scalar construction below would produce, so everything
+        # downstream is bit-identical.
+        slices = arrays.dh_slices()
+        affirm = slices.affirm
+        deny = slices.deny
+        degree = slices.degree
+        degree_pos = slices.degree_pos
+        sizes = slices.sizes
+        affirm_sized = slices.affirm_sized
+        deny_sized = slices.deny_sized
+        voted_sized = slices.voted_sized
+        correct = arrays.correct
+        total = arrays.total
+        n_groups = len(sizes)
+    else:
+        sources = list(context.trust)
+        source_index = {s: i for i, s in enumerate(sources)}
+        n_groups = len(groups)
+        n_sources = len(sources)
 
-    # Vote-incidence matrices: affirm[g, s] / deny[g, s].
-    affirm = np.zeros((n_groups, n_sources))
-    deny = np.zeros((n_groups, n_sources))
-    for gi, group in enumerate(groups):
-        for source, symbol in group.signature:
-            if symbol == Vote.TRUE.value:
-                affirm[gi, source_index[source]] = 1.0
-            else:
-                deny[gi, source_index[source]] = 1.0
-    voted = affirm + deny
-    degree = voted.sum(axis=1)
-    sizes = np.array([g.size for g in groups], dtype=float)
+        # Vote-incidence matrices: affirm[g, s] / deny[g, s].
+        affirm = np.zeros((n_groups, n_sources))
+        deny = np.zeros((n_groups, n_sources))
+        for gi, group in enumerate(groups):
+            for source, symbol in group.signature:
+                if symbol == Vote.TRUE.value:
+                    affirm[gi, source_index[source]] = 1.0
+                else:
+                    deny[gi, source_index[source]] = 1.0
+        voted = affirm + deny
+        degree = voted.sum(axis=1)
+        degree_pos = degree > 0
+        sizes = np.array([g.size for g in groups], dtype=float)
+        # Size-scaled incidences (incidence × group size): the per-source
+        # counter deltas of evaluating a whole group.
+        affirm_sized = affirm * sizes[:, None]
+        deny_sized = deny * sizes[:, None]
+        voted_sized = voted * sizes[:, None]
+        correct = np.array(
+            [context.correct_counts.get(s, 0) for s in sources], dtype=float
+        )
+        total = np.array(
+            [context.total_counts.get(s, 0) for s in sources], dtype=float
+        )
     # Part-consistent hypothesis: a candidate from the positive part
     # (σ > 0.5) is projected true, anything else (including σ = 0.5
     # exactly) is projected false — matching SelectionItem labels.
     labels = probabilities > 0.5
 
-    correct = np.array(
-        [context.correct_counts.get(s, 0) for s in sources], dtype=float
-    )
-    total = np.array([context.total_counts.get(s, 0) for s in sources], dtype=float)
     if smoothing > 0:
         correct = correct + context.default_trust * smoothing
         total = total + smoothing
 
-    # Baseline entropies are computed in the same (smoothed) projection
-    # space as the hypotheticals, so a no-op candidate scores exactly 0.
     with np.errstate(divide="ignore", invalid="ignore"):
+        # Baseline entropies are computed in the same (smoothed) projection
+        # space as the hypotheticals, so a no-op candidate scores exactly 0.
         base_trust = np.where(total > 0, correct / total, context.default_trust)
-    base_numerator = affirm @ base_trust + deny @ (1.0 - base_trust)
-    with np.errstate(divide="ignore", invalid="ignore"):
+        base_numerator = affirm @ base_trust + deny @ (1.0 - base_trust)
         base_prob = base_numerator / degree
-    base_prob = np.where(degree > 0, base_prob, context.default_fact_probability)
-    entropy_now = binary_entropy_array(base_prob) * sizes
-    sum_entropy_now = entropy_now.sum()
+        base_prob = np.where(degree_pos, base_prob, context.default_fact_probability)
+        entropy_now = binary_entropy_array(base_prob) * sizes
+        sum_entropy_now = entropy_now.sum()
 
-    delta = np.empty(n_groups)
-    for start in range(0, n_groups, _DELTA_H_CHUNK):
-        stop = min(start + _DELTA_H_CHUNK, n_groups)
-        rows = slice(start, stop)
-        # Hypothetical per-source counters after evaluating each candidate.
-        add_total = voted[rows] * sizes[rows, None]
-        add_correct = (
-            np.where(labels[rows, None], affirm[rows], deny[rows])
-            * sizes[rows, None]
-        )
-        hyp_total = total[None, :] + add_total
-        hyp_correct = correct[None, :] + add_correct
-        with np.errstate(divide="ignore", invalid="ignore"):
+        delta = np.empty(n_groups)
+        for start in range(0, n_groups, _DELTA_H_CHUNK):
+            stop = min(start + _DELTA_H_CHUNK, n_groups)
+            rows = slice(start, stop)
+            # Hypothetical per-source counters after evaluating each
+            # candidate.
+            hyp_total = total[None, :] + voted_sized[rows]
+            hyp_correct = correct[None, :] + np.where(
+                labels[rows, None], affirm_sized[rows], deny_sized[rows]
+            )
             hyp_trust = hyp_correct / hyp_total
-        hyp_trust = np.where(hyp_total > 0, hyp_trust, context.default_trust)
+            hyp_trust = np.where(hyp_total > 0, hyp_trust, context.default_trust)
 
-        # Probabilities of every group under each candidate's hypothetical
-        # trust: new_prob[c, h] for candidate c (row) and group h (column).
-        numerator = hyp_trust @ affirm.T + (1.0 - hyp_trust) @ deny.T
-        with np.errstate(divide="ignore", invalid="ignore"):
+            # Probabilities of every group under each candidate's
+            # hypothetical trust: new_prob[c, h] for candidate c (row) and
+            # group h (column).
+            numerator = hyp_trust @ affirm.T + (1.0 - hyp_trust) @ deny.T
             new_prob = numerator / degree[None, :]
-        new_prob = np.where(
-            degree[None, :] > 0, new_prob, context.default_fact_probability
-        )
-        new_entropy = binary_entropy_array(new_prob) * sizes[None, :]
-        # Σ over FG' ≠ FG of (H_new − H_now): exclude the candidate's own
-        # column from both sums.
-        candidate_cols = np.arange(start, stop)
-        own_new = new_entropy[np.arange(stop - start), candidate_cols]
-        own_now = entropy_now[candidate_cols]
-        delta[rows] = (
-            new_entropy.sum(axis=1) - own_new - (sum_entropy_now - own_now)
-        )
+            new_prob = np.where(
+                degree_pos[None, :], new_prob, context.default_fact_probability
+            )
+            new_entropy = binary_entropy_array(new_prob) * sizes[None, :]
+            # Σ over FG' ≠ FG of (H_new − H_now): exclude the candidate's
+            # own column from both sums.
+            candidate_cols = np.arange(start, stop)
+            own_new = new_entropy[np.arange(stop - start), candidate_cols]
+            own_now = entropy_now[candidate_cols]
+            delta[rows] = (
+                new_entropy.sum(axis=1) - own_new - (sum_entropy_now - own_now)
+            )
     return delta

@@ -8,11 +8,35 @@ loop over this class, so both paths execute identical logic — the session
 exists for debugging, teaching, and applications that interleave
 corroboration with other work (e.g. asking a human to verify the facts
 committed so far before continuing).
+
+The session runs on one of two interchangeable backends:
+
+* the **array engine** (default) — a :class:`~repro.core.arrays.\
+SessionArrays` built once at construction and updated in place across time
+  points: numpy counter vectors, an active-group mask, vectorised group
+  probabilities, and cached incidence matrices for the ΔH ranking;
+* the **scalar reference path** (``engine=False``) — the original
+  dict-per-step implementation, kept verbatim as the semantic ground truth.
+
+The two backends produce **bit-identical** results — same probabilities,
+labels, label overrides, trust trajectories and round records, down to tie
+breaks and the one-sided flush (the equivalence test suite asserts exactly
+this).  The engine achieves that by replaying the scalar path's float
+operations in the same order (see :mod:`repro.core.arrays`), so it is a
+pure performance substitution, not an approximation.
 """
 
 from __future__ import annotations
 
-from repro.core.fact_groups import FactGroup, group_facts, group_probability
+from itertools import repeat
+
+from repro.core.arrays import SessionArrays
+from repro.core.fact_groups import (
+    FactGroup,
+    FactGroupView,
+    group_facts,
+    group_probability,
+)
 from repro.core.incestimate import RoundRecord
 from repro.core.result import CorroborationResult
 from repro.core.scoring import decide
@@ -33,6 +57,10 @@ class CorroborationSession:
         default_fact_probability: probability of facts nobody voted on.
         trust_prior_strength: λ-anchor strength as a fraction of |F|.
         method_name: label used in the final result.
+        engine: run on the array engine (default) or on the scalar
+            reference path.  The results are bit-identical either way; the
+            scalar path exists as the ground truth the equivalence suite
+            checks the engine against.
     """
 
     def __init__(
@@ -43,6 +71,7 @@ class CorroborationSession:
         default_fact_probability: float,
         trust_prior_strength: float,
         method_name: str,
+        engine: bool = True,
     ) -> None:
         self._dataset = dataset
         self._strategy = strategy
@@ -52,15 +81,24 @@ class CorroborationSession:
 
         matrix = dataset.matrix
         self._sources = matrix.sources
-        self._remaining: list[FactGroup] = group_facts(matrix)
         prior = trust_prior_strength * matrix.num_facts
-        self._correct: dict[SourceId, float] = {
-            s: default_trust * prior for s in self._sources
-        }
-        self._total: dict[SourceId, float] = {s: prior for s in self._sources}
-        self._trust: dict[SourceId, float] = {
-            s: default_trust for s in self._sources
-        }
+        self._arrays: SessionArrays | None = None
+        if engine:
+            self._arrays = SessionArrays(matrix, default_trust, prior)
+            # Probability bookkeeping is deferred: per-selection chunks of
+            # (facts, shared probability) accumulate here and materialise
+            # into the per-fact dict only when a reader needs it.
+            self._prob_chunks: list[tuple[list[FactId], float]] = []
+            self._evaluated_count = 0
+        else:
+            self._remaining: list[FactGroup] = group_facts(matrix)
+            self._correct: dict[SourceId, float] = {
+                s: default_trust * prior for s in self._sources
+            }
+            self._total: dict[SourceId, float] = {s: prior for s in self._sources}
+            self._trust: dict[SourceId, float] = {
+                s: default_trust for s in self._sources
+            }
         self._trajectory = TrustTrajectory(self._sources)
         self._probabilities: dict[FactId, float] = {}
         self._label_overrides: dict[FactId, bool] = {}
@@ -74,6 +112,8 @@ class CorroborationSession:
     @property
     def done(self) -> bool:
         """True once every fact has been evaluated."""
+        if self._arrays is not None:
+            return not self._arrays.has_active()
         return not self._remaining
 
     @property
@@ -84,22 +124,39 @@ class CorroborationSession:
     @property
     def trust(self) -> dict[SourceId, float]:
         """σi(S): the trust vector the next step will evaluate with."""
+        if self._arrays is not None:
+            return self._arrays.trust_dict()
         return dict(self._trust)
 
     @property
-    def remaining_groups(self) -> list[FactGroup]:
-        """The unevaluated fact groups (copies — safe to inspect)."""
-        return [
-            FactGroup(signature=g.signature, facts=list(g.facts))
-            for g in self._remaining
-        ]
+    def remaining_groups(self) -> list[FactGroupView]:
+        """Read-only views of the unevaluated fact groups.
+
+        Contract: the views are *live* — they reflect the session's
+        progress as further steps consume facts — and expose the full
+        inspection API of :class:`~repro.core.fact_groups.FactGroup`
+        (``signature``, ``facts``, ``size``, ``voters``, …) but no
+        mutators, so inspecting them can never corrupt session state.
+        Unlike the deep copies this property used to return, obtaining the
+        views is O(groups), not O(facts).
+        """
+        if self._arrays is not None:
+            arrays = self._arrays
+            return [
+                FactGroupView(arrays.groups[row]) for row in arrays.active_rows()
+            ]
+        return [FactGroupView(g) for g in self._remaining]
 
     @property
     def remaining_facts(self) -> int:
+        if self._arrays is not None:
+            return self._arrays.remaining_facts()
         return sum(g.size for g in self._remaining)
 
     @property
     def evaluated_facts(self) -> int:
+        if self._arrays is not None:
+            return self._evaluated_count
         return len(self._probabilities)
 
     @property
@@ -108,6 +165,7 @@ class CorroborationSession:
 
     def current_labels(self) -> dict[FactId, bool]:
         """Verdicts committed so far."""
+        self._materialize_probabilities()
         labels = {f: decide(p) for f, p in self._probabilities.items()}
         labels.update(self._label_overrides)
         return labels
@@ -122,6 +180,64 @@ class CorroborationSession:
         """
         if self.done:
             raise RuntimeError("session is complete; no facts remain")
+        if self._arrays is not None:
+            return self._step_engine()
+        return self._step_scalar()
+
+    def _step_engine(self) -> list[RoundRecord]:
+        """Array-engine time point; bit-identical to :meth:`_step_scalar`."""
+        arrays = self._arrays
+        trust_map = arrays.trust_dict()
+        time_point = self._trajectory.record(trust_map)
+        if time_point >= self._max_time_points:
+            raise RuntimeError(
+                f"{self._method_name}: exceeded {self._max_time_points} time "
+                f"points; selection strategy {self._strategy.name} is not "
+                "consuming facts"
+            )
+        probs = arrays.compute_probabilities(self._default_fact_probability)
+        correct_view, total_view = arrays.counter_views()
+        context = SelectionContext(
+            groups=arrays.active_groups(),
+            trust=trust_map,
+            default_trust=self._default_trust,
+            default_fact_probability=self._default_fact_probability,
+            correct_counts=correct_view,
+            total_counts=total_view,
+            arrays=arrays,
+        )
+        selections = self._strategy.select(context)
+        if not any(item.count > 0 for item in selections):
+            raise RuntimeError(
+                f"{self._method_name}: strategy {self._strategy.name} selected "
+                f"no facts with {len(context.groups)} groups remaining"
+            )
+        step_records: list[RoundRecord] = []
+        for item in selections:
+            group = item.group
+            probability = float(probs[group.engine_row])
+            label = decide(probability) if item.label is None else item.label
+            taken = group.take(item.count)
+            self._trajectory.mark_evaluated_many(taken, time_point)
+            self._prob_chunks.append((taken, probability))
+            self._evaluated_count += len(taken)
+            if label != decide(probability):
+                self._label_overrides.update(dict.fromkeys(taken, label))
+            record = RoundRecord(
+                time_point=time_point,
+                signature=group.signature,
+                probability=probability,
+                label=label,
+                facts=taken,
+            )
+            step_records.append(record)
+            self._rounds.append(record)
+            arrays.apply_evaluation(group.engine_row, len(taken), label)
+        arrays.refresh_trust()
+        return step_records
+
+    def _step_scalar(self) -> list[RoundRecord]:
+        """The original dict-per-step time point (reference semantics)."""
         time_point = self._trajectory.record(self._trust)
         if time_point >= self._max_time_points:
             raise RuntimeError(
@@ -180,6 +296,15 @@ class CorroborationSession:
         }
         return step_records
 
+    def _materialize_probabilities(self) -> None:
+        """Fold any deferred (facts, probability) chunks into the dict."""
+        if self._arrays is None or not self._prob_chunks:
+            return
+        probabilities = self._probabilities
+        for facts, probability in self._prob_chunks:
+            probabilities.update(zip(facts, repeat(probability)))
+        self._prob_chunks.clear()
+
     def run_to_completion(self) -> CorroborationResult:
         """Step until done and return the final result."""
         while not self.done:
@@ -199,12 +324,13 @@ class CorroborationSession:
             )
         if not self._finalized:
             # The trust over the entire evaluated dataset (Table 5's vector).
-            self._trajectory.record(self._trust)
+            self._trajectory.record(self.trust)
             self._finalized = True
+        self._materialize_probabilities()
         result = CorroborationResult(
             method=self._method_name,
             probabilities=dict(self._probabilities),
-            trust=dict(self._trust),
+            trust=self.trust,
             iterations=self._trajectory.num_time_points - 1,
             trajectory=self._trajectory,
             label_overrides=dict(self._label_overrides),

@@ -10,6 +10,7 @@ the raw data behind Figure 2 (trust score at each time point).
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from itertools import repeat
 
 from repro.model.matrix import FactId, SourceId
 
@@ -28,6 +29,10 @@ class TrustTrajectory:
         self._sources = list(sources)
         self._history: list[dict[SourceId, float]] = []
         self._evaluation_time: dict[FactId, int] = {}
+        # Batches accepted by mark_evaluated_many but not yet folded into
+        # the index; flushed lazily on the first read.
+        self._pending_marks: list[tuple[Sequence[FactId], int]] = []
+        self._pending_count = 0
 
     @property
     def sources(self) -> list[SourceId]:
@@ -47,13 +52,44 @@ class TrustTrajectory:
 
     def mark_evaluated(self, facts: Sequence[FactId], time_point: int) -> None:
         """Record t(f) — the time point at which each fact was selected."""
+        self._flush_marks()
         for fact in facts:
             if fact in self._evaluation_time:
                 raise ValueError(f"fact {fact!r} already evaluated at t{self._evaluation_time[fact]}")
             self._evaluation_time[fact] = time_point
 
+    def mark_evaluated_many(self, facts: Sequence[FactId], time_point: int) -> None:
+        """Bulk :meth:`mark_evaluated`: O(1) accept, lazily indexed.
+
+        The batch is queued and folded into the fact → time-point index on
+        the first read (:meth:`evaluation_time`), keeping the per-time-point
+        cost of the hot evaluation loop independent of batch size.
+        Duplicate facts are detected at flush time from the size delta of
+        the index (a repeat insert does not grow a dict), so even the flush
+        pays no per-fact membership test.
+        """
+        self._pending_marks.append((facts, time_point))
+        self._pending_count += len(facts)
+
+    def _flush_marks(self) -> None:
+        if not self._pending_marks:
+            return
+        before = len(self._evaluation_time)
+        for facts, time_point in self._pending_marks:
+            self._evaluation_time.update(zip(facts, repeat(time_point)))
+        queued = self._pending_count
+        self._pending_marks.clear()
+        self._pending_count = 0
+        if len(self._evaluation_time) != before + queued:
+            duplicates = before + queued - len(self._evaluation_time)
+            raise ValueError(
+                f"duplicate facts in bulk evaluations: {duplicates} of "
+                f"{queued} queued facts were already marked"
+            )
+
     def evaluation_time(self, fact: FactId) -> int | None:
         """t(f), or ``None`` if the fact was never selected."""
+        self._flush_marks()
         return self._evaluation_time.get(fact)
 
     def at(self, time_point: int) -> dict[SourceId, float]:

@@ -1,0 +1,286 @@
+"""Machine-readable performance baseline for the selection engine.
+
+Emits ``BENCH_core.json``: one timing record per (method, dataset, backend)
+for the incremental algorithm, with per-phase wall-clock seconds and the
+process peak RSS, so performance regressions are diffable across commits
+instead of living in someone's terminal scrollback.
+
+Record schema (one entry of ``records``)::
+
+    {
+      "method":   "IncEstimate[IncEstHeu]",
+      "dataset":  "restaurants",
+      "backend":  "engine" | "scalar",
+      "facts":    36916,          # matrix facts
+      "groups":   106,            # fact groups
+      "sources":  14,
+      "rounds":   205,            # RoundRecords emitted
+      "repeats":  5,              # timing repetitions (best run reported)
+      "phases":   {"setup": s, "steps": s, "finalize": s},
+      "seconds":  s,              # sum of phases, best total across repeats
+      "peak_rss_kb": 123456       # ru_maxrss after the run (Linux: KiB)
+    }
+
+The top level adds ``schema_version``, interpreter/numpy versions and a
+``summary`` with the engine-vs-scalar speedup per (method, dataset).  Run
+from the command line::
+
+    PYTHONPATH=src python -m repro.eval.bench --output BENCH_core.json
+
+or via the benchmark suite hook (``benchmarks/test_bench_engine.py``).
+``--quick`` swaps the full-scale datasets for small ones — the CI smoke
+uses it to validate the file shape in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import resource
+import sys
+import time
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.arrays import GroupArrays
+from repro.core.incestimate import IncEstimate
+from repro.core.selection import IncEstHeu, IncEstPS, SelectionStrategy
+from repro.core.session import CorroborationSession
+from repro.model.dataset import Dataset
+
+SCHEMA_VERSION = 1
+
+#: Default output location (repository root).
+DEFAULT_OUTPUT = "BENCH_core.json"
+
+
+@dataclasses.dataclass
+class BenchRecord:
+    """One timed corroboration run (the schema in the module docstring)."""
+
+    method: str
+    dataset: str
+    backend: str
+    facts: int
+    groups: int
+    sources: int
+    rounds: int
+    repeats: int
+    phases: dict[str, float]
+    seconds: float
+    peak_rss_kb: int
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _peak_rss_kb() -> int:
+    """Process peak resident set size (KiB on Linux, bytes/1024 on macOS)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def measure_incestimate(
+    dataset: Dataset,
+    dataset_name: str,
+    strategy: SelectionStrategy,
+    engine: bool,
+    repeats: int = 5,
+) -> BenchRecord:
+    """Time one IncEstimate configuration; best-of-``repeats`` totals.
+
+    Phases: ``setup`` (session construction, including the group-array
+    build on the first repeat), ``steps`` (the Algorithm 1 loop) and
+    ``finalize`` (result materialisation).  The reported phases are the
+    ones of the fastest total, which is the stable statistic on a shared
+    machine; ``peak_rss_kb`` is read once after all repeats.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    estimator = IncEstimate(strategy=strategy, engine=engine)
+    best: tuple[float, dict[str, float], int] | None = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        session = CorroborationSession(
+            dataset,
+            estimator.strategy,
+            estimator.default_trust,
+            estimator.default_fact_probability,
+            estimator.trust_prior_strength,
+            estimator.name,
+            engine=engine,
+        )
+        t1 = time.perf_counter()
+        while not session.done:
+            session.step()
+        t2 = time.perf_counter()
+        result = session.finalize()
+        t3 = time.perf_counter()
+        phases = {"setup": t1 - t0, "steps": t2 - t1, "finalize": t3 - t2}
+        total = t3 - t0
+        if best is None or total < best[0]:
+            best = (total, phases, len(result.rounds))
+    assert best is not None
+    total, phases, rounds = best
+    arrays = GroupArrays.for_matrix(dataset.matrix)
+    return BenchRecord(
+        method=estimator.name,
+        dataset=dataset_name,
+        backend="engine" if engine else "scalar",
+        facts=dataset.matrix.num_facts,
+        groups=arrays.num_groups,
+        sources=dataset.matrix.num_sources,
+        rounds=rounds,
+        repeats=repeats,
+        phases={k: round(v, 6) for k, v in phases.items()},
+        seconds=round(total, 6),
+        peak_rss_kb=_peak_rss_kb(),
+    )
+
+
+def _default_datasets(quick: bool) -> dict[str, Callable[[], Dataset]]:
+    """Lazy dataset factories so --quick never pays full-scale generation."""
+    if quick:
+        from repro.datasets import generate_synthetic
+        from repro.datasets.motivating import motivating_example
+
+        return {
+            "motivating": lambda: motivating_example(),
+            "synthetic-1500": lambda: generate_synthetic(
+                num_facts=1_500, seed=7
+            ).dataset,
+        }
+    from repro.datasets import generate_hubdub_like, generate_restaurants
+
+    return {
+        "restaurants": lambda: generate_restaurants().dataset,
+        "hubdub-like": lambda: generate_hubdub_like().questions.to_dataset(),
+    }
+
+
+def run_core_bench(
+    datasets: dict[str, Dataset] | None = None,
+    strategies: Sequence[SelectionStrategy] | None = None,
+    repeats: int = 5,
+    quick: bool = False,
+) -> dict:
+    """Run the core bench matrix and return the BENCH_core.json payload.
+
+    Every (strategy × dataset) cell is timed on both backends so the
+    payload carries its own engine-vs-scalar speedup, not just absolute
+    numbers that drift with the host.
+    """
+    if datasets is None:
+        datasets = {name: make() for name, make in _default_datasets(quick).items()}
+    if strategies is None:
+        strategies = [IncEstHeu(), IncEstPS()]
+    records: list[BenchRecord] = []
+    for dataset_name, dataset in datasets.items():
+        for strategy in strategies:
+            for engine in (True, False):
+                records.append(
+                    measure_incestimate(
+                        dataset, dataset_name, strategy, engine, repeats=repeats
+                    )
+                )
+    summary = []
+    by_key = {(r.method, r.dataset, r.backend): r for r in records}
+    for (method, dataset_name, backend), record in by_key.items():
+        if backend != "engine":
+            continue
+        scalar = by_key.get((method, dataset_name, "scalar"))
+        if scalar is None or record.seconds == 0:
+            continue
+        summary.append(
+            {
+                "method": method,
+                "dataset": dataset_name,
+                "engine_seconds": record.seconds,
+                "scalar_seconds": scalar.seconds,
+                "speedup": round(scalar.seconds / record.seconds, 2),
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "records": [r.to_json() for r in records],
+        "summary": summary,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise ``ValueError`` if the payload violates the record schema."""
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"unexpected schema_version: {payload.get('schema_version')}")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("records must be a non-empty list")
+    required = {
+        "method": str,
+        "dataset": str,
+        "backend": str,
+        "facts": int,
+        "groups": int,
+        "sources": int,
+        "rounds": int,
+        "repeats": int,
+        "phases": dict,
+        "seconds": float,
+        "peak_rss_kb": int,
+    }
+    for i, record in enumerate(records):
+        for key, kind in required.items():
+            if not isinstance(record.get(key), kind):
+                raise ValueError(f"records[{i}].{key} is not a {kind.__name__}")
+        if record["backend"] not in ("engine", "scalar"):
+            raise ValueError(f"records[{i}].backend is {record['backend']!r}")
+        if set(record["phases"]) != {"setup", "steps", "finalize"}:
+            raise ValueError(f"records[{i}].phases has keys {set(record['phases'])}")
+        if record["seconds"] < 0:
+            raise ValueError(f"records[{i}].seconds is negative")
+
+
+def write_bench(
+    path: str | pathlib.Path = DEFAULT_OUTPUT,
+    repeats: int = 5,
+    quick: bool = False,
+) -> dict:
+    """Run the default bench matrix and write ``path``; returns the payload."""
+    payload = run_core_bench(repeats=repeats, quick=quick)
+    validate_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench small datasets only (CI smoke / schema validation)",
+    )
+    args = parser.parse_args(argv)
+    payload = write_bench(args.output, repeats=args.repeats, quick=args.quick)
+    for row in payload["summary"]:
+        print(
+            f"{row['method']:>24s} on {row['dataset']:<14s} "
+            f"engine {row['engine_seconds']*1000:8.1f} ms  "
+            f"scalar {row['scalar_seconds']*1000:8.1f} ms  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    print(f"wrote {args.output} ({len(payload['records'])} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,21 @@ The matrix is deliberately *append-only*: corroboration algorithms treat the
 observed votes as immutable evidence, and the incremental algorithm's notion
 of "evaluated so far" is tracked outside the matrix (see
 :mod:`repro.core.trust`).
+
+Append-only mutation makes cheap derived state safe, and the matrix
+maintains three kinds of it:
+
+* the :attr:`~VoteMatrix.facts` / :attr:`~VoteMatrix.sources` lists are
+  cached and invalidated when a new fact or source is registered, so
+  callers that touch these properties inside loops no longer pay O(n)
+  list construction per access;
+* every fact carries an incrementally-maintained *packed signature code*
+  (2 bits per source), so the fact-grouping step of the array engine
+  (:mod:`repro.core.arrays`) is a single integer-key partition instead of
+  per-fact signature construction and sorting;
+* a :attr:`version` counter ticks on every mutation, letting derived
+  structures (e.g. the dense group arrays) cache themselves against a
+  matrix snapshot via :meth:`derived_cache`.
 """
 
 from __future__ import annotations
@@ -27,6 +42,9 @@ SourceId = str
 #: "fact groups" (Section 5.1).
 Signature = tuple[tuple[SourceId, str], ...]
 
+#: Shared empty mapping backing the non-copying iterators for unknown keys.
+_EMPTY_VOTES: dict = {}
+
 
 class VoteMatrix:
     """Sparse map of the votes cast by sources over facts.
@@ -37,20 +55,47 @@ class VoteMatrix:
     facts, voted on or not.
     """
 
+    #: Packed signature-code values: 2 bits per source, low bit = T vote,
+    #: high bit = F vote.  Python ints are arbitrary precision, so the
+    #: encoding works for any number of sources.
+    _CODE_TRUE = 1
+    _CODE_FALSE = 2
+
     def __init__(self) -> None:
         self._by_fact: dict[FactId, dict[SourceId, Vote]] = {}
         self._by_source: dict[SourceId, dict[FactId, Vote]] = {}
+        #: Column index of each source, in registration order.
+        self._source_pos: dict[SourceId, int] = {}
+        #: Packed signature code per fact (see :meth:`signature_codes`).
+        self._sig_codes: dict[FactId, int] = {}
+        self._facts_cache: list[FactId] | None = None
+        self._sources_cache: list[SourceId] | None = None
+        self._version = 0
+        self._derived_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._derived_cache:
+            self._derived_cache.clear()
+
     def add_fact(self, fact: FactId) -> None:
         """Register ``fact`` (idempotent)."""
-        self._by_fact.setdefault(fact, {})
+        if fact not in self._by_fact:
+            self._by_fact[fact] = {}
+            self._sig_codes[fact] = 0
+            self._facts_cache = None
+            self._invalidate()
 
     def add_source(self, source: SourceId) -> None:
         """Register ``source`` (idempotent)."""
-        self._by_source.setdefault(source, {})
+        if source not in self._by_source:
+            self._source_pos[source] = len(self._by_source)
+            self._by_source[source] = {}
+            self._sources_cache = None
+            self._invalidate()
 
     def add_vote(self, fact: FactId, source: SourceId, vote: Vote) -> None:
         """Record that ``source`` cast ``vote`` on ``fact``.
@@ -62,13 +107,20 @@ class VoteMatrix:
         if not isinstance(vote, Vote):
             raise TypeError(f"vote must be a Vote, got {type(vote).__name__}")
         existing = self._by_fact.get(fact, {}).get(source)
-        if existing is not None and existing is not vote:
-            raise ValueError(
-                f"conflicting vote for fact={fact!r} source={source!r}: "
-                f"{existing} already recorded, attempted {vote}"
-            )
-        self._by_fact.setdefault(fact, {})[source] = vote
-        self._by_source.setdefault(source, {})[fact] = vote
+        if existing is not None:
+            if existing is not vote:
+                raise ValueError(
+                    f"conflicting vote for fact={fact!r} source={source!r}: "
+                    f"{existing} already recorded, attempted {vote}"
+                )
+            return
+        self.add_fact(fact)
+        self.add_source(source)
+        self._by_fact[fact][source] = vote
+        self._by_source[source][fact] = vote
+        code = self._CODE_TRUE if vote is Vote.TRUE else self._CODE_FALSE
+        self._sig_codes[fact] += code << (2 * self._source_pos[source])
+        self._invalidate()
 
     @classmethod
     def from_rows(
@@ -110,13 +162,43 @@ class VoteMatrix:
     # ------------------------------------------------------------------
     @property
     def facts(self) -> list[FactId]:
-        """All registered facts, in registration order."""
-        return list(self._by_fact)
+        """All registered facts, in registration order.
+
+        The list is cached until the next ``add_*`` call and shared between
+        accesses — treat it as read-only.
+        """
+        if self._facts_cache is None:
+            self._facts_cache = list(self._by_fact)
+        return self._facts_cache
 
     @property
     def sources(self) -> list[SourceId]:
-        """All registered sources, in registration order."""
-        return list(self._by_source)
+        """All registered sources, in registration order.
+
+        The list is cached until the next ``add_*`` call and shared between
+        accesses — treat it as read-only.
+        """
+        if self._sources_cache is None:
+            self._sources_cache = list(self._by_source)
+        return self._sources_cache
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: ticks whenever a fact, source or vote is added.
+
+        Derived structures use it to validate cached snapshots of this
+        matrix (see :meth:`derived_cache`).
+        """
+        return self._version
+
+    def derived_cache(self) -> dict:
+        """Scratch space for derived structures, cleared on every mutation.
+
+        Callers key their entries by name (e.g. ``"group_arrays"``); because
+        the dict is cleared whenever the matrix changes, a present entry is
+        always consistent with the current votes.
+        """
+        return self._derived_cache
 
     @property
     def num_facts(self) -> int:
@@ -143,6 +225,19 @@ class VoteMatrix:
         """All informative votes cast by ``source`` as a fresh dict."""
         return dict(self._by_source.get(source, {}))
 
+    def iter_votes_by(self, source: SourceId) -> Iterator[tuple[FactId, Vote]]:
+        """Iterate the (fact, vote) pairs of ``source`` without copying.
+
+        The non-allocating counterpart of :meth:`votes_by` for hot loops
+        (e.g. ``update_trust`` sweeps every source each call); do not mutate
+        the matrix while iterating.
+        """
+        return iter(self._by_source.get(source, _EMPTY_VOTES).items())
+
+    def iter_votes_on(self, fact: FactId) -> Iterator[tuple[SourceId, Vote]]:
+        """Iterate the (source, vote) pairs on ``fact`` without copying."""
+        return iter(self._by_fact.get(fact, _EMPTY_VOTES).items())
+
     def voters(self, fact: FactId) -> list[SourceId]:
         """Sources that cast an informative vote on ``fact``."""
         return list(self._by_fact.get(fact, {}))
@@ -151,6 +246,22 @@ class VoteMatrix:
         """The canonical vote signature of ``fact`` (see :data:`Signature`)."""
         votes = self._by_fact.get(fact, {})
         return tuple(sorted((source, vote.value) for source, vote in votes.items()))
+
+    def signature_codes(self) -> dict[FactId, int]:
+        """Packed signature code per fact, in registration order.
+
+        The code packs the fact's votes 2 bits per source column (low bit =
+        T vote, high bit = F vote, column = source registration index), so
+        two facts have equal codes **iff** they have equal
+        :meth:`signature` — grouping facts reduces to partitioning by an
+        integer key.  Maintained incrementally on :meth:`add_vote`; the
+        returned mapping is the live internal index, treat it as read-only.
+        """
+        return self._sig_codes
+
+    def source_positions(self) -> dict[SourceId, int]:
+        """Column index per source (registration order); read-only."""
+        return self._source_pos
 
     def has_only_affirmative(self, fact: FactId) -> bool:
         """Whether ``fact`` belongs to the paper's F* (T votes only).

@@ -1,10 +1,10 @@
-"""Tests for the shared dense group arrays (repro.baselines._arrays) and
+"""Tests for the shared dense group arrays (repro.core.arrays) and
 a few small helpers not covered elsewhere."""
 
 import numpy as np
 import pytest
 
-from repro.baselines._arrays import GroupArrays
+from repro.core.arrays import GroupArrays
 from repro.eval.tables import format_value
 from repro.model.dataset import Dataset
 from repro.model.io import dataset_from_csv_strings

@@ -66,11 +66,17 @@ class TestStepSemantics:
         assert a.probabilities == b.probabilities
         assert a.trajectory.num_time_points == b.trajectory.num_time_points
 
-    def test_remaining_groups_are_copies(self, algorithm, motivating):
+    def test_remaining_groups_are_read_only_views(self, algorithm, motivating):
         session = algorithm.session(motivating)
         groups = session.remaining_groups
-        groups[0].take(groups[0].size)  # mutate the copy
-        assert session.remaining_facts == 12
+        # Views expose the inspection API but no mutators...
+        assert not hasattr(groups[0], "take")
+        assert isinstance(groups[0].facts, tuple)
+        assert sum(g.size for g in groups) == 12
+        # ...and are live: they track the session as it consumes facts.
+        session.step()
+        assert sum(g.size for g in session.remaining_groups) < 12
+        assert session.remaining_facts == 12 - session.evaluated_facts
 
 
 class TestEquivalenceWithRun:
