@@ -4,11 +4,22 @@
 helper of the iterative baselines; once the incremental algorithm's array
 engine began sharing it, it was promoted to :mod:`repro.core.arrays`
 (which also made construction array-native and cached per matrix).  This
-module remains only so external code importing the old path keeps working.
+module remains only so external code importing the old path keeps working;
+importing it raises a :class:`DeprecationWarning` and it will be removed
+in a future release — import from :mod:`repro.core.arrays` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.arrays import GroupArrays
+
+warnings.warn(
+    "repro.baselines._arrays is deprecated; import GroupArrays from "
+    "repro.core.arrays instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["GroupArrays"]

@@ -77,10 +77,20 @@ class TruthFinder(Corroborator):
                 new_trust = backed.sum(axis=0) / total_votes
             new_trust = np.where(has_votes, new_trust, self.initial_trust)
             new_trust = np.clip(new_trust, 0.0, _TRUST_CEILING)
-            if np.max(np.abs(new_trust - trust)) < self.tolerance:
-                trust = new_trust
-                break
+            delta = float(np.max(np.abs(new_trust - trust)))
+            converged = delta < self.tolerance
+            if self.obs.enabled:
+                self.obs.metrics.inc(f"baseline.{self.name}.iterations")
+                self.obs.runlog.emit(
+                    "iteration",
+                    method=self.name,
+                    iteration=iterations,
+                    max_trust_delta=delta,
+                    converged=converged,
+                )
             trust = new_trust
+            if converged:
+                break
         probs = self._fact_step(arrays, trust)
         return self._result(
             probabilities=arrays.fact_probabilities(probs),

@@ -7,7 +7,15 @@ Commands:
 * ``generate`` — write one of the built-in datasets to a JSON file;
 * ``experiment`` — regenerate one of the paper's tables or figures;
 * ``report`` — build the full Markdown analysis report for a dataset;
-* ``methods`` — list the available corroborators.
+* ``methods`` — list the available corroborators;
+* ``trace-summary`` — aggregate a trace / runlog written by the two
+  commands above.
+
+``corroborate`` and ``experiment`` accept the observability flags
+``--trace PATH`` (Chrome trace-event JSON, loadable in ui.perfetto.dev),
+``--runlog PATH`` (append-only JSONL ledger) and ``--log-level`` (library
+logger verbosity; progress goes to stderr, results stay on stdout).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.model.io import (
     save_result,
 )
 from repro.model.dataset import Dataset
+from repro.obs import Obs, configure_logging, make_obs
 
 #: Registry of CLI method names.  Factories take no arguments; tuning is
 #: done through the library API.
@@ -68,6 +77,42 @@ EXPERIMENTS = (
 )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``corroborate`` / ``experiment``)."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run here",
+    )
+    parser.add_argument(
+        "--runlog",
+        metavar="PATH",
+        help="append a JSONL run ledger (one record per round) here",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="library logger verbosity (stderr; default: warning)",
+    )
+
+
+def _make_obs(args: argparse.Namespace) -> Obs:
+    """Observability bundle + logging config from the parsed flags."""
+    configure_logging(args.log_level)
+    return make_obs(trace=bool(args.trace), runlog=args.runlog)
+
+
+def _finish_obs(args: argparse.Namespace, obs: Obs) -> None:
+    """Flush the bundle: write the trace (metrics ride along), close it."""
+    if args.trace:
+        obs.tracer.write(args.trace, other_data={"metrics": obs.metrics.snapshot()})
+        print(f"trace written to {args.trace}")
+    if args.runlog:
+        print(f"runlog appended to {args.runlog}")
+    obs.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     corroborate.add_argument(
         "--show", type=int, default=10, help="how many false facts to print"
     )
+    _add_obs_args(corroborate)
 
     generate = commands.add_parser("generate", help="write a built-in dataset")
     generate.add_argument(
@@ -108,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="dataset-size multiplier for the heavy experiments",
     )
+    _add_obs_args(experiment)
 
     report = commands.add_parser("report", help="full Markdown analysis report")
     report_source = report.add_mutually_exclusive_group(required=True)
@@ -123,6 +170,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("methods", help="list available corroborators")
+
+    trace_summary = commands.add_parser(
+        "trace-summary", help="aggregate a --trace / --runlog file"
+    )
+    trace_summary.add_argument(
+        "trace", nargs="?", help="Chrome trace JSON written by --trace"
+    )
+    trace_summary.add_argument(
+        "--runlog", help="JSONL ledger written by --runlog"
+    )
     return parser
 
 
@@ -144,7 +201,10 @@ def _cmd_corroborate(args: argparse.Namespace) -> int:
 
     dataset = _load_cli_dataset(args)
     method = METHODS[args.method]()
-    result = method.run(dataset)
+    obs = _make_obs(args)
+    method.obs = obs
+    with obs.tracer.span("corroborate", method=method.name):
+        result = method.run(dataset)
     print(dataset.summary())
     false_facts = result.false_facts()
     print(
@@ -172,6 +232,7 @@ def _cmd_corroborate(args: argparse.Namespace) -> int:
     if args.output:
         save_result(result, args.output)
         print(f"result written to {args.output}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -207,28 +268,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import render_table
     from repro import experiments
 
-    if args.name == "table2":
-        rows = experiments.table2()
-    elif args.name == "table3":
-        world = experiments.build_world(
-            num_facts=max(100, int(36_916 * args.scale))
-        )
-        blocks = experiments.table3(world)
-        for name, block in blocks.items():
-            print(render_table(block, title=f"Table 3 — {name}"))
-            print()
-        return 0
-    elif args.name == "table7":
-        rows = experiments.table7()
-    else:
-        num_facts = max(200, int(20_000 * args.scale))
-        builder = {
-            "figure3a": experiments.figure3a,
-            "figure3b": experiments.figure3b,
-            "figure3c": experiments.figure3c,
-        }[args.name]
-        rows = builder(num_facts=num_facts)
+    obs = _make_obs(args)
+    with obs.tracer.span("experiment", experiment=args.name, scale=args.scale):
+        if args.name == "table2":
+            rows = experiments.table2(obs=obs)
+        elif args.name == "table3":
+            world = experiments.build_world(
+                num_facts=max(100, int(36_916 * args.scale))
+            )
+            blocks = experiments.table3(world)
+            for name, block in blocks.items():
+                print(render_table(block, title=f"Table 3 — {name}"))
+                print()
+            _finish_obs(args, obs)
+            return 0
+        elif args.name == "table7":
+            rows = experiments.table7(obs=obs)
+        else:
+            num_facts = max(200, int(20_000 * args.scale))
+            builder = {
+                "figure3a": experiments.figure3a,
+                "figure3b": experiments.figure3b,
+                "figure3c": experiments.figure3c,
+            }[args.name]
+            rows = builder(num_facts=num_facts, obs=obs)
     print(render_table(rows, title=args.name, float_digits=3))
+    _finish_obs(args, obs)
     return 0
 
 
@@ -253,6 +318,51 @@ def _cmd_methods(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.eval import render_table
+    from repro.obs import (
+        load_trace,
+        read_runlog,
+        summarize_events,
+        summarize_records,
+        validate_chrome_trace,
+        validate_runlog_records,
+    )
+
+    if not args.trace and not args.runlog:
+        print("trace-summary: pass a trace file and/or --runlog", file=sys.stderr)
+        return 2
+    if args.trace:
+        payload = load_trace(args.trace)
+        validate_chrome_trace(payload)
+        rows = summarize_events(payload["traceEvents"])
+        print(render_table(rows, title=f"spans — {args.trace}", float_digits=3))
+        metrics = payload.get("otherData", {}).get("metrics")
+        if metrics and metrics.get("counters"):
+            counter_rows = [
+                {"counter": name, "value": value}
+                for name, value in sorted(metrics["counters"].items())
+            ]
+            print()
+            print(render_table(counter_rows, title="counters", float_digits=3))
+    if args.runlog:
+        records = read_runlog(args.runlog)
+        validate_runlog_records(records)
+        summary = summarize_records(records)
+        rows = [
+            {"kind": kind, "records": count}
+            for kind, count in sorted(summary["records_by_kind"].items())
+        ]
+        print()
+        print(render_table(rows, title=f"runlog — {args.runlog}"))
+        print(
+            f"facts evaluated: {summary['facts_evaluated']}  "
+            f"entropy destroyed: {summary['entropy_destroyed_bits']} bits  "
+            f"label-flip facts: {summary['label_flip_facts']}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -262,6 +372,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "methods": _cmd_methods,
+        "trace-summary": _cmd_trace_summary,
     }
     return handlers[args.command](args)
 

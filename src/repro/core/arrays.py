@@ -52,6 +52,13 @@ from repro.core.fact_groups import FactGroup
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, Signature, SourceId, VoteMatrix
 from repro.model.votes import Vote
+from repro.obs.metrics import global_metrics
+
+#: Process-global metrics registry.  The group-array / engine-template
+#: caches live on the vote matrix and are shared across sessions, so their
+#: hit/miss traffic is recorded globally (``arrays.*``) rather than in any
+#: one run's bundle; a counter bump is paid once per cache access.
+_METRICS = global_metrics()
 
 #: Matrices with at most this many sources pack a whole signature code into
 #: an int64 (2 bits per source), enabling the numpy grouping path; wider
@@ -200,8 +207,11 @@ class GroupArrays:
         cache = matrix.derived_cache()
         arrays = cache.get(_CACHE_KEY)
         if arrays is None:
+            _METRICS.inc("arrays.group_arrays_cache.miss")
             arrays = cls.from_matrix(matrix)
             cache[_CACHE_KEY] = arrays
+        else:
+            _METRICS.inc("arrays.group_arrays_cache.hit")
         return arrays
 
     @classmethod
@@ -298,8 +308,11 @@ def _engine_template(matrix: VoteMatrix, base: GroupArrays) -> _EngineTemplate:
     cache = matrix.derived_cache()
     template = cache.get(_TEMPLATE_KEY)
     if template is None:
+        _METRICS.inc("arrays.engine_template_cache.miss")
         template = _build_engine_template(base)
         cache[_TEMPLATE_KEY] = template
+    else:
+        _METRICS.inc("arrays.engine_template_cache.hit")
     return template
 
 
@@ -495,6 +508,7 @@ class SessionArrays:
         always see bit-identical data without the per-call slicing cost.
         """
         if self._dh_cache is None:
+            _METRICS.inc("arrays.dh_slices.rebuild")
             rows_idx = self.active_rows()
             base = self.base
             degree = base.degree[rows_idx]
@@ -571,6 +585,7 @@ class SessionArrays:
             self._active_groups_cache = None
             self._dh_cache = None
         elif self._dh_cache is not None:
+            _METRICS.inc("arrays.dh_slices.patch")
             cache = self._dh_cache
             pos = int(np.searchsorted(self.active_rows(), row))
             cache.sizes[pos] = size

@@ -24,6 +24,7 @@ from repro.core.scoring import DEFAULT_TRUST
 from repro.core.selection import IncEstHeu, SelectionStrategy
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, Signature
+from repro.obs import NULL_OBS, Obs
 
 
 @dataclasses.dataclass
@@ -75,6 +76,12 @@ class IncEstimate(Corroborator):
             are unattainable without some such anchoring (the ablation
             bench quantifies this).  Set to 0 for the literal unsmoothed
             update.
+        obs: observability bundle (:mod:`repro.obs`) forwarded to every
+            session this estimator creates — per-step spans, selection
+            metrics and the round-by-round run ledger.  The no-op default
+            adds nothing and the results are bit-identical either way;
+            also assignable after construction (``estimator.obs = ...``),
+            matching the :class:`~repro.core.result.Corroborator` contract.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class IncEstimate(Corroborator):
         default_fact_probability: float | None = None,
         trust_prior_strength: float = 5e-4,
         engine: bool = True,
+        obs: Obs = NULL_OBS,
     ) -> None:
         if not 0.0 <= default_trust <= 1.0:
             raise ValueError(f"default_trust must be in [0, 1], got {default_trust}")
@@ -100,6 +108,7 @@ class IncEstimate(Corroborator):
         )
         self.trust_prior_strength = trust_prior_strength
         self.engine = engine
+        self.obs = obs
         self.name = f"IncEstimate[{self.strategy.name}]"
 
     def run(self, dataset: Dataset) -> CorroborationResult:
@@ -123,4 +132,5 @@ class IncEstimate(Corroborator):
             trust_prior_strength=self.trust_prior_strength,
             method_name=self.name,
             engine=self.engine,
+            obs=self.obs,
         )

@@ -19,6 +19,7 @@ from repro.core.scoring import DECISION_THRESHOLD, decide
 from repro.core.trust import TrustTrajectory
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, SourceId
+from repro.obs import NULL_OBS, Obs
 
 
 @dataclasses.dataclass
@@ -96,6 +97,14 @@ class Corroborator(abc.ABC):
 
     #: Human-readable method name, shown in the paper-style result tables.
     name: str = "corroborator"
+
+    #: Observability bundle (:mod:`repro.obs`).  The class-level default is
+    #: the all-no-op :data:`~repro.obs.NULL_OBS`; drivers that want traces,
+    #: metrics or a run ledger assign a real bundle to the *instance*
+    #: (``method.obs = make_obs(...)``) before calling :meth:`run`.
+    #: Instrumented methods read it, uninstrumented ones ignore it, and it
+    #: must never influence the numeric result either way.
+    obs: Obs = NULL_OBS
 
     @abc.abstractmethod
     def run(self, dataset: Dataset) -> CorroborationResult:

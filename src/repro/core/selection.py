@@ -31,6 +31,7 @@ from repro.core.entropy import binary_entropy_array
 from repro.core.fact_groups import FactGroup, group_probability
 from repro.model.matrix import SourceId
 from repro.model.votes import Vote
+from repro.obs import NULL_OBS, Obs
 
 #: Maximum number of candidate-group rows per ΔH chunk; bounds the peak
 #: size of the hypothetical-probability matrix at CHUNK × G floats.
@@ -59,6 +60,10 @@ probabilities` are current for this time point, and the ΔH ranking reads
             the cached incidence matrices instead of rebuilding them.
             ``None`` for hand-built contexts and the scalar reference path;
             every strategy must work in both modes.
+        obs: the driver's observability bundle (:mod:`repro.obs`); the
+            no-op :data:`~repro.obs.NULL_OBS` by default.  Strategies may
+            emit spans and metrics through it but must never let it
+            influence what they select.
     """
 
     groups: Sequence[FactGroup]
@@ -68,6 +73,7 @@ probabilities` are current for this time point, and the ΔH ranking reads
     correct_counts: Mapping[SourceId, float]
     total_counts: Mapping[SourceId, float]
     arrays: SessionArrays | None = None
+    obs: Obs = NULL_OBS
 
     def group_probabilities(self) -> list[float]:
         """σ(FG) for each remaining group under the current trust."""
@@ -144,6 +150,7 @@ class IncEstPS(SelectionStrategy):
         probabilities = context.group_probabilities_array()
         best = int(np.argmax(probabilities))
         group = context.groups[best]
+        context.obs.metrics.inc("selection.greedy_rounds")
         return [SelectionItem(group, group.size)]
 
 
@@ -211,6 +218,7 @@ class IncEstHeu(SelectionStrategy):
         groups = list(context.groups)
         if not groups:
             return []
+        context.obs.metrics.observe("selection.groups_per_round", len(groups))
         probabilities = context.group_probabilities_array()
         positive_mask = probabilities > 0.5
         positive = np.flatnonzero(positive_mask)
@@ -227,6 +235,7 @@ class IncEstHeu(SelectionStrategy):
         # through per-side maxima.
         if len(positive) == 0 or len(negative) == 0:
             if self.flush_when_one_sided:
+                context.obs.metrics.inc("selection.flush_rounds")
                 return [SelectionItem(g, g.size) for g in groups]
             side = positive if len(positive) else negative
             if len(side) == 1:
@@ -250,9 +259,13 @@ class IncEstHeu(SelectionStrategy):
     def _scores(
         self, context: SelectionContext, probabilities: np.ndarray
     ) -> np.ndarray:
-        cross = _delta_h_scores(
-            context, probabilities, smoothing=self.projection_smoothing
-        )
+        obs = context.obs
+        obs.metrics.inc("selection.delta_h_rounds")
+        obs.metrics.inc("selection.delta_h_groups_scored", len(probabilities))
+        with obs.tracer.span("selection.delta_h", groups=len(probabilities)):
+            cross = _delta_h_scores(
+                context, probabilities, smoothing=self.projection_smoothing
+            )
         if self.own_entropy_weight == 0.0:
             return cross
         if context.arrays is not None:

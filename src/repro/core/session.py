@@ -31,6 +31,7 @@ from __future__ import annotations
 from itertools import repeat
 
 from repro.core.arrays import SessionArrays
+from repro.core.entropy import binary_entropy
 from repro.core.fact_groups import (
     FactGroup,
     FactGroupView,
@@ -45,6 +46,7 @@ from repro.core.trust import TrustTrajectory
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, SourceId
 from repro.model.votes import Vote
+from repro.obs import NULL_OBS, Obs
 
 
 class CorroborationSession:
@@ -61,6 +63,13 @@ class CorroborationSession:
             reference path.  The results are bit-identical either way; the
             scalar path exists as the ground truth the equivalence suite
             checks the engine against.
+        obs: observability bundle (:mod:`repro.obs`).  With the default
+            no-op bundle the per-step overhead is a handful of discarded
+            method calls; with a real bundle the session emits per-step
+            spans, round/trust ledger records and selection metrics.
+            Observability is read-only — it never changes probabilities,
+            tie breaks or trust, with or without sinks attached (the
+            no-op-equivalence tests assert exactly this).
     """
 
     def __init__(
@@ -72,39 +81,57 @@ class CorroborationSession:
         trust_prior_strength: float,
         method_name: str,
         engine: bool = True,
+        obs: Obs = NULL_OBS,
     ) -> None:
         self._dataset = dataset
         self._strategy = strategy
         self._default_trust = default_trust
         self._default_fact_probability = default_fact_probability
         self._method_name = method_name
+        self._obs = obs
 
         matrix = dataset.matrix
         self._sources = matrix.sources
         prior = trust_prior_strength * matrix.num_facts
         self._arrays: SessionArrays | None = None
-        if engine:
-            self._arrays = SessionArrays(matrix, default_trust, prior)
-            # Probability bookkeeping is deferred: per-selection chunks of
-            # (facts, shared probability) accumulate here and materialise
-            # into the per-fact dict only when a reader needs it.
-            self._prob_chunks: list[tuple[list[FactId], float]] = []
-            self._evaluated_count = 0
-        else:
-            self._remaining: list[FactGroup] = group_facts(matrix)
-            self._correct: dict[SourceId, float] = {
-                s: default_trust * prior for s in self._sources
-            }
-            self._total: dict[SourceId, float] = {s: prior for s in self._sources}
-            self._trust: dict[SourceId, float] = {
-                s: default_trust for s in self._sources
-            }
-        self._trajectory = TrustTrajectory(self._sources)
+        with obs.tracer.span("session.setup", backend="engine" if engine else "scalar"):
+            if engine:
+                self._arrays = SessionArrays(matrix, default_trust, prior)
+                # Probability bookkeeping is deferred: per-selection chunks
+                # of (facts, shared probability) accumulate here and
+                # materialise into the per-fact dict only when a reader
+                # needs it.
+                self._prob_chunks: list[tuple[list[FactId], float]] = []
+                self._evaluated_count = 0
+            else:
+                self._remaining: list[FactGroup] = group_facts(matrix)
+                self._correct: dict[SourceId, float] = {
+                    s: default_trust * prior for s in self._sources
+                }
+                self._total: dict[SourceId, float] = {s: prior for s in self._sources}
+                self._trust: dict[SourceId, float] = {
+                    s: default_trust for s in self._sources
+                }
+        self._trajectory = TrustTrajectory(self._sources, obs=obs)
         self._probabilities: dict[FactId, float] = {}
         self._label_overrides: dict[FactId, bool] = {}
         self._rounds: list[RoundRecord] = []
         self._max_time_points = matrix.num_facts + 1
         self._finalized = False
+        if obs.enabled:
+            num_groups = (
+                self._arrays.num_groups
+                if self._arrays is not None
+                else len(self._remaining)
+            )
+            obs.metrics.inc("session.runs")
+            obs.runlog.emit(
+                "run_start",
+                method=method_name,
+                facts=matrix.num_facts,
+                groups=num_groups,
+                sources=len(self._sources),
+            )
 
     # ------------------------------------------------------------------
     # State inspection
@@ -180,13 +207,25 @@ class CorroborationSession:
         """
         if self.done:
             raise RuntimeError("session is complete; no facts remain")
-        if self._arrays is not None:
-            return self._step_engine()
-        return self._step_scalar()
+        obs = self._obs
+        if not obs.enabled:
+            # Fast path: no span bookkeeping, no kwargs dicts — the
+            # disabled session runs the exact uninstrumented step.
+            if self._arrays is not None:
+                return self._step_engine()
+            return self._step_scalar()
+        with obs.tracer.span("session.step", time_point=self.time_point):
+            if self._arrays is not None:
+                records = self._step_engine()
+            else:
+                records = self._step_scalar()
+            self._observe_step(records)
+        return records
 
     def _step_engine(self) -> list[RoundRecord]:
         """Array-engine time point; bit-identical to :meth:`_step_scalar`."""
         arrays = self._arrays
+        tracer = self._obs.tracer
         trust_map = arrays.trust_dict()
         time_point = self._trajectory.record(trust_map)
         if time_point >= self._max_time_points:
@@ -195,7 +234,8 @@ class CorroborationSession:
                 f"points; selection strategy {self._strategy.name} is not "
                 "consuming facts"
             )
-        probs = arrays.compute_probabilities(self._default_fact_probability)
+        with tracer.span("session.probabilities"):
+            probs = arrays.compute_probabilities(self._default_fact_probability)
         correct_view, total_view = arrays.counter_views()
         context = SelectionContext(
             groups=arrays.active_groups(),
@@ -205,39 +245,43 @@ class CorroborationSession:
             correct_counts=correct_view,
             total_counts=total_view,
             arrays=arrays,
+            obs=self._obs,
         )
-        selections = self._strategy.select(context)
+        with tracer.span("session.select", strategy=self._strategy.name):
+            selections = self._strategy.select(context)
         if not any(item.count > 0 for item in selections):
             raise RuntimeError(
                 f"{self._method_name}: strategy {self._strategy.name} selected "
                 f"no facts with {len(context.groups)} groups remaining"
             )
-        step_records: list[RoundRecord] = []
-        for item in selections:
-            group = item.group
-            probability = float(probs[group.engine_row])
-            label = decide(probability) if item.label is None else item.label
-            taken = group.take(item.count)
-            self._trajectory.mark_evaluated_many(taken, time_point)
-            self._prob_chunks.append((taken, probability))
-            self._evaluated_count += len(taken)
-            if label != decide(probability):
-                self._label_overrides.update(dict.fromkeys(taken, label))
-            record = RoundRecord(
-                time_point=time_point,
-                signature=group.signature,
-                probability=probability,
-                label=label,
-                facts=taken,
-            )
-            step_records.append(record)
-            self._rounds.append(record)
-            arrays.apply_evaluation(group.engine_row, len(taken), label)
-        arrays.refresh_trust()
+        with tracer.span("session.commit"):
+            step_records: list[RoundRecord] = []
+            for item in selections:
+                group = item.group
+                probability = float(probs[group.engine_row])
+                label = decide(probability) if item.label is None else item.label
+                taken = group.take(item.count)
+                self._trajectory.mark_evaluated_many(taken, time_point)
+                self._prob_chunks.append((taken, probability))
+                self._evaluated_count += len(taken)
+                if label != decide(probability):
+                    self._label_overrides.update(dict.fromkeys(taken, label))
+                record = RoundRecord(
+                    time_point=time_point,
+                    signature=group.signature,
+                    probability=probability,
+                    label=label,
+                    facts=taken,
+                )
+                step_records.append(record)
+                self._rounds.append(record)
+                arrays.apply_evaluation(group.engine_row, len(taken), label)
+            arrays.refresh_trust()
         return step_records
 
     def _step_scalar(self) -> list[RoundRecord]:
         """The original dict-per-step time point (reference semantics)."""
+        tracer = self._obs.tracer
         time_point = self._trajectory.record(self._trust)
         if time_point >= self._max_time_points:
             raise RuntimeError(
@@ -252,8 +296,10 @@ class CorroborationSession:
             default_fact_probability=self._default_fact_probability,
             correct_counts=self._correct,
             total_counts=self._total,
+            obs=self._obs,
         )
-        selections = self._strategy.select(context)
+        with tracer.span("session.select", strategy=self._strategy.name):
+            selections = self._strategy.select(context)
         if not any(item.count > 0 for item in selections):
             raise RuntimeError(
                 f"{self._method_name}: strategy {self._strategy.name} selected "
@@ -296,6 +342,48 @@ class CorroborationSession:
         }
         return step_records
 
+    def _observe_step(self, step_records: list[RoundRecord]) -> None:
+        """Emit metrics and ledger records for one committed time point.
+
+        A pure read-out of the just-committed :class:`RoundRecord`\\ s and
+        the trajectory — runs after the step's state updates and touches no
+        algorithm state, so enabling observability cannot change results.
+        """
+        obs = self._obs
+        metrics = obs.metrics
+        time_point = step_records[0].time_point
+        metrics.inc("session.time_points")
+        metrics.inc("session.rounds", len(step_records))
+        obs.runlog.emit(
+            "trust",
+            time_point=time_point,
+            trust=self._trajectory.at(time_point),
+        )
+        for record in step_records:
+            n = len(record.facts)
+            # σ(FG) is an average of trust values and can drift a few ulp
+            # outside [0, 1]; clamp for the entropy read-out only.
+            clamped = min(max(record.probability, 0.0), 1.0)
+            entropy_destroyed = binary_entropy(clamped) * n
+            flip = record.label != decide(record.probability)
+            metrics.inc("session.facts_evaluated", n)
+            metrics.inc("session.votes_touched", len(record.signature) * n)
+            metrics.inc("session.entropy_destroyed", entropy_destroyed)
+            if flip:
+                metrics.inc("session.label_flips", n)
+            metrics.observe("session.group_size_selected", n)
+            obs.runlog.emit(
+                "round",
+                time_point=record.time_point,
+                signature=[list(pair) for pair in record.signature],
+                probability=record.probability,
+                label=record.label,
+                num_facts=n,
+                facts=list(record.facts),
+                entropy_destroyed=entropy_destroyed,
+                label_flip=flip,
+            )
+
     def _materialize_probabilities(self) -> None:
         """Fold any deferred (facts, probability) chunks into the dict."""
         if self._arrays is None or not self._prob_chunks:
@@ -322,18 +410,40 @@ class CorroborationSession:
                 f"{self.remaining_facts} facts still unevaluated; "
                 "run step() until done first"
             )
-        if not self._finalized:
-            # The trust over the entire evaluated dataset (Table 5's vector).
-            self._trajectory.record(self.trust)
-            self._finalized = True
-        self._materialize_probabilities()
-        result = CorroborationResult(
-            method=self._method_name,
-            probabilities=dict(self._probabilities),
-            trust=self.trust,
-            iterations=self._trajectory.num_time_points - 1,
-            trajectory=self._trajectory,
-            label_overrides=dict(self._label_overrides),
-        )
-        result.rounds = list(self._rounds)
+        obs = self._obs
+        with obs.tracer.span("session.finalize"):
+            if not self._finalized:
+                # The trust over the entire evaluated dataset (Table 5's
+                # vector).
+                self._trajectory.record(self.trust)
+                self._finalized = True
+                if obs.enabled:
+                    final = self._trajectory.num_time_points - 1
+                    obs.runlog.emit(
+                        "trust",
+                        time_point=final,
+                        trust=self._trajectory.at(final),
+                    )
+                    obs.runlog.emit(
+                        "run_end",
+                        method=self._method_name,
+                        time_points=self._trajectory.num_time_points,
+                        rounds=len(self._rounds),
+                        facts_evaluated=self.evaluated_facts,
+                        label_flips=len(self._label_overrides),
+                    )
+                    obs.metrics.set_gauge(
+                        "session.final_time_points",
+                        self._trajectory.num_time_points,
+                    )
+            self._materialize_probabilities()
+            result = CorroborationResult(
+                method=self._method_name,
+                probabilities=dict(self._probabilities),
+                trust=self.trust,
+                iterations=self._trajectory.num_time_points - 1,
+                trajectory=self._trajectory,
+                label_overrides=dict(self._label_overrides),
+            )
+            result.rounds = list(self._rounds)
         return result

@@ -13,6 +13,7 @@ from collections.abc import Mapping, Sequence
 from itertools import repeat
 
 from repro.model.matrix import FactId, SourceId
+from repro.obs import NULL_OBS, Obs
 
 
 class TrustTrajectory:
@@ -23,9 +24,14 @@ class TrustTrajectory:
     final vector σm(S) — the trust over the entire evaluated dataset — is
     appended; this is the vector the paper reports in Table 5 ("the trust
     scores for the sources at the end of last time point").
+
+    ``obs`` (optional) counts recorded vectors and marked facts into the
+    bundle's metrics (``trust.time_points`` / ``trust.facts_marked``); it
+    never affects the recorded values.
     """
 
-    def __init__(self, sources: Sequence[SourceId]) -> None:
+    def __init__(self, sources: Sequence[SourceId], obs: Obs = NULL_OBS) -> None:
+        self._obs = obs
         self._sources = list(sources)
         self._history: list[dict[SourceId, float]] = []
         self._evaluation_time: dict[FactId, int] = {}
@@ -48,11 +54,13 @@ class TrustTrajectory:
         if missing:
             raise ValueError(f"trust vector missing sources: {missing}")
         self._history.append({s: float(trust[s]) for s in self._sources})
+        self._obs.metrics.inc("trust.time_points")
         return len(self._history) - 1
 
     def mark_evaluated(self, facts: Sequence[FactId], time_point: int) -> None:
         """Record t(f) — the time point at which each fact was selected."""
         self._flush_marks()
+        self._obs.metrics.inc("trust.facts_marked", len(facts))
         for fact in facts:
             if fact in self._evaluation_time:
                 raise ValueError(f"fact {fact!r} already evaluated at t{self._evaluation_time[fact]}")
@@ -70,6 +78,7 @@ class TrustTrajectory:
         """
         self._pending_marks.append((facts, time_point))
         self._pending_count += len(facts)
+        self._obs.metrics.inc("trust.facts_marked", len(facts))
 
     def _flush_marks(self) -> None:
         if not self._pending_marks:

@@ -41,7 +41,6 @@ import pathlib
 import platform
 import resource
 import sys
-import time
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -51,6 +50,7 @@ from repro.core.incestimate import IncEstimate
 from repro.core.selection import IncEstHeu, IncEstPS, SelectionStrategy
 from repro.core.session import CorroborationSession
 from repro.model.dataset import Dataset
+from repro.obs.trace import SpanTracer
 
 SCHEMA_VERSION = 1
 
@@ -97,33 +97,42 @@ def measure_incestimate(
 
     Phases: ``setup`` (session construction, including the group-array
     build on the first repeat), ``steps`` (the Algorithm 1 loop) and
-    ``finalize`` (result materialisation).  The reported phases are the
-    ones of the fastest total, which is the stable statistic on a shared
-    machine; ``peak_rss_kb`` is read once after all repeats.
+    ``finalize`` (result materialisation).  Each phase is a
+    ``bench.<phase>`` span on a per-repeat :class:`~repro.obs.SpanTracer`
+    — the phase seconds are the span durations, not hand-placed
+    ``perf_counter`` pairs — while the session itself runs with the no-op
+    bundle so the measured path is the untraced one.  The reported phases
+    are the ones of the fastest total, which is the stable statistic on a
+    shared machine; ``peak_rss_kb`` is read once after all repeats.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     estimator = IncEstimate(strategy=strategy, engine=engine)
     best: tuple[float, dict[str, float], int] | None = None
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        session = CorroborationSession(
-            dataset,
-            estimator.strategy,
-            estimator.default_trust,
-            estimator.default_fact_probability,
-            estimator.trust_prior_strength,
-            estimator.name,
-            engine=engine,
-        )
-        t1 = time.perf_counter()
-        while not session.done:
-            session.step()
-        t2 = time.perf_counter()
-        result = session.finalize()
-        t3 = time.perf_counter()
-        phases = {"setup": t1 - t0, "steps": t2 - t1, "finalize": t3 - t2}
-        total = t3 - t0
+        tracer = SpanTracer()
+        with tracer.span("bench.run", backend="engine" if engine else "scalar") as run_span:
+            with tracer.span("bench.setup"):
+                session = CorroborationSession(
+                    dataset,
+                    estimator.strategy,
+                    estimator.default_trust,
+                    estimator.default_fact_probability,
+                    estimator.trust_prior_strength,
+                    estimator.name,
+                    engine=engine,
+                )
+            with tracer.span("bench.steps"):
+                while not session.done:
+                    session.step()
+            with tracer.span("bench.finalize"):
+                result = session.finalize()
+        phases = {
+            "setup": tracer.total_seconds("bench.setup"),
+            "steps": tracer.total_seconds("bench.steps"),
+            "finalize": tracer.total_seconds("bench.finalize"),
+        }
+        total = run_span.duration_s
         if best is None or total < best[0]:
             best = (total, phases, len(result.rounds))
     assert best is not None

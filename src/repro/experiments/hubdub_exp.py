@@ -14,9 +14,10 @@ from repro.datasets.hubdub import HubdubWorld, generate_hubdub_like
 from repro.eval.harness import run_methods
 from repro.experiments.methods import hubdub_methods
 from repro.model.claims import count_answer_errors, predict_answers
+from repro.obs import NULL_OBS, Obs
 
 
-def table7(world: HubdubWorld | None = None) -> list[dict]:
+def table7(world: HubdubWorld | None = None, obs: Obs = NULL_OBS) -> list[dict]:
     """Table 7 rows: method → number of errors.
 
     Predictions are made per question (argmax over the candidate answers'
@@ -25,7 +26,7 @@ def table7(world: HubdubWorld | None = None) -> list[dict]:
     world = world or generate_hubdub_like()
     question_set = world.questions
     dataset = question_set.to_dataset(name="hubdub-like")
-    runs = run_methods(hubdub_methods(), dataset)
+    runs = run_methods(hubdub_methods(), dataset, obs=obs)
     rows = []
     for run in runs:
         predictions = predict_answers(question_set, run.result.probabilities)

@@ -13,9 +13,10 @@ from repro.datasets.motivating import motivating_example
 from repro.eval.harness import run_methods
 from repro.eval.metrics import evaluate_result
 from repro.model.dataset import Dataset
+from repro.obs import NULL_OBS, Obs
 
 
-def table2(dataset: Dataset | None = None) -> list[dict]:
+def table2(dataset: Dataset | None = None, obs: Obs = NULL_OBS) -> list[dict]:
     """Rows of Table 2: P/R/A of the three Section 2 strategies.
 
     Paper values: TwoEstimate 0.64 / 1 / 0.67; BayesEstimate 0.58 / 1 /
@@ -29,7 +30,7 @@ def table2(dataset: Dataset | None = None) -> list[dict]:
         BayesEstimate(burn_in=50, samples=150),
         IncEstimate(IncEstHeu()),
     ]
-    runs = run_methods(methods, dataset)
+    runs = run_methods(methods, dataset, obs=obs)
     rows = []
     for run in runs:
         counts = evaluate_result(run.result, dataset)

@@ -25,13 +25,23 @@ from repro.eval.harness import (
     timing_table,
 )
 from repro.experiments.methods import paper_methods
+from repro.obs import NULL_OBS, Obs, get_logger
+
+_LOG = get_logger(__name__)
 
 
 def build_world(num_facts: int | None = None, **kwargs) -> RestaurantWorld:
     """Generate the restaurant world (paper scale by default)."""
     if num_facts is not None:
         kwargs["num_facts"] = num_facts
-    return generate_restaurants(**kwargs)
+    _LOG.info("generating restaurant world (%s)", kwargs or "paper defaults")
+    world = generate_restaurants(**kwargs)
+    _LOG.info(
+        "restaurant world ready: %d facts, %d sources",
+        world.dataset.matrix.num_facts,
+        world.dataset.matrix.num_sources,
+    )
+    return world
 
 
 def table3(world: RestaurantWorld | None = None) -> dict[str, list[dict]]:
@@ -56,13 +66,19 @@ def run_paper_methods(
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
     with_ml: bool = True,
+    obs: Obs = NULL_OBS,
 ) -> tuple[RestaurantWorld, list[MethodRun]]:
-    """Run the Table 4 method line-up once; shared by Tables 4–6."""
+    """Run the Table 4 method line-up once; shared by Tables 4–6.
+
+    ``obs`` is forwarded to :func:`~repro.eval.harness.run_methods`, so a
+    traced experiment shows one ``harness.method`` block per method.
+    """
     world = world or build_world()
     methods = paper_methods(
         bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples, with_ml=with_ml
     )
-    return world, run_methods(methods, world.dataset)
+    _LOG.info("running %d paper methods on the restaurant dataset", len(methods))
+    return world, run_methods(methods, world.dataset, obs=obs)
 
 
 def table4(runs: list[MethodRun], world: RestaurantWorld) -> list[dict]:

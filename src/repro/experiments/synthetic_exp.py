@@ -20,6 +20,9 @@ from repro.datasets.synthetic import generate_synthetic
 from repro.eval.harness import run_methods
 from repro.eval.metrics import evaluate_result
 from repro.experiments.methods import synthetic_methods
+from repro.obs import NULL_OBS, Obs, get_logger
+
+_LOG = get_logger(__name__)
 
 
 def _accuracy_point(
@@ -30,8 +33,18 @@ def _accuracy_point(
     seeds: list[int],
     bayes_burn_in: int,
     bayes_samples: int,
+    obs: Obs = NULL_OBS,
 ) -> dict[str, float]:
     """Mean accuracy per method over the given seeds."""
+    _LOG.info(
+        "sweep point: %d accurate + %d inaccurate sources, eta=%.3f, "
+        "%d facts x %d seeds",
+        num_accurate,
+        num_inaccurate,
+        eta,
+        num_facts,
+        len(seeds),
+    )
     totals: dict[str, list[float]] = {}
     for seed in seeds:
         world = generate_synthetic(
@@ -44,6 +57,7 @@ def _accuracy_point(
         runs = run_methods(
             synthetic_methods(bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples),
             world.dataset,
+            obs=obs,
         )
         for run in runs:
             counts = evaluate_result(run.result, world.dataset)
@@ -57,6 +71,7 @@ def figure3a(
     repeats: int = 1,
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
+    obs: Obs = NULL_OBS,
 ) -> list[dict]:
     """Accuracy vs total number of sources (2 inaccurate fixed)."""
     counts = source_counts or list(range(2, 12))
@@ -70,6 +85,7 @@ def figure3a(
             seeds=list(range(repeats)),
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
+            obs=obs,
         )
         rows.append({"num_sources": total, **point})
     return rows
@@ -81,6 +97,7 @@ def figure3b(
     repeats: int = 1,
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
+    obs: Obs = NULL_OBS,
 ) -> list[dict]:
     """Accuracy vs number of inaccurate sources (10 total fixed)."""
     counts = inaccurate_counts if inaccurate_counts is not None else list(range(0, 11))
@@ -94,6 +111,7 @@ def figure3b(
             seeds=list(range(repeats)),
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
+            obs=obs,
         )
         rows.append({"num_inaccurate": inaccurate, **point})
     return rows
@@ -105,6 +123,7 @@ def figure3c(
     repeats: int = 1,
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
+    obs: Obs = NULL_OBS,
 ) -> list[dict]:
     """Accuracy vs F-vote fraction η (10 sources, 2 inaccurate)."""
     eta_values = etas or [0.01, 0.02, 0.03, 0.04, 0.05]
@@ -118,6 +137,7 @@ def figure3c(
             seeds=list(range(repeats)),
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
+            obs=obs,
         )
         rows.append({"eta": eta, **point})
     return rows

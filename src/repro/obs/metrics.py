@@ -1,0 +1,137 @@
+"""Counters, gauges and histogram summaries for the corroboration pipeline.
+
+A :class:`MetricsRegistry` is a plain in-process aggregate — counters are
+monotonic floats, gauges are last-write-wins, histograms keep summary
+statistics (count / sum / min / max) rather than buckets, which is all the
+per-run analyses here need.  :data:`NULL_METRICS` is the no-op default
+that instrumented code can call unconditionally.
+
+Metric names are dotted paths.  The ones the library emits:
+
+=====================================  =====================================
+``session.time_points``                time points executed (counter)
+``session.rounds``                     RoundRecords committed (counter)
+``session.facts_evaluated``            facts committed (counter)
+``session.votes_touched``              Σ |signature| × facts per selection
+``session.label_flips``                facts whose label overrode Eq. 2
+``session.entropy_destroyed``          Σ H(σ(FG)) × n over the picks (bits)
+``session.group_size_selected``        facts taken per selection (histogram)
+``selection.flush_rounds``             one-sided flush time points (counter)
+``selection.delta_h_rounds``           time points that ranked by ΔH
+``selection.delta_h_groups_scored``    candidate groups scored by Eq. 9
+``selection.groups_per_round``         active groups per time point (hist.)
+``selection.greedy_rounds``            IncEstPS selections (counter)
+``baseline.<name>.iterations``         fixpoint iterations per baseline run
+``trust.time_points``                  trust vectors recorded (counter)
+``trust.facts_marked``                 facts stamped with t(f) (counter)
+=====================================  =====================================
+
+Cache traffic on the shared array structures is process-global (the caches
+live on the vote matrix, not in any one session), so it lands in the
+always-on :func:`global_metrics` registry under ``arrays.*``:
+``arrays.group_arrays_cache.{hit,miss}``,
+``arrays.engine_template_cache.{hit,miss}``,
+``arrays.dh_slices.{rebuild,patch}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class NullMetrics:
+    """Metrics sink that discards everything — the default."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Process-wide no-op metrics singleton.
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """In-process metric aggregate (see the module docstring for names)."""
+
+    __slots__ = ("_counters", "_gauges", "_hists")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, sum, min, max]
+        self._hists: dict[str, list[float]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        state = self._hists.get(name)
+        if state is None:
+            self._hists[name] = [1.0, float(value), float(value), float(value)]
+            return
+        state[0] += 1.0
+        state[1] += value
+        if value < state[2]:
+            state[2] = float(value)
+        if value > state[3]:
+            state[3] = float(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Drop every recorded metric (tests and long-lived processes)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-friendly dict (histograms summarised)."""
+        histograms = {
+            name: {
+                "count": int(state[0]),
+                "sum": state[1],
+                "min": state[2],
+                "max": state[3],
+                "mean": state[1] / state[0] if state[0] else math.nan,
+            }
+            for name, state in self._hists.items()
+        }
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": histograms,
+        }
+
+
+#: Always-on registry for process-global instrumentation (array-cache
+#: traffic).  A counter bump is a dict lookup plus a float add, paid once
+#: per cache access — not per time point — so it stays on unconditionally.
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-global always-on registry (``arrays.*`` cache metrics)."""
+    return _GLOBAL

@@ -1,0 +1,201 @@
+"""Append-only JSONL run ledger: the provenance of every trust estimate.
+
+Dong et al.'s Knowledge-Based Trust line of work argues that a trust score
+without the evidence trail that produced it is unauditable; the run ledger
+keeps that trail for this library.  One JSON object per line, written in
+execution order, so a finished file replays the run: which fact groups the
+selection strategy committed at each time point, under which trust vector,
+with how much entropy destroyed, and (for the iterative baselines) how
+each fixpoint iteration moved.
+
+Record kinds (all carry ``kind``; the header is always the first line of
+an appended block):
+
+``runlog_header``
+    ``schema_version`` — bump when any record shape changes.
+``run_start``
+    ``method``, ``facts``, ``groups``, ``sources`` — one per corroboration
+    run.
+``trust``
+    ``time_point``, ``trust`` (source → σi(s)) — the vector the facts
+    selected at that time point were evaluated with; the final vector
+    (Table 5's) is emitted once more at finalize time.
+``round``
+    ``time_point``, ``signature`` (list of ``[source, symbol]`` pairs),
+    ``probability``, ``label``, ``num_facts``, ``facts``,
+    ``entropy_destroyed`` (H(σ(FG)) × n, bits), ``label_flip`` (label
+    overrode the Equation 2 threshold) — exactly one per
+    :class:`~repro.core.incestimate.RoundRecord`, reconciling field by
+    field.
+``run_end``
+    ``method``, ``time_points``, ``rounds``, ``facts_evaluated``,
+    ``label_flips``.
+``iteration``
+    ``method``, ``iteration`` plus per-method convergence extras
+    (``label_flips``, ``max_trust_delta``, ``converged``) — one per
+    fixpoint iteration of TwoEstimate / ThreeEstimate / TruthFinder.
+
+:data:`NULL_RUNLOG` is the no-op default; :class:`JsonlRunLog` appends to
+a file (``mode="a"``: re-running a command extends the ledger, it never
+rewrites history).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO
+
+#: Bump when any record shape changes.
+RUNLOG_SCHEMA_VERSION = 1
+
+#: Required fields per record kind (beyond ``kind`` itself).
+_REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "runlog_header": ("schema_version",),
+    "run_start": ("method", "facts", "groups", "sources"),
+    "trust": ("time_point", "trust"),
+    "round": (
+        "time_point",
+        "signature",
+        "probability",
+        "label",
+        "num_facts",
+        "facts",
+        "entropy_destroyed",
+        "label_flip",
+    ),
+    "run_end": ("method", "time_points", "rounds", "facts_evaluated", "label_flips"),
+    "iteration": ("method", "iteration"),
+}
+
+
+class NullRunLog:
+    """Ledger that writes nothing — the default."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullRunLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: Process-wide no-op ledger singleton.
+NULL_RUNLOG = NullRunLog()
+
+
+class JsonlRunLog:
+    """Append-only JSONL ledger bound to a file path or open handle."""
+
+    enabled = True
+
+    def __init__(self, path_or_handle: str | pathlib.Path | IO[str]) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle: IO[str] = path_or_handle  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(path_or_handle, "a")
+            self._owns_handle = True
+        self.emit("runlog_header", schema_version=RUNLOG_SCHEMA_VERSION)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one record; tuples (signatures) serialise as JSON arrays."""
+        record = {"kind": kind, **fields}
+        self._handle.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlRunLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_runlog(path: str | pathlib.Path) -> list[dict]:
+    """Parse a runlog file into its records (blank lines skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_runlog_records(records: list[dict]) -> None:
+    """Raise ``ValueError`` unless ``records`` form a schema-valid ledger.
+
+    Checks the header (first record, matching schema version), that every
+    record is an object with a known ``kind``, and that each kind carries
+    its required fields.  Used by the CI smoke step and the test suite.
+    """
+    if not records:
+        raise ValueError("runlog is empty")
+    header = records[0]
+    if header.get("kind") != "runlog_header":
+        raise ValueError(f"first record kind is {header.get('kind')!r}, "
+                         "expected 'runlog_header'")
+    if header.get("schema_version") != RUNLOG_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected runlog schema_version: {header.get('schema_version')!r}"
+        )
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"records[{i}] is not an object")
+        kind = record.get("kind")
+        required = _REQUIRED_FIELDS.get(kind)  # type: ignore[arg-type]
+        if required is None:
+            raise ValueError(f"records[{i}] has unknown kind {kind!r}")
+        missing = [field for field in required if field not in record]
+        if missing:
+            raise ValueError(f"records[{i}] ({kind}) is missing {missing}")
+        if kind == "round":
+            if not isinstance(record["facts"], list):
+                raise ValueError(f"records[{i}].facts is not a list")
+            if record["num_facts"] != len(record["facts"]):
+                raise ValueError(
+                    f"records[{i}].num_facts {record['num_facts']} != "
+                    f"len(facts) {len(record['facts'])}"
+                )
+
+
+def validate_runlog_file(path: str | pathlib.Path) -> int:
+    """Validate the ledger at ``path``; returns the number of records."""
+    records = read_runlog(path)
+    validate_runlog_records(records)
+    return len(records)
+
+
+def summarize_records(records: list[dict]) -> dict:
+    """Aggregate a ledger for display: record counts plus round totals."""
+    kinds: dict[str, int] = {}
+    facts = 0
+    entropy = 0.0
+    flips = 0
+    for record in records:
+        kind = record.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "round":
+            facts += record["num_facts"]
+            entropy += record["entropy_destroyed"]
+            if record["label_flip"]:
+                flips += record["num_facts"]
+    return {
+        "records_by_kind": kinds,
+        "facts_evaluated": facts,
+        "entropy_destroyed_bits": round(entropy, 6),
+        "label_flip_facts": flips,
+    }

@@ -1,0 +1,258 @@
+"""Nestable span tracing with Chrome trace-event export.
+
+The tracer answers "where did the time go *inside one run*" at the level
+the incremental algorithm actually works: a ``session.step`` span per time
+point, with ``session.probabilities`` / ``session.select`` /
+``selection.delta_h`` / ``session.commit`` children, so a Perfetto or
+``chrome://tracing`` timeline shows each round's anatomy instead of one
+opaque "steps" number.
+
+Two implementations share the interface:
+
+* :data:`NULL_TRACER` — the default.  ``span()`` returns a process-wide
+  singleton context manager whose enter/exit do nothing, so the disabled
+  path allocates nothing and costs two method calls per span site.  Every
+  instrumented module takes this as its default; numerics are never read,
+  let alone touched.
+* :class:`SpanTracer` — records one *complete event* per closed span
+  (monotonic ``perf_counter_ns`` timestamps relative to tracer creation)
+  and exports the Chrome trace-event JSON object format, loadable in
+  ``chrome://tracing`` / https://ui.perfetto.dev.
+
+Spans nest lexically through the context-manager protocol; the export
+relies on Chrome's ts/dur containment rule to render the hierarchy, so no
+parent pointers are stored.  The tracer is deliberately single-threaded
+(one per run/session), matching every driver in this library.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+#: Schema version stamped into the exported trace's ``otherData``.
+TRACE_SCHEMA_VERSION = 1
+
+#: Category assigned to every event (Chrome's filter box groups by it).
+_CATEGORY = "repro"
+
+
+class NullSpan:
+    """The do-nothing span; a single instance serves every disabled site."""
+
+    __slots__ = ()
+
+    #: Duration of a span that never ran.
+    duration_s = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, **args) -> None:
+        """Attach arguments to the span (no-op)."""
+
+
+#: The reusable no-op span (also what :data:`NULL_TRACER` hands out).
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing — the default everywhere.
+
+    ``span()`` accepts and discards any arguments and returns
+    :data:`NULL_SPAN`; there is nothing to export.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **args) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, **args) -> None:
+        pass
+
+
+#: Process-wide no-op tracer singleton.
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One in-flight span of a :class:`SpanTracer` (context manager).
+
+    Created by :meth:`SpanTracer.span`; on exit it appends a Chrome
+    complete event (``ph: "X"``) to the tracer.  :attr:`duration_s` is
+    available after the span closes — the bench derives its per-phase
+    timings from it instead of hand-placed ``perf_counter`` pairs.
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns", "_dur_ns")
+
+    def __init__(self, tracer: "SpanTracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+        self._dur_ns = 0
+
+    def add(self, **args) -> None:
+        """Attach extra key/value arguments to the span."""
+        self.args.update(args)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds the span covered (0.0 while still open)."""
+        return self._dur_ns / 1e9
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._dur_ns = time.perf_counter_ns() - self._start_ns
+        self._tracer._finish(self)
+        return False
+
+
+class SpanTracer:
+    """Collects spans and exports Chrome trace-event JSON.
+
+    Events accumulate in memory (one small dict per closed span — the
+    incremental algorithm produces a few spans per time point, so even the
+    full restaurants run stays in the low thousands) and are written once
+    at the end via :meth:`write`.
+    """
+
+    __slots__ = ("events", "_origin_ns")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._origin_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **args) -> Span:
+        """A new span named ``name``; use as a context manager."""
+        return Span(self, name, args)
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration instant event (Chrome ``ph: "i"``)."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": _CATEGORY,
+                "ph": "i",
+                "ts": (time.perf_counter_ns() - self._origin_ns) / 1e3,
+                "pid": 1,
+                "tid": 1,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    def _finish(self, span: Span) -> None:
+        self.events.append(
+            {
+                "name": span.name,
+                "cat": _CATEGORY,
+                "ph": "X",
+                "ts": (span._start_ns - self._origin_ns) / 1e3,
+                "dur": span._dur_ns / 1e3,
+                "pid": 1,
+                "tid": 1,
+                "args": span.args,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Reading / export
+    # ------------------------------------------------------------------
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every closed span named ``name``."""
+        return (
+            sum(e["dur"] for e in self.events if e["ph"] == "X" and e["name"] == name)
+            / 1e6
+        )
+
+    def to_chrome(self, other_data: dict | None = None) -> dict:
+        """The trace as a Chrome trace-event *JSON object format* payload."""
+        data = {"schema_version": TRACE_SCHEMA_VERSION}
+        if other_data:
+            data.update(other_data)
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": data,
+        }
+
+    def write(self, path: str | pathlib.Path, other_data: dict | None = None) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        payload = self.to_chrome(other_data)
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_trace(path: str | pathlib.Path) -> dict:
+    """Load a trace file written by :meth:`SpanTracer.write`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def validate_chrome_trace(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a loadable Chrome trace.
+
+    Checks the JSON-object-format envelope and, per event, the fields the
+    trace viewers require (``name``/``ph``/``ts`` plus ``dur`` on complete
+    events).  Used by the CI smoke step and the test suite.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{i}].name is not a string")
+        if event.get("ph") not in ("X", "i", "B", "E", "M"):
+            raise ValueError(f"traceEvents[{i}].ph is {event.get('ph')!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{i}].ts is not a number")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}].dur is {dur!r}")
+
+
+def summarize_events(events: list[dict]) -> list[dict]:
+    """Aggregate complete events by span name (the ``trace-summary`` rows).
+
+    Returns one row per distinct span name with call count and
+    total / mean / max duration in milliseconds, sorted by total
+    descending — the "where did the time go" table.
+    """
+    stats: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        stats.setdefault(event["name"], []).append(float(event["dur"]))
+    rows = [
+        {
+            "span": name,
+            "count": len(durs),
+            "total_ms": round(sum(durs) / 1e3, 3),
+            "mean_ms": round(sum(durs) / len(durs) / 1e3, 3),
+            "max_ms": round(max(durs) / 1e3, 3),
+        }
+        for name, durs in stats.items()
+    ]
+    rows.sort(key=lambda r: r["total_ms"], reverse=True)
+    return rows
