@@ -57,18 +57,32 @@ from repro.eval import (
 )
 from repro.ml import LinearSVM, LogisticRegression, ml_logistic, ml_svm
 from repro.model import Dataset, Question, QuestionSet, Vote, VoteMatrix
+from repro.resilience import (
+    CheckpointManager,
+    ErrorPolicy,
+    FaultPlan,
+    IngestError,
+    IngestReport,
+    Supervision,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AvgLog",
     "BayesEstimate",
+    "CheckpointManager",
     "ConfusionCounts",
     "CorroborationResult",
     "Corroborator",
     "Cosine",
     "Counting",
     "Dataset",
+    "ErrorPolicy",
+    "FaultPlan",
+    "IngestError",
+    "IngestReport",
+    "Supervision",
     "IncEstHeu",
     "IncEstPS",
     "IncEstimate",

@@ -16,6 +16,12 @@ Commands:
 ``--runlog PATH`` (append-only JSONL ledger) and ``--log-level`` (library
 logger verbosity; progress goes to stderr, results stay on stdout).  See
 ``docs/observability.md``.
+
+Both also take ``--on-error {strict,skip,quarantine}`` (malformed-input
+policy for ``corroborate``; failing-method isolation for ``experiment``),
+and ``corroborate`` supports crash-safe checkpointing of the session-based
+methods via ``--checkpoint DIR`` / ``--resume`` / ``--checkpoint-every N``
+/ ``--max-steps N``.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -47,7 +53,9 @@ from repro.model.io import (
     save_result,
 )
 from repro.model.dataset import Dataset
-from repro.obs import Obs, configure_logging, make_obs
+from repro.obs import NULL_OBS, Obs, configure_logging, make_obs
+from repro.resilience import CheckpointManager, ErrorPolicy, IngestReport
+from repro.resilience.supervisor import FAIL_FAST, SUPERVISED, Supervision
 
 #: Registry of CLI method names.  Factories take no arguments; tuning is
 #: done through the library API.
@@ -97,6 +105,19 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_on_error_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error",
+        default="strict",
+        choices=["strict", "skip", "quarantine"],
+        help=(
+            "malformed-input / failing-method policy: strict fails fast "
+            "(default), skip drops bad rows, quarantine drops and reports "
+            "them (see docs/robustness.md)"
+        ),
+    )
+
+
 def _make_obs(args: argparse.Namespace) -> Obs:
     """Observability bundle + logging config from the parsed flags."""
     configure_logging(args.log_level)
@@ -134,6 +155,37 @@ def build_parser() -> argparse.ArgumentParser:
     corroborate.add_argument(
         "--show", type=int, default=10, help="how many false facts to print"
     )
+    _add_on_error_arg(corroborate)
+    corroborate.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help=(
+            "save a crash-safe session checkpoint here after each round "
+            "(incestimate / incestimate-ps only)"
+        ),
+    )
+    corroborate.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint DIR if one exists",
+    )
+    corroborate.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="write the checkpoint every N rounds (default: 1)",
+    )
+    corroborate.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stop after N rounds (checkpoint saved; rerun with --resume "
+            "to continue) — for scripted preemption tests"
+        ),
+    )
     _add_obs_args(corroborate)
 
     generate = commands.add_parser("generate", help="write a built-in dataset")
@@ -154,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="dataset-size multiplier for the heavy experiments",
     )
+    _add_on_error_arg(experiment)
     _add_obs_args(experiment)
 
     report = commands.add_parser("report", help="full Markdown analysis report")
@@ -183,28 +236,116 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_cli_dataset(args: argparse.Namespace) -> Dataset:
+def _report_ingest(report: IngestReport, obs: Obs, policy: ErrorPolicy) -> None:
+    """Surface one input's ingest accounting (ledger + stderr)."""
+    if obs.enabled:
+        obs.runlog.emit("ingest_report", **report.to_record())
+    if policy is not ErrorPolicy.STRICT:
+        print(report.summary(), file=sys.stderr)
+
+
+def _load_cli_dataset(args: argparse.Namespace, obs: Obs = NULL_OBS) -> Dataset:
+    policy = ErrorPolicy.coerce(getattr(args, "on_error", "strict"))
+    strict = policy is ErrorPolicy.STRICT
     if getattr(args, "dataset", None):
-        return load_dataset(args.dataset)
-    matrix = read_votes_csv(args.votes)
+        report = IngestReport()
+        dataset = load_dataset(args.dataset, on_error=policy, report=report)
+        _report_ingest(report, obs, policy)
+        return dataset
+    votes_report = IngestReport()
+    matrix = read_votes_csv(args.votes, on_error=policy, report=votes_report)
+    _report_ingest(votes_report, obs, policy)
     truth: dict[str, bool] = {}
     golden: frozenset[str] = frozenset()
     if args.truth:
-        truth, golden = read_truth_csv(args.truth)
+        truth_report = IngestReport()
+        truth, golden = read_truth_csv(
+            args.truth,
+            on_error=policy,
+            report=truth_report,
+            known_facts=None if strict else frozenset(matrix.facts),
+        )
+        _report_ingest(truth_report, obs, policy)
         truth = {f: v for f, v in truth.items() if f in matrix}
         golden = frozenset(f for f in golden if f in matrix)
     return Dataset(matrix=matrix, truth=truth, golden_set=golden, name="cli")
 
 
+_SESSION_METHODS = ("incestimate", "incestimate-ps")
+
+
+def _run_checkpointed(
+    args: argparse.Namespace, method: Corroborator, dataset: Dataset, obs: Obs
+):
+    """Run a session-based method with checkpoint / resume / step budget.
+
+    Returns the final :class:`CorroborationResult`, or ``None`` when the
+    run stopped at ``--max-steps`` with a checkpoint saved (exit 0; rerun
+    with ``--resume`` to continue).
+    """
+    manager = (
+        CheckpointManager(args.checkpoint, every=args.checkpoint_every)
+        if args.checkpoint
+        else None
+    )
+    session = method.session(dataset)
+    if args.resume and manager is not None:
+        snapshot = manager.load()
+        if snapshot is not None:
+            session.restore(snapshot)
+            print(
+                f"resumed from {manager.path} at time point "
+                f"{session.time_point}",
+                file=sys.stderr,
+            )
+    steps = 0
+    while not session.done:
+        if args.max_steps is not None and steps >= args.max_steps:
+            if manager is not None:
+                manager.save(session, force=True)
+                print(
+                    f"stopped after {steps} step(s) at time point "
+                    f"{session.time_point}; checkpoint saved to "
+                    f"{manager.path} — rerun with --resume to continue"
+                )
+            else:
+                print(f"stopped after {steps} step(s) (no --checkpoint set)")
+            return None
+        session.step()
+        steps += 1
+        if manager is not None:
+            manager.save(session)
+    return session.finalize()
+
+
 def _cmd_corroborate(args: argparse.Namespace) -> int:
     from repro.eval import evaluate_result, render_table
 
-    dataset = _load_cli_dataset(args)
-    method = METHODS[args.method]()
+    checkpointing = bool(
+        args.checkpoint or args.resume or args.max_steps is not None
+    )
+    if checkpointing and args.method not in _SESSION_METHODS:
+        print(
+            "corroborate: --checkpoint/--resume/--max-steps require a "
+            f"session-based method ({' or '.join(_SESSION_METHODS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("corroborate: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     obs = _make_obs(args)
+    dataset = _load_cli_dataset(args, obs)
+    method = METHODS[args.method]()
     method.obs = obs
     with obs.tracer.span("corroborate", method=method.name):
-        result = method.run(dataset)
+        if checkpointing:
+            result = _run_checkpointed(args, method, dataset, obs)
+            if result is None:
+                _finish_obs(args, obs)
+                return 0
+        else:
+            result = method.run(dataset)
     print(dataset.summary())
     false_facts = result.false_facts()
     print(
@@ -269,9 +410,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro import experiments
 
     obs = _make_obs(args)
+    # strict keeps the historical first-exception-aborts sweep; skip /
+    # quarantine isolate a failing method into a structured failure row.
+    supervision: Supervision = (
+        FAIL_FAST if args.on_error == "strict" else SUPERVISED
+    )
     with obs.tracer.span("experiment", experiment=args.name, scale=args.scale):
         if args.name == "table2":
-            rows = experiments.table2(obs=obs)
+            rows = experiments.table2(obs=obs, supervision=supervision)
         elif args.name == "table3":
             world = experiments.build_world(
                 num_facts=max(100, int(36_916 * args.scale))
@@ -283,7 +429,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             _finish_obs(args, obs)
             return 0
         elif args.name == "table7":
-            rows = experiments.table7(obs=obs)
+            rows = experiments.table7(obs=obs, supervision=supervision)
         else:
             num_facts = max(200, int(20_000 * args.scale))
             builder = {
@@ -291,7 +437,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "figure3b": experiments.figure3b,
                 "figure3c": experiments.figure3c,
             }[args.name]
-            rows = builder(num_facts=num_facts, obs=obs)
+            rows = builder(num_facts=num_facts, obs=obs, supervision=supervision)
     print(render_table(rows, title=args.name, float_digits=3))
     _finish_obs(args, obs)
     return 0

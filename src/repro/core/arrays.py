@@ -593,6 +593,62 @@ class SessionArrays:
             cache.deny_sized[pos] = self.deny_sized[row]
             cache.voted_sized[pos] = self.voted_sized[row]
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe mutable engine state (see ``docs/robustness.md``).
+
+        Only genuinely mutable state is stored: the per-source counters and
+        trust, plus each group row's remaining facts.  Everything else —
+        sizes, the active mask, the size-scaled incidence matrices — is a
+        pure function of the remaining facts and is recomputed bit-exactly
+        on load (``sizes`` evolve by integer-valued ``-= n`` steps, so
+        ``float(len(facts))`` restores them exactly, and the sized matrices
+        are the same ``base * size`` elementwise products the live updates
+        write).
+        """
+        return {
+            "correct": self.correct.tolist(),
+            "total": self.total.tolist(),
+            "trust": self.trust.tolist(),
+            "group_facts": [list(group.facts) for group in self.groups],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this fresh instance."""
+        n_groups = len(self.groups)
+        n_sources = len(self.sources)
+        group_facts = state["group_facts"]
+        if len(group_facts) != n_groups:
+            raise ValueError(
+                f"engine state has {len(group_facts)} groups, "
+                f"matrix has {n_groups}"
+            )
+        for key in ("correct", "total", "trust"):
+            if len(state[key]) != n_sources:
+                raise ValueError(
+                    f"engine state {key!r} has {len(state[key])} sources, "
+                    f"matrix has {n_sources}"
+                )
+        self.correct = np.array(state["correct"], dtype=float)
+        self.total = np.array(state["total"], dtype=float)
+        self.trust = np.array(state["trust"], dtype=float)
+        for row, facts in enumerate(group_facts):
+            self.groups[row].facts = [str(fact) for fact in facts]
+        self.sizes = np.array(
+            [float(len(facts)) for facts in group_facts], dtype=float
+        )
+        self.active = self.sizes > 0
+        base = self.base
+        self.affirm_sized = base.affirm * self.sizes[:, None]
+        self.deny_sized = base.deny * self.sizes[:, None]
+        self.voted_sized = base.voted * self.sizes[:, None]
+        self._active_rows_cache = None
+        self._active_groups_cache = None
+        self._counter_views = None
+        self._dh_cache = None
+
     def refresh_trust(self) -> np.ndarray:
         """Recompute the trust vector from the counters (Equation 8)."""
         with np.errstate(divide="ignore", invalid="ignore"):

@@ -393,10 +393,185 @@ class CorroborationSession:
             probabilities.update(zip(facts, repeat(probability)))
         self._prob_chunks.clear()
 
-    def run_to_completion(self) -> CorroborationResult:
-        """Step until done and return the final result."""
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The session's full mutable state as a JSON-safe document.
+
+        Safe to call between any two :meth:`step` calls.  The snapshot
+        embeds a fingerprint of the vote matrix and the session parameters;
+        :meth:`restore` refuses to apply it to a different dataset,
+        backend, strategy, or parameterisation.  A restored session
+        continues **bit-identically** to the uninterrupted run on both
+        backends — see ``docs/robustness.md`` for the format and the
+        exactness argument.
+        """
+        from repro.resilience.checkpoint import dataset_fingerprint
+
+        self._materialize_probabilities()
+        strategy_state = getattr(self._strategy, "state_dict", None)
+        state: dict = {
+            "format": "corroboration-session",
+            "method": self._method_name,
+            "backend": "engine" if self._arrays is not None else "scalar",
+            "strategy": self._strategy.name,
+            "strategy_state": strategy_state() if callable(strategy_state) else None,
+            "params": {
+                "default_trust": self._default_trust,
+                "default_fact_probability": self._default_fact_probability,
+            },
+            "dataset_fingerprint": dataset_fingerprint(self._dataset),
+            "time_point": self.time_point,
+            "finalized": self._finalized,
+            "trajectory": self._trajectory.state_dict(),
+            "probabilities": dict(self._probabilities),
+            "label_overrides": dict(self._label_overrides),
+            "rounds": [
+                {
+                    "time_point": record.time_point,
+                    "signature": [list(pair) for pair in record.signature],
+                    "probability": record.probability,
+                    "label": record.label,
+                    "facts": list(record.facts),
+                }
+                for record in self._rounds
+            ],
+        }
+        if self._arrays is not None:
+            state["engine"] = self._arrays.state_dict()
+            state["evaluated_count"] = self._evaluated_count
+        else:
+            state["scalar"] = {
+                "remaining": [
+                    {
+                        "signature": [list(pair) for pair in group.signature],
+                        "facts": list(group.facts),
+                    }
+                    for group in self._remaining
+                ],
+                "correct": dict(self._correct),
+                "total": dict(self._total),
+                "trust": dict(self._trust),
+            }
+        return state
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a :meth:`snapshot` into this *freshly constructed* session.
+
+        Raises :class:`~repro.resilience.errors.CheckpointError` when the
+        snapshot belongs to a different dataset, backend, strategy, or
+        parameterisation, or when this session has already stepped.
+        """
+        from repro.resilience.checkpoint import dataset_fingerprint
+        from repro.resilience.errors import CheckpointError
+
+        if self.time_point != 0 or self._rounds or self._finalized:
+            raise CheckpointError(
+                "restore() requires a freshly constructed session"
+            )
+        if snapshot.get("format") != "corroboration-session":
+            raise CheckpointError("snapshot is not a corroboration session")
+        backend = "engine" if self._arrays is not None else "scalar"
+        checks = (
+            ("method", self._method_name),
+            ("backend", backend),
+            ("strategy", self._strategy.name),
+            ("dataset_fingerprint", dataset_fingerprint(self._dataset)),
+        )
+        for key, expected in checks:
+            if snapshot.get(key) != expected:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch: snapshot has "
+                    f"{snapshot.get(key)!r}, session has {expected!r}"
+                )
+        params = snapshot.get("params", {})
+        for key, expected in (
+            ("default_trust", self._default_trust),
+            ("default_fact_probability", self._default_fact_probability),
+        ):
+            if params.get(key) != expected:
+                raise CheckpointError(
+                    f"checkpoint parameter {key} mismatch: snapshot has "
+                    f"{params.get(key)!r}, session has {expected!r}"
+                )
+        try:
+            self._trajectory.load_state_dict(snapshot["trajectory"])
+            strategy_state = snapshot.get("strategy_state")
+            if strategy_state is not None:
+                loader = getattr(self._strategy, "load_state_dict", None)
+                if not callable(loader):
+                    raise CheckpointError(
+                        f"snapshot carries state for strategy "
+                        f"{self._strategy.name}, which cannot load state"
+                    )
+                loader(strategy_state)
+            self._probabilities = {
+                str(fact): float(p)
+                for fact, p in snapshot["probabilities"].items()
+            }
+            self._label_overrides = {
+                str(fact): bool(label)
+                for fact, label in snapshot["label_overrides"].items()
+            }
+            self._rounds = [
+                RoundRecord(
+                    time_point=int(record["time_point"]),
+                    signature=tuple(
+                        tuple(pair) for pair in record["signature"]
+                    ),
+                    probability=float(record["probability"]),
+                    label=bool(record["label"]),
+                    facts=list(record["facts"]),
+                )
+                for record in snapshot["rounds"]
+            ]
+            self._finalized = bool(snapshot["finalized"])
+            if self._arrays is not None:
+                self._arrays.load_state_dict(snapshot["engine"])
+                self._evaluated_count = int(snapshot["evaluated_count"])
+            else:
+                scalar = snapshot["scalar"]
+                self._remaining = [
+                    FactGroup(
+                        signature=tuple(
+                            tuple(pair) for pair in group["signature"]
+                        ),
+                        facts=list(group["facts"]),
+                    )
+                    for group in scalar["remaining"]
+                ]
+                self._correct = {
+                    s: float(scalar["correct"][s]) for s in self._sources
+                }
+                self._total = {
+                    s: float(scalar["total"][s]) for s in self._sources
+                }
+                self._trust = {
+                    s: float(scalar["trust"][s]) for s in self._sources
+                }
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed session snapshot: {exc}") from exc
+        if self._obs.enabled:
+            self._obs.metrics.inc("session.restores")
+            self._obs.runlog.emit(
+                "checkpoint", event="restore", time_point=self.time_point
+            )
+
+    def run_to_completion(self, checkpoint=None) -> CorroborationResult:
+        """Step until done and return the final result.
+
+        ``checkpoint`` (a :class:`~repro.resilience.checkpoint
+        .CheckpointManager`) saves a crash-safe snapshot after each
+        committed step; a killed run restarts from its last checkpoint via
+        :meth:`restore` instead of from scratch.
+        """
         while not self.done:
             self.step()
+            if checkpoint is not None:
+                checkpoint.save(self)
         return self.finalize()
 
     def finalize(self) -> CorroborationResult:

@@ -121,6 +121,43 @@ class TrustTrajectory:
         """Figure-2-style rows: one dict per time point, keyed by source."""
         return [dict(vector) for vector in self._history]
 
+    def state_dict(self) -> dict:
+        """JSON-safe full state (checkpointing; see ``docs/robustness.md``).
+
+        Floats survive a JSON round-trip bit-exactly (shortest-repr), so a
+        trajectory restored from this state is indistinguishable from the
+        original.  Pending bulk marks are flushed first — the snapshot is
+        always the fully indexed view.
+        """
+        self._flush_marks()
+        return {
+            "sources": list(self._sources),
+            "history": [dict(vector) for vector in self._history],
+            "evaluation_time": dict(self._evaluation_time),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (empty) trajectory.
+
+        Writes the internals directly — no :meth:`record` /
+        :meth:`mark_evaluated` calls — so restoring does not re-count
+        metrics for work the original run already recorded.
+        """
+        if self._history or self._evaluation_time or self._pending_marks:
+            raise ValueError("load_state_dict requires an empty trajectory")
+        if list(state["sources"]) != self._sources:
+            raise ValueError(
+                "trajectory state is for different sources: "
+                f"{state['sources']!r} != {self._sources!r}"
+            )
+        self._history = [
+            {s: float(vector[s]) for s in self._sources}
+            for vector in state["history"]
+        ]
+        self._evaluation_time = {
+            str(fact): int(t) for fact, t in state["evaluation_time"].items()
+        }
+
     def __len__(self) -> int:
         return len(self._history)
 

@@ -66,6 +66,13 @@ class RandomGroups(SelectionStrategy):
         group = context.groups[index]
         return [SelectionItem(group, group.size)]
 
+    def state_dict(self) -> dict:
+        """JSON-safe RNG state, so checkpointed runs resume bit-identically."""
+        return {"bit_generator": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["bit_generator"]
+
 
 class OracleSelection(SelectionStrategy):
     """Truth-peeking diagnostic selection (see module docstring).

@@ -11,32 +11,175 @@ block in the trace viewer, and the number reported in the timing table is
 the same number the trace shows.  Progress goes through the library logger
 (:func:`repro.obs.get_logger`); enable it with
 ``repro.obs.configure_logging("info")`` or the CLI's ``--log-level``.
+
+Sweeps are **error-isolated** by default: each method runs under a
+:class:`~repro.resilience.supervisor.Supervision` that catches exceptions,
+demotes NaN/inf results to failures, and (when budgets are configured)
+enforces iteration caps and wall-clock limits cooperatively through the
+run ledger.  A failed method becomes a :class:`MethodRun` failure row —
+``result=None`` plus the exception — so one diverging baseline no longer
+kills a whole sweep; the metric tables render failed methods as structured
+rows instead of dropping them silently.  Pass
+:data:`~repro.resilience.supervisor.FAIL_FAST` to get the historical
+first-exception-aborts behavior.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import pathlib
+import re
 from collections.abc import Sequence
 
 from repro.core.result import CorroborationResult, Corroborator
 from repro.eval.metrics import evaluate_result, quality_row, trust_mse_for
 from repro.model.dataset import Dataset
 from repro.obs import NULL_OBS, Obs, SpanTracer, get_logger
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.supervisor import (
+    SUPERVISED,
+    GuardedRunLog,
+    MethodAborted,
+    MethodDiverged,
+    Supervision,
+    scan_result_non_finite,
+)
 
 _LOG = get_logger(__name__)
 
 
 @dataclasses.dataclass
 class MethodRun:
-    """One corroborator's run over one dataset, with timing."""
+    """One corroborator's run over one dataset, with timing.
+
+    A *failure row* has ``result=None`` and carries the exception that the
+    sweep supervisor isolated (``error_type`` is the exception class name,
+    ``error`` its message).  Successful rows have ``error is None``.
+    """
 
     method: str
-    result: CorroborationResult
+    result: CorroborationResult | None
     seconds: float
+    error: str | None = None
+    error_type: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+def _cached_run(directory: pathlib.Path, method_name: str) -> MethodRun | None:
+    """A completed method's cached run from a sweep checkpoint directory."""
+    from repro.model.io import result_from_json
+
+    path = directory / f"{_slug(method_name)}.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    if payload.get("method") != method_name:
+        return None
+    return MethodRun(
+        method=method_name,
+        result=result_from_json(json.dumps(payload["result"])),
+        seconds=float(payload["seconds"]),
+    )
+
+
+def _cache_run(directory: pathlib.Path, run: MethodRun) -> None:
+    from repro.model.io import result_to_json
+
+    payload = {
+        "method": run.method,
+        "seconds": run.seconds,
+        "result": json.loads(result_to_json(run.result)),
+    }
+    atomic_write_text(
+        directory / f"{_slug(run.method)}.json", json.dumps(payload)
+    )
+
+
+def _run_supervised(
+    method: Corroborator,
+    dataset: Dataset,
+    obs: Obs,
+    tracer: SpanTracer,
+    supervision: Supervision,
+) -> MethodRun:
+    """Run one method under the supervisor; never raises when isolating."""
+    method_obs = obs
+    if supervision.needs_guard:
+        guard = GuardedRunLog(obs.runlog, supervision, method.name)
+        method_obs = Obs(
+            tracer=obs.tracer, metrics=obs.metrics, runlog=guard
+        )
+    previous = method.obs
+    method.obs = method_obs
+    error: Exception | None = None
+    result: CorroborationResult | None = None
+    try:
+        with tracer.span("harness.method", method=method.name) as span:
+            result = method.run(dataset)
+    except MethodAborted as exc:
+        error = exc
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        if not supervision.isolate_errors:
+            raise
+        error = exc
+    finally:
+        method.obs = previous
+    if error is None and result is not None and supervision.nan_watchdog:
+        non_finite = scan_result_non_finite(result)
+        if non_finite is not None:
+            error = MethodDiverged(f"{method.name}: non-finite {non_finite}")
+            result = None
+    if error is not None and not supervision.isolate_errors:
+        raise error
+    if error is not None:
+        run = MethodRun(
+            method=method.name,
+            result=None,
+            seconds=span.duration_s,
+            error=str(error),
+            error_type=type(error).__name__,
+        )
+        _LOG.warning(
+            "%s failed after %.3fs (%s: %s) — continuing sweep",
+            method.name,
+            run.seconds,
+            run.error_type,
+            run.error,
+        )
+        if obs.enabled:
+            obs.metrics.inc("harness.method_failures")
+            obs.runlog.emit(
+                "method_failure",
+                method=method.name,
+                error_type=run.error_type,
+                error=run.error,
+                seconds=run.seconds,
+            )
+        return run
+    _LOG.info("%s finished in %.3fs", method.name, span.duration_s)
+    return MethodRun(method=method.name, result=result, seconds=span.duration_s)
 
 
 def run_methods(
-    methods: Sequence[Corroborator], dataset: Dataset, obs: Obs = NULL_OBS
+    methods: Sequence[Corroborator],
+    dataset: Dataset,
+    obs: Obs = NULL_OBS,
+    *,
+    supervision: Supervision = SUPERVISED,
+    checkpoint_dir: str | pathlib.Path | None = None,
+    resume: bool = False,
 ) -> list[MethodRun]:
     """Run every corroborator on the dataset, span-timing each.
 
@@ -49,33 +192,55 @@ def run_methods(
             nest inside the harness's.  With the default no-op bundle a
             private tracer still supplies the wall-clock numbers (spans are
             the single timing source), but nothing else is recorded.
+        supervision: per-method guard configuration (default: isolate
+            exceptions and demote NaN/inf results to failure rows; pass
+            :data:`~repro.resilience.supervisor.FAIL_FAST` for the
+            historical first-exception-aborts behavior, or set budgets for
+            cooperative in-run caps).
+        checkpoint_dir: when set, each *successful* method's result is
+            written here (crash-safely) as it completes.
+        resume: with ``checkpoint_dir``, skip methods whose cached result
+            is already present — a killed sweep restarts where it left off.
     """
     tracer = obs.tracer if obs.tracer.enabled else SpanTracer()
+    directory: pathlib.Path | None = None
+    if checkpoint_dir is not None:
+        directory = pathlib.Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
     runs: list[MethodRun] = []
     for method in methods:
+        if directory is not None and resume:
+            cached = _cached_run(directory, method.name)
+            if cached is not None:
+                _LOG.info("%s: cached result found, skipping", method.name)
+                runs.append(cached)
+                continue
         _LOG.info(
             "running %s on %d facts / %d sources",
             method.name,
             dataset.matrix.num_facts,
             dataset.matrix.num_sources,
         )
-        previous = method.obs
-        method.obs = obs
-        try:
-            with tracer.span("harness.method", method=method.name) as span:
-                result = method.run(dataset)
-        finally:
-            method.obs = previous
-        _LOG.info("%s finished in %.3fs", method.name, span.duration_s)
-        runs.append(
-            MethodRun(method=method.name, result=result, seconds=span.duration_s)
-        )
+        run = _run_supervised(method, dataset, obs, tracer, supervision)
+        if directory is not None and run.ok:
+            _cache_run(directory, run)
+        runs.append(run)
     return runs
+
+
+def _failure_cell(run: MethodRun) -> str:
+    return f"failed: {run.error_type}"
 
 
 def quality_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
     """Table 4-style rows (precision / recall / accuracy / F1) per method."""
-    return [quality_row(run.result, dataset) for run in runs]
+    rows: list[dict] = []
+    for run in runs:
+        if run.failed:
+            rows.append({"method": run.method, "precision": _failure_cell(run)})
+        else:
+            rows.append(quality_row(run.result, dataset))
+    return rows
 
 
 def mse_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
@@ -94,6 +259,10 @@ def mse_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
     rows.append(truth_row)
     for run in runs:
         row: dict = {"method": run.method}
+        if run.failed:
+            row["MSE"] = _failure_cell(run)
+            rows.append(row)
+            continue
         for source in sources:
             row[source] = run.result.trust.get(source, "-")
         row["MSE"] = trust_mse_for(run.result, dataset)
@@ -102,16 +271,34 @@ def mse_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
 
 
 def timing_table(runs: Sequence[MethodRun]) -> list[dict]:
-    """Table 6-style rows: wall-clock seconds per method."""
-    return [{"method": run.method, "seconds": run.seconds} for run in runs]
+    """Table 6-style rows: wall-clock seconds per method.
+
+    Failed methods keep their time-to-failure and gain a ``status`` cell.
+    """
+    rows: list[dict] = []
+    for run in runs:
+        row: dict = {"method": run.method, "seconds": run.seconds}
+        if run.failed:
+            row["status"] = _failure_cell(run)
+        rows.append(row)
+    return rows
 
 
 def errors_table(runs: Sequence[MethodRun], dataset: Dataset) -> list[dict]:
-    """Table 7-style rows: number of errors (FP + FN) per method."""
-    return [
-        {
-            "method": run.method,
-            "errors": evaluate_result(run.result, dataset).errors,
-        }
-        for run in runs
-    ]
+    """Table 7-style rows: number of errors (FP + FN) per method.
+
+    Failed methods appear with their failure instead of a count, so a
+    diverged method is visible in the table rather than silently absent.
+    """
+    rows: list[dict] = []
+    for run in runs:
+        if run.failed:
+            rows.append({"method": run.method, "errors": _failure_cell(run)})
+        else:
+            rows.append(
+                {
+                    "method": run.method,
+                    "errors": evaluate_result(run.result, dataset).errors,
+                }
+            )
+    return rows

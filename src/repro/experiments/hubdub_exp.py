@@ -15,20 +15,32 @@ from repro.eval.harness import run_methods
 from repro.experiments.methods import hubdub_methods
 from repro.model.claims import count_answer_errors, predict_answers
 from repro.obs import NULL_OBS, Obs
+from repro.resilience.supervisor import SUPERVISED, Supervision
 
 
-def table7(world: HubdubWorld | None = None, obs: Obs = NULL_OBS) -> list[dict]:
+def table7(
+    world: HubdubWorld | None = None,
+    obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
+) -> list[dict]:
     """Table 7 rows: method → number of errors.
 
     Predictions are made per question (argmax over the candidate answers'
-    probabilities), then scored with the Galland error metric.
+    probabilities), then scored with the Galland error metric.  Failed
+    (supervisor-isolated) methods appear with their failure instead of an
+    error count.
     """
     world = world or generate_hubdub_like()
     question_set = world.questions
     dataset = question_set.to_dataset(name="hubdub-like")
-    runs = run_methods(hubdub_methods(), dataset, obs=obs)
+    runs = run_methods(hubdub_methods(), dataset, obs=obs, supervision=supervision)
     rows = []
     for run in runs:
+        if run.failed:
+            rows.append(
+                {"method": run.method, "errors": f"failed: {run.error_type}"}
+            )
+            continue
         predictions = predict_answers(question_set, run.result.probabilities)
         rows.append(
             {

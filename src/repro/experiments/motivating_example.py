@@ -14,9 +14,14 @@ from repro.eval.harness import run_methods
 from repro.eval.metrics import evaluate_result
 from repro.model.dataset import Dataset
 from repro.obs import NULL_OBS, Obs
+from repro.resilience.supervisor import SUPERVISED, Supervision
 
 
-def table2(dataset: Dataset | None = None, obs: Obs = NULL_OBS) -> list[dict]:
+def table2(
+    dataset: Dataset | None = None,
+    obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
+) -> list[dict]:
     """Rows of Table 2: P/R/A of the three Section 2 strategies.
 
     Paper values: TwoEstimate 0.64 / 1 / 0.67; BayesEstimate 0.58 / 1 /
@@ -30,9 +35,14 @@ def table2(dataset: Dataset | None = None, obs: Obs = NULL_OBS) -> list[dict]:
         BayesEstimate(burn_in=50, samples=150),
         IncEstimate(IncEstHeu()),
     ]
-    runs = run_methods(methods, dataset, obs=obs)
+    runs = run_methods(methods, dataset, obs=obs, supervision=supervision)
     rows = []
     for run in runs:
+        if run.failed:
+            rows.append(
+                {"method": run.method, "precision": f"failed: {run.error_type}"}
+            )
+            continue
         counts = evaluate_result(run.result, dataset)
         rows.append(
             {

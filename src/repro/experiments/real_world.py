@@ -26,6 +26,7 @@ from repro.eval.harness import (
 )
 from repro.experiments.methods import paper_methods
 from repro.obs import NULL_OBS, Obs, get_logger
+from repro.resilience.supervisor import SUPERVISED, Supervision
 
 _LOG = get_logger(__name__)
 
@@ -67,18 +68,22 @@ def run_paper_methods(
     bayes_samples: int = 20,
     with_ml: bool = True,
     obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
 ) -> tuple[RestaurantWorld, list[MethodRun]]:
     """Run the Table 4 method line-up once; shared by Tables 4–6.
 
     ``obs`` is forwarded to :func:`~repro.eval.harness.run_methods`, so a
-    traced experiment shows one ``harness.method`` block per method.
+    traced experiment shows one ``harness.method`` block per method;
+    ``supervision`` configures the sweep's error isolation (a failed
+    method becomes a structured failure row in Tables 4–6 instead of
+    killing the whole line-up).
     """
     world = world or build_world()
     methods = paper_methods(
         bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples, with_ml=with_ml
     )
     _LOG.info("running %d paper methods on the restaurant dataset", len(methods))
-    return world, run_methods(methods, world.dataset, obs=obs)
+    return world, run_methods(methods, world.dataset, obs=obs, supervision=supervision)
 
 
 def table4(runs: list[MethodRun], world: RestaurantWorld) -> list[dict]:

@@ -21,6 +21,7 @@ from repro.eval.harness import run_methods
 from repro.eval.metrics import evaluate_result
 from repro.experiments.methods import synthetic_methods
 from repro.obs import NULL_OBS, Obs, get_logger
+from repro.resilience.supervisor import SUPERVISED, Supervision
 
 _LOG = get_logger(__name__)
 
@@ -34,6 +35,7 @@ def _accuracy_point(
     bayes_burn_in: int,
     bayes_samples: int,
     obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
 ) -> dict[str, float]:
     """Mean accuracy per method over the given seeds."""
     _LOG.info(
@@ -58,8 +60,17 @@ def _accuracy_point(
             synthetic_methods(bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples),
             world.dataset,
             obs=obs,
+            supervision=supervision,
         )
         for run in runs:
+            if run.failed:
+                _LOG.warning(
+                    "%s failed at this sweep point (%s); excluded from the "
+                    "mean",
+                    run.method,
+                    run.error_type,
+                )
+                continue
             counts = evaluate_result(run.result, world.dataset)
             totals.setdefault(run.method, []).append(counts.accuracy)
     return {method: float(np.mean(values)) for method, values in totals.items()}
@@ -72,6 +83,7 @@ def figure3a(
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
 ) -> list[dict]:
     """Accuracy vs total number of sources (2 inaccurate fixed)."""
     counts = source_counts or list(range(2, 12))
@@ -86,6 +98,7 @@ def figure3a(
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
             obs=obs,
+            supervision=supervision,
         )
         rows.append({"num_sources": total, **point})
     return rows
@@ -98,6 +111,7 @@ def figure3b(
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
 ) -> list[dict]:
     """Accuracy vs number of inaccurate sources (10 total fixed)."""
     counts = inaccurate_counts if inaccurate_counts is not None else list(range(0, 11))
@@ -112,6 +126,7 @@ def figure3b(
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
             obs=obs,
+            supervision=supervision,
         )
         rows.append({"num_inaccurate": inaccurate, **point})
     return rows
@@ -124,6 +139,7 @@ def figure3c(
     bayes_burn_in: int = 10,
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
+    supervision: Supervision = SUPERVISED,
 ) -> list[dict]:
     """Accuracy vs F-vote fraction η (10 sources, 2 inaccurate)."""
     eta_values = etas or [0.01, 0.02, 0.03, 0.04, 0.05]
@@ -138,6 +154,7 @@ def figure3c(
             bayes_burn_in=bayes_burn_in,
             bayes_samples=bayes_samples,
             obs=obs,
+            supervision=supervision,
         )
         rows.append({"eta": eta, **point})
     return rows

@@ -34,10 +34,29 @@ an appended block):
     ``method``, ``iteration`` plus per-method convergence extras
     (``label_flips``, ``max_trust_delta``, ``converged``) — one per
     fixpoint iteration of TwoEstimate / ThreeEstimate / TruthFinder.
+``ingest_report``
+    ``source``, ``policy``, ``rows_read``, ``rows_kept``, ``rows_dropped``,
+    ``reasons`` (reason code → count) and the itemised ``issues`` — the
+    :class:`~repro.resilience.errors.IngestReport` of one validated ingest.
+``method_failure``
+    ``method``, ``error_type``, ``error``, ``seconds`` — a supervised sweep
+    isolated this method's failure (see
+    :mod:`repro.resilience.supervisor`); the method's partial ``iteration``
+    / ``round`` records precede it in the ledger.
+``checkpoint``
+    ``event`` (``save`` / ``restore``), ``time_point`` — the
+    checkpoint/resume trail of a ``--checkpoint`` run.
 
 :data:`NULL_RUNLOG` is the no-op default; :class:`JsonlRunLog` appends to
 a file (``mode="a"``: re-running a command extends the ledger, it never
 rewrites history).
+
+Crash-safety: the ledger is append-only, so it cannot go through the
+write-temp-then-replace helper the whole-file artifacts use.  Instead
+every record is a single ``write`` of one complete line followed by a
+``flush``, so a kill can lose or truncate at most the final line — and
+:func:`read_runlog` takes ``tolerate_truncation=True`` to drop exactly
+that torn tail when auditing a ledger left behind by a crash.
 """
 
 from __future__ import annotations
@@ -66,6 +85,16 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     ),
     "run_end": ("method", "time_points", "rounds", "facts_evaluated", "label_flips"),
     "iteration": ("method", "iteration"),
+    "ingest_report": (
+        "source",
+        "policy",
+        "rows_read",
+        "rows_kept",
+        "rows_dropped",
+        "reasons",
+    ),
+    "method_failure": ("method", "error_type", "error", "seconds"),
+    "checkpoint": ("event", "time_point"),
 }
 
 
@@ -108,9 +137,16 @@ class JsonlRunLog:
         self.emit("runlog_header", schema_version=RUNLOG_SCHEMA_VERSION)
 
     def emit(self, kind: str, **fields) -> None:
-        """Append one record; tuples (signatures) serialise as JSON arrays."""
+        """Append one record; tuples (signatures) serialise as JSON arrays.
+
+        One complete line per ``write`` plus a ``flush``, so a killed
+        process can leave at most one torn line at the end of the file
+        (which :func:`read_runlog` can tolerate) — never interleaved or
+        buffered-away records.
+        """
         record = {"kind": kind, **fields}
         self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         if self._owns_handle and not self._handle.closed:
@@ -124,14 +160,31 @@ class JsonlRunLog:
         return False
 
 
-def read_runlog(path: str | pathlib.Path) -> list[dict]:
-    """Parse a runlog file into its records (blank lines skipped)."""
+def read_runlog(
+    path: str | pathlib.Path, *, tolerate_truncation: bool = False
+) -> list[dict]:
+    """Parse a runlog file into its records (blank lines skipped).
+
+    With ``tolerate_truncation=True`` a JSON parse error on the *final*
+    line is swallowed — a process killed mid-``write`` leaves exactly one
+    torn trailing line, and a crash audit must still read everything
+    before it.  A parse error anywhere else always raises: that is
+    corruption, not truncation.
+    """
     records = []
+    lines: list[tuple[int, str]] = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                records.append(json.loads(line))
+                lines.append((number, line))
+    for index, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if tolerate_truncation and index == len(lines) - 1:
+                break
+            raise
     return records
 
 

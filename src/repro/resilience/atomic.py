@@ -1,0 +1,61 @@
+"""Crash-safe file writes: write to a temp file, then ``os.replace``.
+
+A process killed halfway through ``Path.write_text`` leaves a truncated
+file — for a dataset, a result, or a checkpoint that means the artifact is
+silently corrupt and a resumed run starts from garbage.  Every whole-file
+JSON artifact in this library therefore goes through
+:func:`atomic_write_text`: the bytes land in a temporary sibling file,
+are flushed (and optionally fsynced) to disk, and only then renamed over
+the destination.  ``os.replace`` is atomic on POSIX and Windows, so a
+reader — or a resumed run — observes either the complete old content or
+the complete new content, never a prefix.
+
+The append-only JSONL run ledger cannot be replaced wholesale (appending
+must not rewrite history); its crash-safety story is one-``write``-per
+-record plus a truncation-tolerant reader — see
+:mod:`repro.obs.runlog`.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+PathLike = str | pathlib.Path
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, fsync: bool = True, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file is created in the destination directory so the
+    final rename never crosses a filesystem boundary.  On any failure the
+    temporary file is removed and the destination is left exactly as it
+    was.
+
+    Args:
+        path: destination file.
+        text: full new content.
+        fsync: flush the data to disk before the rename (pass ``False``
+            only where durability across power loss does not matter —
+            process kills are already covered without it).
+    """
+    destination = pathlib.Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        prefix=destination.name + ".", suffix=".tmp", dir=destination.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,180 @@
+"""Error isolation and budget enforcement for experiment sweeps.
+
+A sweep over a dozen corroborators must not die because one of them raises,
+diverges to NaN trust, or spins past its budget — the remaining methods'
+results are still valid science.  :class:`Supervision` configures how
+:func:`repro.eval.harness.run_methods` guards each method:
+
+* **error isolation** (on by default) — an exception inside ``method.run``
+  becomes a structured :class:`~repro.eval.harness.MethodRun` failure row
+  instead of aborting the sweep;
+* **NaN/inf watchdog** (on by default) — a result whose trust vector or
+  probabilities contain non-finite values is demoted to a failure
+  (:class:`MethodDiverged`), because a NaN trust silently poisons every
+  downstream table;
+* **iteration cap / wall-clock budget** (opt-in) — enforced *cooperatively*
+  by interposing :class:`GuardedRunLog` between the method and the run
+  ledger: every ``iteration`` / ``trust`` / ``round`` record the method
+  emits is a progress tick at which the guard may abort with
+  :class:`MethodIterationLimit` or :class:`MethodTimeout`.  Records emitted
+  before the abort are already in the ledger, so a killed method leaves its
+  partial trail behind.
+
+The guard is only interposed when a cap or budget is actually configured,
+so the default path adds zero per-round overhead and stays bit-identical
+to an unsupervised run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+
+from repro.resilience.errors import ResilienceError
+
+
+class MethodAborted(ResilienceError):
+    """Base class for supervisor-initiated aborts of one method run."""
+
+
+class MethodDiverged(MethodAborted):
+    """Non-finite trust or probability detected (NaN/inf watchdog)."""
+
+
+class MethodTimeout(MethodAborted):
+    """The method exceeded its wall-clock budget (checked at each tick)."""
+
+
+class MethodIterationLimit(MethodAborted):
+    """The method emitted more progress ticks than its iteration cap."""
+
+
+#: Ledger record kinds that count as one unit of method progress.
+_TICK_KINDS = frozenset({"iteration", "trust", "round"})
+
+
+@dataclasses.dataclass(frozen=True)
+class Supervision:
+    """How :func:`~repro.eval.harness.run_methods` guards each method.
+
+    Attributes:
+        isolate_errors: catch exceptions from ``method.run`` and record
+            them as failure rows instead of propagating (default on).
+        nan_watchdog: scan each completed result's trust vector and
+            probabilities for NaN/inf and demote divergent results to
+            failures (default on); when a cap or budget activates the
+            in-run guard, ledger records are scanned too, aborting a
+            diverging method *before* it completes.
+        max_iterations: abort a method after this many progress ticks
+            (``iteration`` / ``trust`` / ``round`` ledger records).
+        wall_clock_budget_s: abort a method once it has run longer than
+            this many seconds (checked cooperatively at each tick).
+    """
+
+    isolate_errors: bool = True
+    nan_watchdog: bool = True
+    max_iterations: int | None = None
+    wall_clock_budget_s: float | None = None
+
+    @property
+    def needs_guard(self) -> bool:
+        """Whether the in-run ledger guard must be interposed."""
+        return self.max_iterations is not None or self.wall_clock_budget_s is not None
+
+
+#: Default supervision: isolate failures, watch for NaN, no budgets.
+SUPERVISED = Supervision()
+
+#: Historical fail-fast behavior: first exception aborts the sweep.
+FAIL_FAST = Supervision(isolate_errors=False, nan_watchdog=False)
+
+
+def _non_finite(value: object) -> bool:
+    return isinstance(value, float) and not math.isfinite(value)
+
+
+class GuardedRunLog:
+    """Runlog proxy that turns each emitted record into a progress tick.
+
+    Wraps the sweep's real ledger (or the null ledger) and forwards every
+    record unchanged; on the way through it counts ticks against the
+    iteration cap, checks the wall-clock deadline, and — when the NaN
+    watchdog is on — scans the record's float payloads (including trust
+    vectors) for non-finite values.  Aborts raise out of the method's own
+    ``emit`` call, so the method stops exactly at the offending round and
+    its earlier records are already durable.
+    """
+
+    enabled = True  # keeps instrumented code emitting even over NULL_RUNLOG
+
+    def __init__(self, inner, supervision: Supervision, method_name: str) -> None:
+        self._inner = inner
+        self._supervision = supervision
+        self._method = method_name
+        self._ticks = 0
+        self._deadline: float | None = None
+        if supervision.wall_clock_budget_s is not None:
+            self._deadline = time.monotonic() + supervision.wall_clock_budget_s
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def emit(self, kind: str, **fields) -> None:
+        self._inner.emit(kind, **fields)
+        if kind not in _TICK_KINDS:
+            return
+        self._ticks += 1
+        supervision = self._supervision
+        if (
+            supervision.max_iterations is not None
+            and self._ticks > supervision.max_iterations
+        ):
+            raise MethodIterationLimit(
+                f"{self._method}: exceeded iteration cap of "
+                f"{supervision.max_iterations}"
+            )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise MethodTimeout(
+                f"{self._method}: exceeded wall-clock budget of "
+                f"{supervision.wall_clock_budget_s}s"
+            )
+        if supervision.nan_watchdog:
+            for key, value in fields.items():
+                if _non_finite(value):
+                    raise MethodDiverged(
+                        f"{self._method}: non-finite {key} at tick {self._ticks}"
+                    )
+                if isinstance(value, dict):
+                    for sub_key, sub_value in value.items():
+                        if _non_finite(sub_value):
+                            raise MethodDiverged(
+                                f"{self._method}: non-finite {key}[{sub_key!r}] "
+                                f"at tick {self._ticks}"
+                            )
+
+    def close(self) -> None:  # the sweep owns the inner ledger's lifecycle
+        pass
+
+    def __enter__(self) -> "GuardedRunLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+def scan_result_non_finite(result) -> str | None:
+    """First non-finite trust/probability in a result, or ``None``.
+
+    Used by the post-run NaN watchdog: a diverged method can still hand
+    back a structurally valid :class:`~repro.core.result.CorroborationResult`
+    whose trust vector is NaN, and that must not reach the metric tables.
+    """
+    for source, trust in result.trust.items():
+        if _non_finite(trust):
+            return f"trust[{source!r}] = {trust!r}"
+    for fact, probability in result.probabilities.items():
+        if _non_finite(probability):
+            return f"probabilities[{fact!r}] = {probability!r}"
+    return None

@@ -137,3 +137,140 @@ class TestExperimentTable3:
         stdout = capsys.readouterr().out
         assert "coverage" in stdout
         assert "YellowPages" in stdout
+
+
+class TestResilienceFlags:
+    @pytest.fixture()
+    def bad_votes(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "fact,source,vote\nf1,s1,T\nf1,s1,T\nf2,s1,X\nf3,s2,F\nf4,s3,T\n"
+        )
+        return path
+
+    def test_on_error_quarantine_prints_accounting(self, bad_votes, capsys):
+        code = main(
+            [
+                "corroborate",
+                "--votes",
+                str(bad_votes),
+                "--method",
+                "voting",
+                "--on-error",
+                "quarantine",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "kept 3/5 rows" in captured.err
+        assert "duplicate_vote" in captured.err
+
+    def test_on_error_strict_raises_typed_error(self, bad_votes):
+        from repro.resilience.errors import DuplicateVoteError
+
+        with pytest.raises(DuplicateVoteError, match="first at line 2"):
+            main(["corroborate", "--votes", str(bad_votes), "--method", "voting"])
+
+    def test_ingest_report_lands_in_runlog(self, bad_votes, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        main(
+            [
+                "corroborate",
+                "--votes",
+                str(bad_votes),
+                "--method",
+                "voting",
+                "--on-error",
+                "skip",
+                "--runlog",
+                str(ledger),
+            ]
+        )
+        capsys.readouterr()
+        records = [json.loads(line) for line in ledger.read_text().splitlines()]
+        (report,) = [r for r in records if r["kind"] == "ingest_report"]
+        assert report["rows_kept"] == 3
+        assert report["reasons"]["bad_vote_symbol"] == 1
+
+    def test_checkpoint_requires_session_method(self, dataset_json, tmp_path, capsys):
+        code = main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "voting",
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 2
+        assert "session-based" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, dataset_json, capsys):
+        code = main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "incestimate",
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_max_steps_then_resume_matches_straight_run(
+        self, dataset_json, tmp_path, capsys
+    ):
+        straight = tmp_path / "straight.json"
+        main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "incestimate",
+                "--output",
+                str(straight),
+            ]
+        )
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "incestimate",
+                "--checkpoint",
+                str(ckpt),
+                "--max-steps",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "rerun with --resume" in capsys.readouterr().out
+        resumed = tmp_path / "resumed.json"
+        code = main(
+            [
+                "corroborate",
+                "--dataset",
+                str(dataset_json),
+                "--method",
+                "incestimate",
+                "--checkpoint",
+                str(ckpt),
+                "--resume",
+                "--output",
+                str(resumed),
+            ]
+        )
+        assert code == 0
+        assert "resumed from" in capsys.readouterr().err
+        assert straight.read_text() == resumed.read_text()
+
+    def test_experiment_accepts_on_error(self, capsys):
+        assert main(["experiment", "table2", "--on-error", "skip"]) == 0
+        assert "TwoEstimate" in capsys.readouterr().out

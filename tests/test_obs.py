@@ -2,17 +2,14 @@
 
 Covers the span tracer and its Chrome export, the metrics registry, the
 JSONL run ledger, the Obs bundle / make_obs switches, logging
-configuration, the deprecation shim, and the CLI observability flags.
+configuration, and the CLI observability flags.
 """
 
 from __future__ import annotations
 
-import importlib
 import io
 import json
 import logging
-import sys
-import warnings
 
 import pytest
 
@@ -317,18 +314,6 @@ class TestLogging:
     def test_rejects_unknown_level(self):
         with pytest.raises(ValueError):
             configure_logging("chatty")
-
-
-class TestDeprecationShim:
-    def test_baselines_arrays_import_warns(self):
-        sys.modules.pop("repro.baselines._arrays", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            module = importlib.import_module("repro.baselines._arrays")
-        assert any(w.category is DeprecationWarning for w in caught)
-        from repro.core.arrays import GroupArrays
-
-        assert module.GroupArrays is GroupArrays
 
 
 class TestCliObservability:

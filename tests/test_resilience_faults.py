@@ -1,0 +1,165 @@
+"""Chaos suite: seeded fault injection proven against the ingest layer.
+
+Every fault a :class:`~repro.resilience.faults.FaultPlan` plants must be
+(a) deterministic per seed and (b) fully accounted for by the ingest
+report of the reader that consumes the corrupted input — injections the
+readers silently survive would mean untested recovery paths.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.model.io import dataset_to_json, dataset_from_json, read_votes_csv, write_votes_csv
+from repro.resilience.errors import (
+    BAD_VOTE_SYMBOL,
+    CONFLICTING_VOTE,
+    DASH_VOTE,
+    DUPLICATE_VOTE,
+    IO_ERROR,
+    MISSING_FIELD,
+    TRUNCATED_FILE,
+    ErrorPolicy,
+    IngestError,
+    IngestReport,
+)
+from repro.resilience.faults import FaultPlan, FlakyTextHandle
+
+
+@pytest.fixture()
+def votes_csv(tmp_path, motivating):
+    path = tmp_path / "votes.csv"
+    write_votes_csv(motivating, path)
+    return path.read_text()
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self, votes_csv):
+        first = FaultPlan(seed=42).corrupt_votes_csv(
+            votes_csv, bad_symbols=2, dash_votes=1, duplicates=1, conflicts=1
+        )
+        second = FaultPlan(seed=42).corrupt_votes_csv(
+            votes_csv, bad_symbols=2, dash_votes=1, duplicates=1, conflicts=1
+        )
+        assert first == second
+
+    def test_different_seed_different_corruption(self, votes_csv):
+        first = FaultPlan(seed=1).corrupt_votes_csv(votes_csv, bad_symbols=3)
+        second = FaultPlan(seed=2).corrupt_votes_csv(votes_csv, bad_symbols=3)
+        assert first != second
+
+    def test_manifest_records_every_injection(self, votes_csv):
+        plan = FaultPlan(seed=7)
+        plan.corrupt_votes_csv(
+            votes_csv,
+            bad_symbols=2,
+            dash_votes=1,
+            blank_fields=1,
+            duplicates=2,
+            conflicts=1,
+        )
+        assert len(plan.manifest) == 7
+        assert len(plan.faults_of_kind("bad_symbol")) == 2
+        assert len(plan.faults_of_kind("duplicate_row")) == 2
+
+    def test_truncate_is_seeded(self, votes_csv):
+        assert FaultPlan(seed=9).truncate(votes_csv) == FaultPlan(
+            seed=9
+        ).truncate(votes_csv)
+
+
+class TestFaultsAreAccountedFor:
+    @pytest.mark.parametrize("seed", [0, 11, 97])
+    def test_every_planted_fault_lands_in_the_report(self, votes_csv, seed):
+        plan = FaultPlan(seed=seed)
+        corrupted = plan.corrupt_votes_csv(
+            votes_csv,
+            bad_symbols=2,
+            dash_votes=1,
+            blank_fields=1,
+            duplicates=1,
+            conflicts=1,
+        )
+        report = IngestReport()
+        read_votes_csv(
+            io.StringIO(corrupted),
+            on_error=ErrorPolicy.QUARANTINE,
+            report=report,
+        )
+        reasons = report.reasons()
+        assert reasons[BAD_VOTE_SYMBOL] == 2
+        assert reasons[DASH_VOTE] == 1
+        assert reasons[MISSING_FIELD] == 1
+        assert reasons[DUPLICATE_VOTE] == 1
+        assert reasons[CONFLICTING_VOTE] == 1
+        assert report.rows_dropped == len(plan.manifest)
+        assert report.rows_read == report.rows_kept + report.rows_dropped
+
+    def test_fault_locations_match_report_locations(self, votes_csv):
+        plan = FaultPlan(seed=3)
+        corrupted = plan.corrupt_votes_csv(votes_csv, bad_symbols=2)
+        report = IngestReport()
+        read_votes_csv(
+            io.StringIO(corrupted), on_error=ErrorPolicy.SKIP, report=report
+        )
+        assert sorted(f.location for f in plan.manifest) == sorted(
+            issue.location for issue in report.issues
+        )
+
+    def test_truncated_json_is_detected(self, motivating):
+        plan = FaultPlan(seed=5)
+        text = plan.truncate(dataset_to_json(motivating))
+        with pytest.raises(IngestError) as excinfo:
+            dataset_from_json(text, on_error=ErrorPolicy.QUARANTINE)
+        assert excinfo.value.reason == TRUNCATED_FILE
+
+    def test_flaky_handle_surfaces_as_io_error(self, votes_csv):
+        plan = FaultPlan(seed=13)
+        handle = plan.flaky_handle(votes_csv)
+        report = IngestReport()
+        matrix = read_votes_csv(
+            handle, on_error=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert report.reasons() == {IO_ERROR: 1}
+        # the valid prefix was still ingested
+        assert report.rows_kept == len(
+            [f for fact in matrix.facts for f in matrix.votes_on(fact)]
+        )
+
+    def test_flaky_handle_strict_raises_typed(self, votes_csv):
+        handle = FaultPlan(seed=13).flaky_handle(votes_csv)
+        with pytest.raises(IngestError) as excinfo:
+            read_votes_csv(handle, on_error=ErrorPolicy.STRICT)
+        assert excinfo.value.reason == IO_ERROR
+
+
+class TestFlakyTextHandle:
+    def test_reads_prefix_then_raises(self):
+        handle = FlakyTextHandle("abcdef\nghij\n", fail_after=8)
+        assert handle.readline() == "abcdef\n"
+        handle.readline()  # crosses fail_after on the next check
+        with pytest.raises(OSError, match="injected"):
+            handle.readline()
+
+    def test_iteration_protocol(self):
+        handle = FlakyTextHandle("a\nb\n", fail_after=100)
+        assert list(handle) == ["a\n", "b\n"]
+
+
+class TestNanPoison:
+    def test_poisons_exactly_count_entries(self):
+        plan = FaultPlan(seed=21)
+        values = {f"s{i}": 0.5 for i in range(10)}
+        poisoned = plan.nan_poison(values, count=3)
+        nans = [k for k, v in poisoned.items() if math.isnan(v)]
+        assert len(nans) == 3
+        assert len(plan.faults_of_kind("nan_poison")) == 3
+        # the original is untouched
+        assert all(v == 0.5 for v in values.values())
+
+    def test_rejects_overdraw(self):
+        with pytest.raises(ValueError):
+            FaultPlan().nan_poison({"a": 1.0}, count=2)

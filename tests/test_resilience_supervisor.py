@@ -1,0 +1,264 @@
+"""Error-isolated sweeps: supervision, budgets, and failure-row rendering.
+
+One misbehaving corroborator — raising, NaN-diverging, or budget-busting —
+must not take down a sweep: it becomes a structured
+:class:`~repro.eval.harness.MethodRun` failure row, lands in the run
+ledger as a ``method_failure`` record, and renders in every metric table,
+while the remaining methods' results stay identical to an unsupervised
+run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import Voting
+from repro.core import IncEstHeu, IncEstimate
+from repro.eval.harness import (
+    errors_table,
+    mse_table,
+    quality_table,
+    run_methods,
+    timing_table,
+)
+from repro.obs import make_obs
+from repro.resilience.errors import FaultInjected
+from repro.resilience.faults import (
+    DivergingCorroborator,
+    FailingCorroborator,
+    SlowCorroborator,
+)
+from repro.resilience.supervisor import (
+    FAIL_FAST,
+    SUPERVISED,
+    GuardedRunLog,
+    MethodDiverged,
+    MethodIterationLimit,
+    Supervision,
+)
+
+
+@pytest.fixture()
+def methods():
+    return [Voting(), FailingCorroborator(), IncEstimate(IncEstHeu())]
+
+
+class TestIsolation:
+    def test_failing_method_becomes_a_failure_row(self, motivating, methods):
+        runs = run_methods(methods, motivating)
+        assert [run.ok for run in runs] == [True, False, True]
+        failure = runs[1]
+        assert failure.failed
+        assert failure.result is None
+        assert failure.error_type == "FaultInjected"
+        assert "injected failure" in failure.error
+        assert failure.seconds >= 0
+
+    def test_survivors_match_an_unsupervised_run(self, motivating, methods):
+        supervised = run_methods(methods, motivating)
+        alone = run_methods([Voting(), IncEstimate(IncEstHeu())], motivating)
+        assert (
+            supervised[0].result.probabilities == alone[0].result.probabilities
+        )
+        assert (
+            supervised[2].result.probabilities == alone[1].result.probabilities
+        )
+
+    def test_fail_fast_restores_historical_behavior(self, motivating, methods):
+        with pytest.raises(FaultInjected):
+            run_methods(methods, motivating, supervision=FAIL_FAST)
+
+    def test_default_supervision_values(self):
+        assert SUPERVISED.isolate_errors and SUPERVISED.nan_watchdog
+        assert not SUPERVISED.needs_guard  # zero overhead on the default path
+        assert not FAIL_FAST.isolate_errors
+
+    def test_method_failure_lands_in_the_ledger(self, tmp_path, motivating):
+        path = tmp_path / "ledger.jsonl"
+        obs = make_obs(runlog=path)
+        run_methods([FailingCorroborator()], motivating, obs=obs)
+        obs.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        (failure,) = [r for r in records if r["kind"] == "method_failure"]
+        assert failure["method"] == "Failing"
+        assert failure["error_type"] == "FaultInjected"
+        assert failure["seconds"] >= 0
+
+
+class TestNanWatchdog:
+    def test_post_run_scan_demotes_nan_trust(self, motivating):
+        (run,) = run_methods([DivergingCorroborator()], motivating)
+        assert run.failed
+        assert run.error_type == "MethodDiverged"
+        assert "trust" in run.error
+
+    def test_in_run_guard_aborts_at_the_poisoned_tick(self, motivating):
+        # A budget activates the guard, which then also scans records.
+        supervision = Supervision(max_iterations=1000)
+        (run,) = run_methods(
+            [DivergingCorroborator(iterations=5, poison_after=2)],
+            motivating,
+            supervision=supervision,
+        )
+        assert run.error_type == "MethodDiverged"
+        assert "max_trust_delta" in run.error
+
+    def test_watchdog_can_be_disabled(self, motivating):
+        supervision = Supervision(nan_watchdog=False)
+        (run,) = run_methods(
+            [DivergingCorroborator()], motivating, supervision=supervision
+        )
+        assert run.ok  # the NaN result passes through un-demoted
+
+
+class TestBudgets:
+    def test_iteration_cap(self, motivating):
+        supervision = Supervision(max_iterations=3)
+        (run,) = run_methods(
+            [SlowCorroborator(iterations=10, sleep_s=0.0)],
+            motivating,
+            supervision=supervision,
+        )
+        assert run.error_type == "MethodIterationLimit"
+
+    def test_wall_clock_budget(self, motivating):
+        supervision = Supervision(wall_clock_budget_s=0.05)
+        (run,) = run_methods(
+            [SlowCorroborator(iterations=50, sleep_s=0.01)],
+            motivating,
+            supervision=supervision,
+        )
+        assert run.error_type == "MethodTimeout"
+
+    def test_budget_aborts_raise_under_fail_fast(self, motivating):
+        supervision = Supervision(
+            isolate_errors=False, max_iterations=3
+        )
+        with pytest.raises(MethodIterationLimit):
+            run_methods(
+                [SlowCorroborator(iterations=10, sleep_s=0.0)],
+                motivating,
+                supervision=supervision,
+            )
+
+    def test_guard_records_reach_the_inner_ledger_before_abort(self):
+        class Recorder:
+            def __init__(self):
+                self.kinds = []
+
+            def emit(self, kind, **fields):
+                self.kinds.append(kind)
+
+        inner = Recorder()
+        guard = GuardedRunLog(
+            inner, Supervision(max_iterations=2), "method"
+        )
+        guard.emit("iteration", iteration=0)
+        guard.emit("iteration", iteration=1)
+        with pytest.raises(MethodIterationLimit):
+            guard.emit("iteration", iteration=2)
+        # the aborting record itself is durable
+        assert inner.kinds == ["iteration", "iteration", "iteration"]
+        assert guard.ticks == 3
+
+    def test_guard_nan_scan_covers_nested_trust_vectors(self):
+        inner = type("Null", (), {"emit": lambda self, *a, **k: None})()
+        guard = GuardedRunLog(inner, Supervision(max_iterations=100), "method")
+        guard.emit("trust", time_point=0, trust={"s1": 0.9})
+        with pytest.raises(MethodDiverged, match=r"trust\['s2'\]"):
+            guard.emit("trust", time_point=1, trust={"s2": float("nan")})
+
+
+class TestFailureRows:
+    @pytest.fixture()
+    def runs(self, motivating):
+        return run_methods([Voting(), FailingCorroborator()], motivating)
+
+    def test_quality_table(self, runs, motivating):
+        rows = quality_table(runs, motivating)
+        assert rows[1] == {"method": "Failing", "precision": "failed: FaultInjected"}
+
+    def test_mse_table(self, runs, motivating):
+        rows = mse_table(runs, motivating)
+        assert rows[-1]["MSE"] == "failed: FaultInjected"
+
+    def test_timing_table(self, runs):
+        rows = timing_table(runs)
+        assert rows[1]["status"] == "failed: FaultInjected"
+        assert rows[1]["seconds"] >= 0
+
+    def test_errors_table(self, runs, motivating):
+        rows = errors_table(runs, motivating)
+        assert rows[1] == {"method": "Failing", "errors": "failed: FaultInjected"}
+
+    def test_tables_render(self, runs, motivating):
+        from repro.eval.tables import render_table
+
+        text = render_table(quality_table(runs, motivating))
+        assert "failed: FaultInjected" in text
+
+
+class TestSweepCheckpointing:
+    def test_successful_runs_are_cached_and_resumed(self, tmp_path, motivating):
+        directory = tmp_path / "sweep"
+        first = run_methods(
+            [Voting(), FailingCorroborator()],
+            motivating,
+            checkpoint_dir=directory,
+        )
+        assert (directory / "Voting.json").exists()
+        # failures are not cached — the method retries on resume
+        cached_files = sorted(p.name for p in directory.iterdir())
+        assert cached_files == ["Voting.json"]
+
+        resumed = run_methods(
+            [Voting(), FailingCorroborator()],
+            motivating,
+            checkpoint_dir=directory,
+            resume=True,
+        )
+        assert resumed[0].result.probabilities == first[0].result.probabilities
+        assert resumed[1].failed
+
+    def test_resume_skips_only_matching_methods(self, tmp_path, motivating):
+        directory = tmp_path / "sweep"
+        run_methods([Voting()], motivating, checkpoint_dir=directory)
+        payload = json.loads((directory / "Voting.json").read_text())
+        payload["method"] = "SomethingElse"
+        (directory / "Voting.json").write_text(json.dumps(payload))
+        runs = run_methods(
+            [Voting()], motivating, checkpoint_dir=directory, resume=True
+        )
+        assert runs[0].ok  # re-ran rather than trusting the stale cache
+
+
+class TestExperimentFailureRows:
+    def test_table2_isolates_a_failing_method(self, motivating, monkeypatch):
+        from repro.experiments import motivating_example as module
+
+        original = module.run_methods
+
+        def sabotaged(methods, *args, **kwargs):
+            return original([FailingCorroborator(), *methods[1:]], *args, **kwargs)
+
+        monkeypatch.setattr(module, "run_methods", sabotaged)
+        rows = module.table2(dataset=motivating)
+        assert rows[0] == {
+            "method": "Failing",
+            "precision": "failed: FaultInjected",
+        }
+        assert "precision" in rows[1] and rows[1]["precision"] != "failed"
+
+    def test_obs_equivalence_with_guard(self, motivating):
+        """Interposing the guard must not change the results."""
+        supervision = Supervision(max_iterations=10_000)
+        guarded = run_methods(
+            [IncEstimate(IncEstHeu())], motivating, supervision=supervision
+        )
+        plain = run_methods([IncEstimate(IncEstHeu())], motivating)
+        assert (
+            guarded[0].result.probabilities == plain[0].result.probabilities
+        )
+        assert guarded[0].result.trust == plain[0].result.trust
