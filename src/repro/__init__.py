@@ -65,6 +65,8 @@ from repro.resilience import (
     IngestReport,
     Supervision,
 )
+from repro.serve import CorroborationService, RefreshDecision, make_server
+from repro.store import LedgerError, VoteLedger
 
 __version__ = "1.0.0"
 
@@ -74,6 +76,7 @@ __all__ = [
     "CheckpointManager",
     "ConfusionCounts",
     "CorroborationResult",
+    "CorroborationService",
     "Corroborator",
     "Cosine",
     "Counting",
@@ -82,6 +85,8 @@ __all__ = [
     "FaultPlan",
     "IngestError",
     "IngestReport",
+    "LedgerError",
+    "RefreshDecision",
     "Supervision",
     "IncEstHeu",
     "IncEstPS",
@@ -97,6 +102,7 @@ __all__ = [
     "TruthFinder",
     "TwoEstimate",
     "Vote",
+    "VoteLedger",
     "VoteMatrix",
     "Voting",
     "binary_entropy",
@@ -105,6 +111,7 @@ __all__ = [
     "generate_hubdub_like",
     "generate_restaurants",
     "generate_synthetic",
+    "make_server",
     "ml_logistic",
     "ml_svm",
     "motivating_example",

@@ -9,7 +9,12 @@ Commands:
 * ``report`` — build the full Markdown analysis report for a dataset;
 * ``methods`` — list the available corroborators;
 * ``trace-summary`` — aggregate a trace / runlog written by the two
-  commands above.
+  commands above;
+* ``ingest`` — load a dataset or a votes CSV into a persistent vote
+  ledger (:mod:`repro.store`), optionally refreshing its labels;
+* ``query`` — inspect a ledger (one fact, one source, or a summary);
+* ``serve`` — run the incremental corroboration HTTP service
+  (:mod:`repro.serve`) over a ledger.  See ``docs/serving.md``.
 
 ``corroborate`` and ``experiment`` accept the observability flags
 ``--trace PATH`` (Chrome trace-event JSON, loadable in ui.perfetto.dev),
@@ -56,6 +61,11 @@ from repro.model.dataset import Dataset
 from repro.obs import NULL_OBS, Obs, configure_logging, make_obs
 from repro.resilience import CheckpointManager, ErrorPolicy, IngestReport
 from repro.resilience.supervisor import FAIL_FAST, SUPERVISED, Supervision
+from repro.serve.service import (
+    DEFAULT_ENTROPY_THRESHOLD,
+    REFRESH_POLICIES,
+    SERVE_METHODS,
+)
 
 #: Registry of CLI method names.  Factories take no arguments; tuning is
 #: done through the library API.
@@ -233,6 +243,61 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument(
         "--runlog", help="JSONL ledger written by --runlog"
     )
+
+    ingest = commands.add_parser(
+        "ingest", help="load votes into a persistent vote ledger"
+    )
+    ingest.add_argument("--store", required=True, help="SQLite ledger path")
+    ingest_source = ingest.add_mutually_exclusive_group(required=True)
+    ingest_source.add_argument("--dataset", help="dataset JSON to bulk-import")
+    ingest_source.add_argument("--votes", help="votes CSV (fact,source,vote)")
+    ingest.add_argument(
+        "--refresh",
+        default="none",
+        choices=["none", *sorted(REFRESH_POLICIES)],
+        help="refresh the labels after ingesting (default: none)",
+    )
+    ingest.add_argument(
+        "--method", default="incestimate", choices=sorted(SERVE_METHODS)
+    )
+    _add_on_error_arg(ingest)
+    _add_obs_args(ingest)
+
+    query = commands.add_parser("query", help="inspect a vote ledger")
+    query.add_argument("--store", required=True, help="SQLite ledger path")
+    query_what = query.add_mutually_exclusive_group(required=True)
+    query_what.add_argument("--fact", help="print one fact's record")
+    query_what.add_argument("--source", help="print one source's trust")
+    query_what.add_argument(
+        "--summary", action="store_true", help="print the store summary"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the corroboration HTTP service over a ledger"
+    )
+    serve.add_argument("--store", required=True, help="SQLite ledger path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--refresh",
+        default="incremental",
+        choices=sorted(REFRESH_POLICIES),
+        help="refresh policy for incoming vote batches (default: incremental)",
+    )
+    serve.add_argument(
+        "--entropy-threshold",
+        type=float,
+        default=DEFAULT_ENTROPY_THRESHOLD,
+        metavar="BITS",
+        help=(
+            "dirty-entropy mass at which the 'entropy' policy escalates "
+            f"to a full replay (default: {DEFAULT_ENTROPY_THRESHOLD})"
+        ),
+    )
+    serve.add_argument(
+        "--method", default="incestimate", choices=sorted(SERVE_METHODS)
+    )
+    _add_obs_args(serve)
     return parser
 
 
@@ -509,6 +574,109 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.model.io import load_dataset
+    from repro.store import VoteLedger
+
+    obs = _make_obs(args)
+    policy = ErrorPolicy.coerce(args.on_error)
+    ledger = VoteLedger(args.store, obs=obs)
+    try:
+        if args.dataset:
+            dataset = load_dataset(args.dataset, on_error=policy)
+            batch = ledger.import_dataset(dataset, on_error=policy)
+        else:
+            batch = ledger.ingest_votes_csv(args.votes, on_error=policy)
+        _report_ingest(batch.report, obs, policy)
+        print(
+            f"batch {batch.batch_id} ({batch.kind}): "
+            f"+{len(batch.new_facts)} facts, +{len(batch.new_sources)} "
+            f"sources, {batch.votes_added} votes -> {args.store}"
+        )
+        if args.refresh != "none":
+            from repro.serve import CorroborationService
+
+            service = CorroborationService(
+                ledger, method=args.method, refresh=args.refresh, obs=obs
+            )
+            decision = service.refresh()
+            print(
+                f"refresh: {json.dumps(decision.to_record(), sort_keys=True)}"
+            )
+    finally:
+        ledger.close()
+    _finish_obs(args, obs)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import VoteLedger
+
+    ledger = VoteLedger(args.store)
+    try:
+        if args.fact:
+            record = ledger.fact_record(args.fact)
+            missing = f"query: unknown fact {args.fact!r}"
+        elif args.source:
+            record = ledger.source_record(args.source)
+            missing = f"query: unknown source {args.source!r}"
+        else:
+            record = ledger.summary()
+            missing = ""
+        if record is None:
+            print(missing, file=sys.stderr)
+            return 1
+        print(json.dumps(record, indent=2, sort_keys=True))
+    finally:
+        ledger.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import CorroborationService, make_server
+    from repro.store import VoteLedger
+
+    obs = _make_obs(args)
+    ledger = VoteLedger(args.store, obs=obs)
+    service = CorroborationService(
+        ledger,
+        method=args.method,
+        refresh=args.refresh,
+        entropy_threshold=args.entropy_threshold,
+        obs=obs,
+    )
+    decision = service.refresh()  # labels current before the first request
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+
+    def _terminate(signum, frame):  # noqa: ARG001 — signal contract
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    print(
+        f"serving {args.store} on http://{host}:{port} "
+        f"(method={args.method}, refresh={args.refresh}, "
+        f"bootstrap={decision.action})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        ledger.close()
+        _finish_obs(args, obs)
+        print("server stopped")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -519,6 +687,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "methods": _cmd_methods,
         "trace-summary": _cmd_trace_summary,
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -554,6 +554,15 @@ class CorroborationSession:
             raise
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed session snapshot: {exc}") from exc
+        # Re-anchor the runaway guard to the restored position.  A snapshot
+        # may carry more evaluated history than this session's dataset has
+        # facts (a continuation session over a delta dataset, see
+        # repro.serve), so the construction-time bound of
+        # ``matrix.num_facts + 1`` does not apply; every further step still
+        # consumes at least one fact, plus one slot for the finalize-time
+        # vector.  For a plain same-dataset resume this bound is tighter
+        # than or equal to the original one.
+        self._max_time_points = self.time_point + self.remaining_facts + 1
         if self._obs.enabled:
             self._obs.metrics.inc("session.restores")
             self._obs.runlog.emit(

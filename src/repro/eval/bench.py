@@ -57,6 +57,10 @@ SCHEMA_VERSION = 1
 #: Default output location (repository root).
 DEFAULT_OUTPUT = "BENCH_core.json"
 
+#: Schema / default output of the serving benchmark (``--serve``).
+SERVE_SCHEMA_VERSION = 1
+DEFAULT_SERVE_OUTPUT = "BENCH_serve.json"
+
 
 @dataclasses.dataclass
 class BenchRecord:
@@ -269,17 +273,237 @@ def write_bench(
     return payload
 
 
+# ---------------------------------------------------------------------------
+# Serving benchmark (BENCH_serve.json)
+# ---------------------------------------------------------------------------
+def measure_serve_policy(
+    dataset: Dataset,
+    dataset_name: str,
+    policy: str,
+    batches: int,
+    batch_facts: int,
+    repeats: int = 3,
+) -> dict:
+    """Time one refresh policy applying ``batches`` delta vote batches.
+
+    The dataset's fact list is split into a base (bulk-ingested, labelled
+    by the untimed bootstrap epoch) and ``batches`` tail chunks of
+    ``batch_facts`` facts; the timed loop applies each chunk's votes
+    through :meth:`~repro.serve.CorroborationService.apply_votes` — ingest
+    plus refresh, exactly the serving hot path.  Best-of-``repeats``
+    totals, each repeat on a fresh store.
+    """
+    import tempfile
+    import time
+
+    from repro.serve import CorroborationService
+    from repro.store import VoteLedger
+
+    matrix = dataset.matrix
+    tail = batches * batch_facts
+    if tail >= matrix.num_facts:
+        raise ValueError(
+            f"{batches} x {batch_facts} delta facts >= dataset size "
+            f"{matrix.num_facts}"
+        )
+    facts = matrix.facts
+    base_facts, delta_facts = facts[:-tail], facts[-tail:]
+    chunks = [
+        delta_facts[i * batch_facts : (i + 1) * batch_facts]
+        for i in range(batches)
+    ]
+
+    def rows_for(fact_list: list[str]) -> list[tuple[str, str, str]]:
+        return [
+            (fact, source, vote.value)
+            for fact in fact_list
+            for source, vote in sorted(matrix.votes_on(fact).items())
+        ]
+
+    base_rows = rows_for(base_facts)
+    chunk_rows = [rows_for(chunk) for chunk in chunks]
+    votes_applied = sum(len(rows) for rows in chunk_rows)
+    best: tuple[float, list[str]] | None = None
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory() as tmp:
+            with VoteLedger(pathlib.Path(tmp) / "bench.db") as ledger:
+                ledger.ingest_votes(base_rows)
+                service = CorroborationService(ledger, refresh=policy)
+                service.refresh()  # bootstrap epoch 0 — identical across
+                # policies, so it stays outside the timed loop.
+                actions: list[str] = []
+                started = time.perf_counter()
+                for rows in chunk_rows:
+                    _, decision = service.apply_votes(rows)
+                    actions.append(decision.action)
+                seconds = time.perf_counter() - started
+        if best is None or seconds < best[0]:
+            best = (seconds, actions)
+    assert best is not None
+    seconds, actions = best
+    return {
+        "policy": policy,
+        "dataset": dataset_name,
+        "facts": matrix.num_facts,
+        "base_facts": len(base_facts),
+        "batches": batches,
+        "batch_facts": batch_facts,
+        "votes_applied": votes_applied,
+        "repeats": repeats,
+        "seconds": round(seconds, 6),
+        "votes_per_second": round(votes_applied / seconds, 1)
+        if seconds > 0
+        else 0.0,
+        "actions": {action: actions.count(action) for action in set(actions)},
+    }
+
+
+def run_serve_bench(repeats: int = 3, quick: bool = False) -> dict:
+    """Benchmark the three refresh policies; the BENCH_serve.json payload.
+
+    ``summary.incremental_speedup`` is the headline number: how much
+    faster the warm continuation handles a stream of small dirty batches
+    than the cold full replay (the acceptance floor is 3x).
+    """
+    from repro.datasets import generate_restaurants
+
+    if quick:
+        dataset = generate_restaurants(
+            num_facts=250,
+            golden_true=6,
+            golden_false=4,
+            golden_false_with_f_votes=2,
+            seed=11,
+        ).dataset
+        name, batches, batch_facts = "restaurants-250", 3, 12
+    else:
+        dataset = generate_restaurants(num_facts=8_000, seed=11).dataset
+        name, batches, batch_facts = "restaurants-8000", 8, 40
+    records = [
+        measure_serve_policy(
+            dataset, name, policy, batches, batch_facts, repeats=repeats
+        )
+        for policy in ("full", "incremental", "entropy")
+    ]
+    by_policy = {record["policy"]: record for record in records}
+    summary = {
+        "incremental_speedup": round(
+            by_policy["full"]["seconds"] / by_policy["incremental"]["seconds"],
+            2,
+        )
+        if by_policy["incremental"]["seconds"] > 0
+        else None,
+        "entropy_speedup": round(
+            by_policy["full"]["seconds"] / by_policy["entropy"]["seconds"], 2
+        )
+        if by_policy["entropy"]["seconds"] > 0
+        else None,
+    }
+    return {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "records": records,
+        "summary": summary,
+    }
+
+
+def validate_serve_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid serving bench."""
+    if payload.get("schema_version") != SERVE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("records must be a non-empty list")
+    required = {
+        "policy": str,
+        "dataset": str,
+        "facts": int,
+        "base_facts": int,
+        "batches": int,
+        "batch_facts": int,
+        "votes_applied": int,
+        "repeats": int,
+        "seconds": float,
+        "votes_per_second": float,
+        "actions": dict,
+    }
+    policies = set()
+    for i, record in enumerate(records):
+        for key, kind in required.items():
+            if not isinstance(record.get(key), kind):
+                raise ValueError(f"records[{i}].{key} is not a {kind.__name__}")
+        if record["policy"] not in ("full", "incremental", "entropy"):
+            raise ValueError(f"records[{i}].policy is {record['policy']!r}")
+        if record["seconds"] < 0:
+            raise ValueError(f"records[{i}].seconds is negative")
+        policies.add(record["policy"])
+    if policies != {"full", "incremental", "entropy"}:
+        raise ValueError(f"expected all three policies, got {sorted(policies)}")
+    summary = payload.get("summary")
+    if not isinstance(summary, dict) or "incremental_speedup" not in summary:
+        raise ValueError("summary.incremental_speedup is missing")
+
+
+def write_serve_bench(
+    path: str | pathlib.Path = DEFAULT_SERVE_OUTPUT,
+    repeats: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Run the serving bench and write ``path``; returns the payload."""
+    payload = run_serve_bench(repeats=repeats, quick=quick)
+    validate_serve_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=DEFAULT_OUTPUT)
-    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument(
         "--quick",
         action="store_true",
         help="bench small datasets only (CI smoke / schema validation)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run the serving benchmark (refresh policies over a vote "
+            f"ledger) and write {DEFAULT_SERVE_OUTPUT} instead"
+        ),
+    )
     args = parser.parse_args(argv)
-    payload = write_bench(args.output, repeats=args.repeats, quick=args.quick)
+    if args.serve:
+        output = args.output or DEFAULT_SERVE_OUTPUT
+        payload = write_serve_bench(
+            output,
+            repeats=args.repeats if args.repeats is not None else 3,
+            quick=args.quick,
+        )
+        for record in payload["records"]:
+            print(
+                f"{record['policy']:>12s} on {record['dataset']:<18s} "
+                f"{record['seconds']*1000:8.1f} ms  "
+                f"{record['votes_per_second']:10.1f} votes/s  "
+                f"actions {record['actions']}"
+            )
+        print(
+            f"incremental speedup {payload['summary']['incremental_speedup']}x"
+            f"  (entropy {payload['summary']['entropy_speedup']}x)"
+        )
+        print(f"wrote {output} ({len(payload['records'])} records)")
+        return 0
+    output = args.output or DEFAULT_OUTPUT
+    payload = write_bench(
+        output,
+        repeats=args.repeats if args.repeats is not None else 5,
+        quick=args.quick,
+    )
     for row in payload["summary"]:
         print(
             f"{row['method']:>24s} on {row['dataset']:<14s} "
@@ -287,7 +511,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"scalar {row['scalar_seconds']*1000:8.1f} ms  "
             f"speedup {row['speedup']:.2f}x"
         )
-    print(f"wrote {args.output} ({len(payload['records'])} records)")
+    print(f"wrote {output} ({len(payload['records'])} records)")
     return 0
 
 

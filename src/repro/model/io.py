@@ -18,7 +18,10 @@ All readers take an ``on_error`` policy (:class:`~repro.resilience.errors
 today's fail-fast behavior with a reason code and row location attached —
 while ``skip`` and ``quarantine`` drop bad rows and account for every one
 of them in an :class:`~repro.resilience.errors.IngestReport` (``quarantine``
-additionally keeps the rejected payloads for audit).  Duplicate
+additionally keeps the rejected payloads for audit).  All writers emit
+rows and mapping keys in sorted order (registration-order ``facts`` /
+``sources`` arrays excepted — they define reload order), so equal content
+always serialises to equal bytes.  Duplicate
 ``(source, fact)`` pairs are defined behavior: strict raises a
 :class:`~repro.resilience.errors.DuplicateVoteError` naming both lines;
 the lenient policies keep the first occurrence and report the rest
@@ -108,11 +111,17 @@ def _reject(
 # CSV votes
 # ---------------------------------------------------------------------------
 def write_votes_csv(dataset: Dataset, path: PathLike) -> None:
-    """Write the informative votes as ``fact,source,vote`` rows."""
+    """Write the informative votes as ``fact,source,vote`` rows.
+
+    Rows are emitted in sorted ``(fact, source)`` order, so two datasets
+    with the same votes produce byte-identical files regardless of
+    registration order — the property the persistent store's
+    export → file → import round-trip relies on to stay diffable.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["fact", "source", "vote"])
-    for fact in dataset.matrix.facts:
+    for fact in sorted(dataset.matrix.facts):
         for source, vote in sorted(dataset.matrix.votes_on(fact).items()):
             writer.writerow([fact, source, vote.value])
     atomic_write_text(path, buffer.getvalue())
@@ -261,11 +270,11 @@ def read_votes_csv(
 
 
 def write_truth_csv(dataset: Dataset, path: PathLike) -> None:
-    """Write ground truth as ``fact,label,golden`` rows."""
+    """Write ground truth as ``fact,label,golden`` rows (sorted by fact)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["fact", "label", "golden"])
-    for fact, label in dataset.truth.items():
+    for fact, label in sorted(dataset.truth.items()):
         writer.writerow(
             [fact, "true" if label else "false", int(fact in dataset.golden_set)]
         )
@@ -409,17 +418,26 @@ def read_truth_csv(
 # JSON dataset
 # ---------------------------------------------------------------------------
 def dataset_to_json(dataset: Dataset) -> str:
-    """Serialise a dataset (votes, truth, golden set, name) to JSON."""
+    """Serialise a dataset (votes, truth, golden set, name) to JSON.
+
+    The ``sources`` and ``facts`` arrays keep registration order — they
+    *define* the order a reloaded matrix registers items in, which fixes
+    fact-group order and argmax tie breaks, so reordering them would change
+    algorithm output on reload.  Every mapping (``votes`` outer and inner,
+    ``truth``) and the ``golden_set`` array are emitted key-sorted instead,
+    so two datasets with identical content and registration order produce
+    byte-identical documents however their dicts were populated.
+    """
     votes = {
         fact: {s: v.value for s, v in sorted(dataset.matrix.votes_on(fact).items())}
-        for fact in dataset.matrix.facts
+        for fact in sorted(dataset.matrix.facts)
     }
     document = {
         "name": dataset.name,
         "sources": dataset.matrix.sources,
         "facts": dataset.matrix.facts,
         "votes": votes,
-        "truth": dict(dataset.truth),
+        "truth": dict(sorted(dataset.truth.items())),
         "golden_set": sorted(dataset.golden_set),
     }
     return json.dumps(document, indent=2)
@@ -589,13 +607,16 @@ def load_dataset(
 # Results
 # ---------------------------------------------------------------------------
 def result_to_json(result: CorroborationResult) -> str:
-    """Serialise a corroboration result (probabilities, trust, trajectory)."""
+    """Serialise a corroboration result (probabilities, trust, trajectory).
+
+    Mappings are emitted key-sorted so archived results are diffable.
+    """
     document = {
         "method": result.method,
         "iterations": result.iterations,
-        "probabilities": dict(result.probabilities),
-        "trust": dict(result.trust),
-        "label_overrides": dict(result.label_overrides),
+        "probabilities": dict(sorted(result.probabilities.items())),
+        "trust": dict(sorted(result.trust.items())),
+        "label_overrides": dict(sorted(result.label_overrides.items())),
     }
     if result.trajectory is not None:
         document["trajectory"] = {

@@ -46,6 +46,17 @@ an appended block):
 ``checkpoint``
     ``event`` (``save`` / ``restore``), ``time_point`` — the
     checkpoint/resume trail of a ``--checkpoint`` run.
+``ingest_batch``
+    ``store``, ``batch_id``, ``batch_kind`` (``import`` / ``votes``),
+    ``rows_read``, ``rows_kept``, ``new_facts``, ``new_sources`` — one
+    committed batch in the persistent vote ledger (:mod:`repro.store`).
+``refresh``
+    ``policy``, ``action`` (``full`` / ``incremental`` / ``none``),
+    ``epoch``, ``dirty_facts``, ``entropy_mass``, ``seconds`` — one
+    refresh decision of the corroboration service (:mod:`repro.serve`).
+``serve_request``
+    ``request_method``, ``path``, ``status``, ``seconds`` — one handled
+    HTTP request of the serving API.
 
 :data:`NULL_RUNLOG` is the no-op default; :class:`JsonlRunLog` appends to
 a file (``mode="a"``: re-running a command extends the ledger, it never
@@ -95,6 +106,24 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     ),
     "method_failure": ("method", "error_type", "error", "seconds"),
     "checkpoint": ("event", "time_point"),
+    "ingest_batch": (
+        "store",
+        "batch_id",
+        "batch_kind",
+        "rows_read",
+        "rows_kept",
+        "new_facts",
+        "new_sources",
+    ),
+    "refresh": (
+        "policy",
+        "action",
+        "epoch",
+        "dirty_facts",
+        "entropy_mass",
+        "seconds",
+    ),
+    "serve_request": ("request_method", "path", "status", "seconds"),
 }
 
 

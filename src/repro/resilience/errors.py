@@ -44,6 +44,13 @@ BAD_JSON = "bad_json"
 BAD_DOCUMENT = "bad_document"
 TRUNCATED_FILE = "truncated_file"
 IO_ERROR = "io_error"
+#: A vote arrived for a fact the store has already corroborated and
+#: labelled.  Append-only stream semantics evaluate each fact exactly once
+#: (Definition 1 assigns one t(f) per fact), so a late vote cannot be
+#: folded in without a rebuild; it is rejected and accounted for instead.
+STALE_FACT = "stale_fact"
+#: A bulk import carried a fact id the store already holds.
+DUPLICATE_FACT = "duplicate_fact"
 
 #: Every reason code a reader may emit.
 REASON_CODES = frozenset(
@@ -62,6 +69,8 @@ REASON_CODES = frozenset(
         BAD_DOCUMENT,
         TRUNCATED_FILE,
         IO_ERROR,
+        STALE_FACT,
+        DUPLICATE_FACT,
     }
 )
 

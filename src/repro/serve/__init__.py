@@ -1,0 +1,33 @@
+"""Incremental corroboration service: keep a vote ledger's labels live.
+
+:class:`CorroborationService` applies vote batches to a
+:class:`~repro.store.VoteLedger` under a configurable refresh policy
+(``full`` replay, ``incremental`` continuation, or ``entropy``-triggered
+escalation) with the epoch-replay semantics documented in
+``docs/serving.md``; :func:`make_server` wraps it in a stdlib JSON/HTTP
+API.  The CLI front door is ``repro serve`` / ``repro ingest`` /
+``repro query``.
+"""
+
+from repro.serve.http import CorroborationRequestHandler, make_server
+from repro.serve.service import (
+    DEFAULT_ENTROPY_THRESHOLD,
+    REFRESH_POLICIES,
+    SERVE_METHODS,
+    CorroborationService,
+    RefreshDecision,
+    carry_from_snapshot,
+    graft_snapshot,
+)
+
+__all__ = [
+    "CorroborationRequestHandler",
+    "CorroborationService",
+    "DEFAULT_ENTROPY_THRESHOLD",
+    "REFRESH_POLICIES",
+    "RefreshDecision",
+    "SERVE_METHODS",
+    "carry_from_snapshot",
+    "graft_snapshot",
+    "make_server",
+]

@@ -1,0 +1,161 @@
+"""Stdlib JSON/HTTP frontend of the corroboration service.
+
+A thin :mod:`http.server` layer over :class:`~repro.serve.service
+.CorroborationService` — no framework, no new dependencies.  Routes:
+
+* ``GET /healthz`` — liveness plus store counters.
+* ``GET /metrics`` — the observability metrics snapshot.
+* ``GET /facts/<id>`` — one fact's votes, label, probability, provenance.
+* ``GET /sources/<id>/trust`` — one source's current trust + trajectory.
+* ``POST /votes`` — body ``{"votes": [{"fact","source","vote"}, ...]}``
+  with optional ``"on_error"`` / ``"refresh"``; ingests the batch and (by
+  default) refreshes, returning the batch id, the ingest report and the
+  refresh decision.
+
+Thread-safety is the service's lock (``ThreadingHTTPServer`` handles each
+request on its own thread; every handler call funnels through the
+service).  Each handled request emits a ``serve_request`` run-ledger
+record and a latency observation.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.resilience.errors import IngestError
+from repro.serve.service import CorroborationService
+
+logger = logging.getLogger("repro.serve")
+
+#: Cap on accepted request bodies (a vote batch, not a bulk import).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class CorroborationRequestHandler(BaseHTTPRequestHandler):
+    """One request → one service call → one JSON document."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+    service: CorroborationService  # set by make_server on the class
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _observe(self, method: str, path: str, status: int, seconds: float) -> None:
+        obs = self.service.obs
+        if not obs.enabled:
+            return
+        obs.metrics.inc("serve.requests")
+        obs.metrics.observe("serve.request_seconds", seconds)
+        obs.runlog.emit(
+            "serve_request",
+            request_method=method,
+            path=path,
+            status=status,
+            seconds=seconds,
+        )
+
+    def _handle(self, method: str) -> None:
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            status, payload = self._route(method, path)
+        except IngestError as exc:
+            status, payload = 400, {
+                "error": str(exc),
+                "reason": exc.reason,
+                "location": exc.location,
+            }
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            logger.exception("unhandled error serving %s %s", method, path)
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._send_json(status, payload)
+        self._observe(method, path, status, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str) -> tuple[int, dict]:
+        service = self.service
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if path == "/healthz":
+                return 200, service.healthz()
+            if path == "/metrics":
+                return 200, service.metrics_snapshot()
+            if len(parts) == 2 and parts[0] == "facts":
+                record = service.fact(parts[1])
+                if record is None:
+                    return 404, {"error": f"unknown fact {parts[1]!r}"}
+                return 200, record
+            if len(parts) == 3 and parts[0] == "sources" and parts[2] == "trust":
+                record = service.source_trust(parts[1])
+                if record is None:
+                    return 404, {"error": f"unknown source {parts[1]!r}"}
+                return 200, record
+            return 404, {"error": f"no route for GET {path}"}
+        if method == "POST" and path == "/votes":
+            return self._post_votes()
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _post_votes(self) -> tuple[int, dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return 400, {"error": "POST /votes requires a JSON body"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        try:
+            document = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(document, dict) or not isinstance(
+            document.get("votes"), list
+        ):
+            return 400, {"error": 'body must be {"votes": [...]}'}
+        batch, decision = self.service.apply_votes(
+            document["votes"],
+            on_error=document.get("on_error", "strict"),
+            refresh=bool(document.get("refresh", True)),
+        )
+        return 200, {
+            "batch_id": batch.batch_id,
+            "new_facts": list(batch.new_facts),
+            "new_sources": list(batch.new_sources),
+            "votes_added": batch.votes_added,
+            "report": batch.report.to_record(),
+            "refresh": None if decision is None else decision.to_record(),
+        }
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+
+def make_server(
+    service: CorroborationService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.server_address``.
+    """
+    handler = type(
+        "BoundHandler", (CorroborationRequestHandler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)

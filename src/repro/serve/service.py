@@ -1,0 +1,526 @@
+"""Incremental corroboration service over a persistent vote ledger.
+
+:class:`CorroborationService` owns one :class:`~repro.store.VoteLedger`
+and keeps its labels current as vote batches arrive.  The canonical
+result is defined by **epoch replay**: the ingest log partitions the
+stream into refresh epochs, and each epoch runs Algorithm 1 over exactly
+the facts that were pending when the refresh fired, *continuing* from the
+trust state the previous epochs left behind.  This is the stream reading
+of the paper's incremental algorithm — IncEstHeu's ΔH heuristic scores
+against the groups still on the table, so the order votes arrived in is
+part of the problem statement, not an implementation accident.
+
+Three refresh policies choose *how* an epoch obtains its starting state:
+
+``full``
+    Cold replay: rebuild the continuation state by re-running every
+    committed epoch from the ingest log, verifying the stored labels
+    against the replayed ones along the way (trust-but-verify), then run
+    the new epoch.  O(total facts) but depends on nothing cached.
+``incremental``
+    Warm continuation: load the persisted carry state of the last epoch
+    and run only the new facts.  O(new facts).  Bit-identical to ``full``
+    — both produce the same labels, probabilities and trust trajectory,
+    because a restored session continues bit-identically (the
+    checkpoint/resume guarantee of :class:`~repro.core.session
+    .CorroborationSession`) and the carry state *is* a checkpoint.
+``entropy``
+    Adaptive: incremental while the dirty batch is easy, full replay when
+    the pending facts carry ≥ ``entropy_threshold`` bits of uncertainty
+    mass Σ n·H(σ(FG)) under the current trust — the regime where a
+    verify pass is worth its cost.
+
+The continuation state ("carry") is a grafted session snapshot: each
+epoch builds a fresh session over its delta dataset (all known sources,
+pending facts only), takes the fresh session's :meth:`snapshot` as a
+template, and splices the carried trajectory, counters and verdict
+history into it before :meth:`restore` — new sources enter with the
+default trust λ and the epoch-0 prior, exactly as they would have had
+they been present (voteless) from the start.  See ``docs/serving.md``
+for the full argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+from repro.core.entropy import binary_entropy
+from repro.core.fact_groups import group_facts, group_probability
+from repro.core.incestimate import IncEstimate
+from repro.core.result import CorroborationResult
+from repro.core.selection import IncEstHeu, IncEstPS
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, VoteMatrix
+from repro.model.votes import Vote
+from repro.obs import NULL_OBS, Obs
+from repro.resilience.errors import ErrorPolicy
+from repro.resilience.supervisor import (
+    FAIL_FAST,
+    GuardedRunLog,
+    MethodDiverged,
+    MethodTimeout,
+    Supervision,
+    scan_result_non_finite,
+)
+from repro.store.ledger import IngestBatch, LedgerError, VoteLedger
+
+#: Refresh policies the service understands (CLI ``--refresh`` choices).
+REFRESH_POLICIES = ("full", "incremental", "entropy")
+
+#: Methods the service can serve: the session-based incremental ones.
+SERVE_METHODS = ("incestimate", "incestimate-ps")
+
+#: Default dirty-entropy threshold (bits) of the ``entropy`` policy.
+DEFAULT_ENTROPY_THRESHOLD = 64.0
+
+#: Format marker of the persisted continuation state.
+CARRY_FORMAT = "serve-epoch-carry"
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshDecision:
+    """What one :meth:`CorroborationService.refresh` call did and why."""
+
+    policy: str
+    action: str  # "full" | "incremental" | "none"
+    epoch: int | None
+    dirty_facts: int
+    entropy_mass: float | None
+    threshold: float | None
+    seconds: float
+
+    def to_record(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _make_estimator(method: str, engine: bool, obs: Obs) -> IncEstimate:
+    if method not in SERVE_METHODS:
+        raise ValueError(
+            f"unknown serve method {method!r}; expected one of {SERVE_METHODS}"
+        )
+    strategy = IncEstHeu() if method == "incestimate" else IncEstPS()
+    return IncEstimate(strategy, engine=engine, obs=obs)
+
+
+def carry_from_snapshot(snapshot: dict, prior: float, epoch: int) -> dict:
+    """Distil a finalized epoch's session snapshot into the carry state.
+
+    The carry is backend-neutral: per-source ``[correct, total, trust]``
+    counter triples keyed by source id (extracted from the engine's
+    position-ordered lists or the scalar dicts), the full trajectory
+    state, the verdict history, and the epoch-0 prior ``k0`` that anchors
+    every later source's counters.
+    """
+    sources = list(snapshot["trajectory"]["sources"])
+    counters: dict[str, list[float]] = {}
+    if "engine" in snapshot:
+        engine = snapshot["engine"]
+        for index, source in enumerate(sources):
+            counters[source] = [
+                float(engine["correct"][index]),
+                float(engine["total"][index]),
+                float(engine["trust"][index]),
+            ]
+    else:
+        scalar = snapshot["scalar"]
+        for source in sources:
+            counters[source] = [
+                float(scalar["correct"][source]),
+                float(scalar["total"][source]),
+                float(scalar["trust"][source]),
+            ]
+    return {
+        "format": CARRY_FORMAT,
+        "epoch": epoch,
+        "prior": prior,
+        "time_point": snapshot["time_point"],
+        "sources": sources,
+        "counters": counters,
+        "trajectory": snapshot["trajectory"],
+        "probabilities": snapshot["probabilities"],
+        "label_overrides": snapshot["label_overrides"],
+        "rounds": snapshot["rounds"],
+    }
+
+
+def graft_snapshot(base: dict, carry: dict, default_trust: float) -> dict:
+    """Splice ``carry`` into a fresh delta session's snapshot ``base``.
+
+    ``base`` must be the :meth:`~repro.core.session.CorroborationSession
+    .snapshot` of a *freshly constructed* session over the epoch's delta
+    dataset — its fingerprint, params and group state stay; the carried
+    trajectory, counters and verdict history replace the blank ones.  The
+    delta dataset registers the carried sources first, in their original
+    order, so they form a prefix of the delta source list; sources the
+    carry has never seen get the default trust λ and the epoch-0 prior
+    ``k0`` — the counters they would have had as voteless sources from
+    the start (``correct = λ·k0, total = k0``, Equation 8).
+
+    ``finalized`` is forced ``False`` so the epoch's own finalize records
+    its trust vector (a finalized snapshot would suppress it).
+    """
+    if carry.get("format") != CARRY_FORMAT:
+        raise LedgerError(f"not a {CARRY_FORMAT} state: {carry.get('format')!r}")
+    grafted = dict(base)
+    delta_sources = list(base["trajectory"]["sources"])
+    carried = set(carry["sources"])
+    if carry["sources"] != delta_sources[: len(carry["sources"])]:
+        raise LedgerError(
+            "carried sources are not a prefix of the delta source list; "
+            "the store's position order was violated"
+        )
+    prior = float(carry["prior"])
+    history = [
+        {s: vector.get(s, default_trust) for s in delta_sources}
+        for vector in carry["trajectory"]["history"]
+    ]
+    grafted["trajectory"] = {
+        "sources": delta_sources,
+        "history": history,
+        "evaluation_time": dict(carry["trajectory"]["evaluation_time"]),
+    }
+    grafted["time_point"] = carry["time_point"]
+    grafted["finalized"] = False
+    grafted["probabilities"] = dict(carry["probabilities"])
+    grafted["label_overrides"] = dict(carry["label_overrides"])
+    grafted["rounds"] = list(carry["rounds"])
+    counters = carry["counters"]
+    fresh = [default_trust * prior, prior, default_trust]
+
+    def triple(source: str) -> list[float]:
+        return list(counters[source]) if source in carried else list(fresh)
+
+    if "engine" in base:
+        engine = dict(base["engine"])
+        engine["correct"] = [triple(s)[0] for s in delta_sources]
+        engine["total"] = [triple(s)[1] for s in delta_sources]
+        engine["trust"] = [triple(s)[2] for s in delta_sources]
+        grafted["engine"] = engine
+        grafted["evaluated_count"] = len(carry["probabilities"])
+    else:
+        scalar = dict(base["scalar"])
+        scalar["correct"] = {s: triple(s)[0] for s in delta_sources}
+        scalar["total"] = {s: triple(s)[1] for s in delta_sources}
+        scalar["trust"] = {s: triple(s)[2] for s in delta_sources}
+        grafted["scalar"] = scalar
+    return grafted
+
+
+class CorroborationService:
+    """A live corroboration session over a persistent vote ledger.
+
+    Args:
+        ledger: the store to serve; the service assumes exclusive access
+            and serialises all operations behind one lock.
+        method: ``incestimate`` (IncEstHeu selection) or
+            ``incestimate-ps`` (popularity-size selection).
+        refresh: one of :data:`REFRESH_POLICIES` (see module docstring).
+        entropy_threshold: bits of dirty entropy mass at which the
+            ``entropy`` policy escalates to a full replay.
+        engine: array engine (default) or scalar reference backend.
+        obs: observability bundle; refreshes emit ``refresh`` ledger
+            records, ``serve.*`` metrics and session spans.
+        supervision: NaN-watchdog / wall-clock guards applied to every
+            epoch run (:data:`~repro.resilience.supervisor.FAIL_FAST`
+            default: raise, don't swallow).
+    """
+
+    def __init__(
+        self,
+        ledger: VoteLedger,
+        *,
+        method: str = "incestimate",
+        refresh: str = "incremental",
+        entropy_threshold: float = DEFAULT_ENTROPY_THRESHOLD,
+        engine: bool = True,
+        obs: Obs = NULL_OBS,
+        supervision: Supervision = FAIL_FAST,
+    ) -> None:
+        if refresh not in REFRESH_POLICIES:
+            raise ValueError(
+                f"unknown refresh policy {refresh!r}; "
+                f"expected one of {REFRESH_POLICIES}"
+            )
+        self.ledger = ledger
+        self.method = method
+        self.refresh_policy = refresh
+        self.entropy_threshold = float(entropy_threshold)
+        self.engine = engine
+        self.obs = obs
+        self.supervision = supervision
+        self.started_at = time.time()
+        self._lock = threading.RLock()
+        # Validate the method name eagerly, not on the first refresh.
+        _make_estimator(method, engine, NULL_OBS)
+
+    # ------------------------------------------------------------------
+    # Epoch machinery
+    # ------------------------------------------------------------------
+    def _session_obs(self) -> Obs:
+        obs = self.obs
+        if self.supervision.needs_guard:
+            guard = GuardedRunLog(obs.runlog, self.supervision, self.method)
+            obs = Obs(tracer=obs.tracer, metrics=obs.metrics, runlog=guard)
+        return obs
+
+    def _delta_dataset(self, facts: list[FactId], last_batch: int) -> Dataset:
+        """The epoch's problem instance: pending facts, all known sources.
+
+        Every source with ``batch_id <= last_batch`` registers *first*, in
+        store position order — carried sources therefore form a prefix of
+        the delta source list (what :func:`graft_snapshot` requires) and a
+        replayed epoch sees the exact source set that existed when it
+        originally ran.
+        """
+        matrix = VoteMatrix()
+        for source in self.ledger.sources_up_to_batch(last_batch):
+            matrix.add_source(source)
+        for fact in facts:
+            matrix.add_fact(fact)
+        for fact in facts:
+            for source, symbol in self.ledger.votes_on(fact):
+                matrix.add_vote(fact, source, Vote.from_symbol(symbol))
+        return Dataset(matrix=matrix, truth={}, name=self.ledger.name)
+
+    def _run_epoch(
+        self, delta: Dataset, carry: dict | None, epoch: int
+    ) -> tuple[CorroborationResult, dict]:
+        """Run one epoch; returns its result and the next carry state."""
+        estimator = _make_estimator(self.method, self.engine, self._session_obs())
+        session = estimator.session(delta)
+        if carry is None:
+            prior = estimator.trust_prior_strength * delta.matrix.num_facts
+        else:
+            prior = float(carry["prior"])
+            session.restore(
+                graft_snapshot(session.snapshot(), carry, estimator.default_trust)
+            )
+        deadline = None
+        if self.supervision.wall_clock_budget_s is not None:
+            deadline = time.monotonic() + self.supervision.wall_clock_budget_s
+        while not session.done:
+            session.step()
+            if deadline is not None and time.monotonic() > deadline:
+                raise MethodTimeout(
+                    f"epoch {epoch} exceeded the wall-clock budget of "
+                    f"{self.supervision.wall_clock_budget_s}s"
+                )
+        result = session.finalize()
+        if self.supervision.nan_watchdog:
+            where = scan_result_non_finite(result)
+            if where is not None:
+                raise MethodDiverged(
+                    f"epoch {epoch} produced a non-finite value at {where}"
+                )
+        return result, carry_from_snapshot(session.snapshot(), prior, epoch)
+
+    def _replay_epochs(self, *, verify: bool = True) -> dict | None:
+        """Rebuild the carry by replaying every committed epoch from the log.
+
+        With ``verify`` (always on for ``full`` refreshes) each replayed
+        epoch's probabilities are compared — exactly, no tolerance —
+        against the stored labels; a mismatch means the store and the log
+        disagree and raises :class:`~repro.store.LedgerError`.
+        """
+        carry: dict | None = None
+        stored = self.ledger.labels_map() if verify else {}
+        for row in self.ledger.list_epochs():
+            epoch = int(row["epoch"])
+            facts = self.ledger.facts_in_epoch(epoch)
+            delta = self._delta_dataset(facts, int(row["last_batch"]))
+            result, carry = self._run_epoch(delta, carry, epoch)
+            if verify:
+                for fact in facts:
+                    replayed = result.probabilities[fact]
+                    if replayed != stored[fact]["probability"]:
+                        raise LedgerError(
+                            f"replay mismatch at epoch {epoch}, fact "
+                            f"{fact!r}: stored probability "
+                            f"{stored[fact]['probability']!r}, replayed "
+                            f"{replayed!r}"
+                        )
+        return carry
+
+    def _dirty_entropy_mass(self, delta: Dataset, carry: dict | None) -> float:
+        """Σ n·H(σ(FG)) over the pending fact groups, in bits.
+
+        σ(FG) is Equation 5 under the *current* trust vector (the last
+        carried time point; λ for sources the carry has never seen) — the
+        uncertainty the next refresh would have to destroy.
+        """
+        estimator = _make_estimator(self.method, self.engine, NULL_OBS)
+        last: dict = {}
+        if carry is not None and carry["trajectory"]["history"]:
+            last = carry["trajectory"]["history"][-1]
+        trust = {
+            s: last.get(s, estimator.default_trust)
+            for s in delta.matrix.sources
+        }
+        mass = 0.0
+        for group in group_facts(delta.matrix):
+            probability = group_probability(
+                group.signature, trust, estimator.default_fact_probability
+            )
+            mass += group.size * binary_entropy(probability)
+        return mass
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def refresh(self, *, force: str | None = None) -> RefreshDecision:
+        """Bring the store's labels up to date with its votes.
+
+        Decides full-vs-incremental per the configured policy (``force``
+        overrides it for one call), runs the epoch, and persists labels,
+        trajectory, epoch row and carry state in one store transaction.
+        With nothing pending this is a cheap no-op (``action="none"``).
+        """
+        with self._lock:
+            started = time.perf_counter()
+            pending = self.ledger.pending_facts()
+            state = self.ledger.load_session_state()
+            if not pending:
+                decision = RefreshDecision(
+                    policy=force or self.refresh_policy,
+                    action="none",
+                    epoch=None if state is None else state[0],
+                    dirty_facts=0,
+                    entropy_mass=None,
+                    threshold=None,
+                    seconds=time.perf_counter() - started,
+                )
+                self._observe_refresh(decision)
+                return decision
+            last_batch = self.ledger.max_batch_id()
+            epoch = 0 if state is None else state[0] + 1
+            delta = self._delta_dataset(pending, last_batch)
+            policy = force or self.refresh_policy
+            entropy_mass: float | None = None
+            threshold: float | None = None
+            if state is None:
+                # Nothing to continue from: the first epoch is a full run
+                # by definition.
+                action = "full"
+                carry: dict | None = None
+            elif policy == "full":
+                action = "full"
+                carry = self._replay_epochs(verify=True)
+            elif policy == "incremental":
+                action = "incremental"
+                carry = state[1]
+            else:  # entropy
+                threshold = self.entropy_threshold
+                entropy_mass = self._dirty_entropy_mass(delta, state[1])
+                if entropy_mass >= threshold:
+                    action = "full"
+                    carry = self._replay_epochs(verify=True)
+                else:
+                    action = "incremental"
+                    carry = state[1]
+            result, next_carry = self._run_epoch(delta, carry, epoch)
+            labels = [
+                {
+                    "fact": fact,
+                    "probability": result.probabilities[fact],
+                    "label": result.label(fact),
+                    "flipped": fact in result.label_overrides,
+                    "time_point": result.trajectory.evaluation_time(fact),
+                }
+                for fact in pending
+            ]
+            self.ledger.record_epoch(
+                epoch=epoch,
+                action=action,
+                last_batch=last_batch,
+                entropy_mass=entropy_mass,
+                labels=labels,
+                trajectory=next_carry["trajectory"]["history"],
+                state=next_carry,
+                time_points=len(next_carry["trajectory"]["history"]),
+            )
+            decision = RefreshDecision(
+                policy=policy,
+                action=action,
+                epoch=epoch,
+                dirty_facts=len(pending),
+                entropy_mass=entropy_mass,
+                threshold=threshold,
+                seconds=time.perf_counter() - started,
+            )
+            self._observe_refresh(decision)
+            return decision
+
+    def apply_votes(
+        self,
+        rows,
+        *,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        refresh: bool = True,
+    ) -> tuple[IngestBatch, RefreshDecision | None]:
+        """Ingest one vote batch and (by default) refresh the labels."""
+        with self._lock:
+            batch = self.ledger.ingest_votes(rows, on_error=on_error)
+            if refresh:
+                return batch, self.refresh()
+            if self.obs.enabled:
+                self.obs.metrics.set_gauge(
+                    "serve.staleness_facts", len(self.ledger.pending_facts())
+                )
+            return batch, None
+
+    def verify(self) -> int:
+        """Replay the full log against the stored labels; facts checked."""
+        with self._lock:
+            self._replay_epochs(verify=True)
+            return self.ledger.counts()["labels"]
+
+    def fact(self, fact_id: str) -> dict | None:
+        with self._lock:
+            return self.ledger.fact_record(fact_id)
+
+    def source_trust(self, source_id: str) -> dict | None:
+        with self._lock:
+            return self.ledger.source_record(source_id)
+
+    def healthz(self) -> dict:
+        with self._lock:
+            counts = self.ledger.counts()
+            return {
+                "status": "ok",
+                "method": self.method,
+                "refresh": self.refresh_policy,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "pending": counts["pending"],
+                "facts": counts["facts"],
+                "epochs": counts["epochs"],
+            }
+
+    def metrics_snapshot(self) -> dict:
+        with self._lock:
+            snapshot = (
+                self.obs.metrics.snapshot()
+                if self.obs.metrics.enabled
+                else {}
+            )
+            return {"metrics": snapshot, **self.healthz()}
+
+    def _observe_refresh(self, decision: RefreshDecision) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.metrics.inc(f"serve.refresh.{decision.action}")
+        obs.metrics.inc("serve.facts_labelled", decision.dirty_facts)
+        obs.metrics.observe("serve.refresh_seconds", decision.seconds)
+        # A completed refresh leaves nothing pending by construction.
+        obs.metrics.set_gauge("serve.staleness_facts", 0)
+        obs.runlog.emit(
+            "refresh",
+            policy=decision.policy,
+            action=decision.action,
+            epoch=decision.epoch,
+            dirty_facts=decision.dirty_facts,
+            entropy_mass=decision.entropy_mass,
+            seconds=decision.seconds,
+        )

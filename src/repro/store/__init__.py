@@ -1,0 +1,19 @@
+"""Persistent vote ledger: SQLite-backed storage for corroboration state.
+
+The store keeps one problem instance on disk — vote matrix, ground truth,
+golden set, per-fact verdicts, trust trajectories, and an append-only
+ingest log that makes every label traceable to the batch of evidence it
+rests on.  :class:`VoteLedger` is the only entry point; the schema and
+its forward migrations live in :mod:`repro.store.schema`.
+"""
+
+from repro.store.ledger import IngestBatch, LedgerError, VoteLedger
+from repro.store.schema import SCHEMA_VERSION, STORE_FORMAT
+
+__all__ = [
+    "IngestBatch",
+    "LedgerError",
+    "VoteLedger",
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+]

@@ -1,0 +1,833 @@
+"""The persistent vote ledger: a corroboration problem that survives.
+
+:class:`VoteLedger` wraps one SQLite database (WAL mode, stdlib
+``sqlite3``) holding the schema of :mod:`repro.store.schema`.  It is the
+storage half of the serving layer: batch pipelines ``import_dataset`` a
+:class:`~repro.model.dataset.Dataset` into it, the corroboration service
+(:mod:`repro.serve`) appends vote batches through ``ingest_votes`` and
+persists each refresh epoch's verdicts transactionally through
+``record_epoch``, and ``export_dataset`` round-trips the stored matrix
+back into a ``Dataset`` losslessly — same facts, sources, votes, truth,
+golden set and *registration order*.
+
+Ingest semantics mirror the file readers in :mod:`repro.model.io`: every
+batch runs under an :class:`~repro.resilience.errors.ErrorPolicy`
+(``strict`` raises on the first dirty row and the transaction rolls back
+whole; ``skip`` / ``quarantine`` drop dirty rows and account for each in
+an :class:`~repro.resilience.errors.IngestReport`).  Beyond the file-level
+checks the ledger enforces two store-level rules: a ``(fact, source)``
+pair may hold one vote ever (``duplicate_vote`` / ``conflicting_vote``
+against the stored symbol), and a vote on an already-labelled fact is
+rejected as ``stale_fact`` — the append-only stream semantics evaluate
+each fact exactly once (see ``docs/serving.md`` for the rebuild escape
+hatch).
+
+Crash safety is SQLite's: every mutation runs inside one transaction, so
+a process killed mid-ingest rolls back to the previous committed state on
+the next open — the store is never partially committed (the chaos suite
+kills a subprocess mid-batch to prove it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sqlite3
+import time
+from collections.abc import Iterable, Mapping
+from datetime import datetime, timezone
+
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.model.votes import Vote
+from repro.obs import NULL_OBS, Obs
+from repro.resilience.errors import (
+    BAD_VOTE_SYMBOL,
+    CONFLICTING_VOTE,
+    DASH_VOTE,
+    DUPLICATE_FACT,
+    DUPLICATE_VOTE,
+    MISSING_FIELD,
+    STALE_FACT,
+    DuplicateVoteError,
+    ErrorPolicy,
+    IngestError,
+    IngestReport,
+    ResilienceError,
+)
+
+PathLike = str | pathlib.Path
+
+
+class LedgerError(ResilienceError):
+    """The store is not a vote ledger, or its state is inconsistent."""
+
+
+@dataclasses.dataclass(frozen=True)
+class IngestBatch:
+    """One committed batch: its log id and what it changed."""
+
+    batch_id: int
+    kind: str
+    report: IngestReport
+    new_facts: tuple[FactId, ...]
+    new_sources: tuple[SourceId, ...]
+    votes_added: int
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _reject(
+    policy: ErrorPolicy,
+    report: IngestReport,
+    *,
+    location: str,
+    reason: str,
+    message: str,
+    row: dict | None = None,
+    error_cls: type[IngestError] = IngestError,
+) -> None:
+    """Store-side twin of the reader policy hook in :mod:`repro.model.io`."""
+    if policy is ErrorPolicy.STRICT:
+        raise error_cls(message, reason=reason, location=location)
+    report.record(
+        location=location,
+        reason=reason,
+        message=message,
+        row=row if policy is ErrorPolicy.QUARANTINE else None,
+    )
+
+
+class VoteLedger:
+    """One persistent corroboration store (see module docstring).
+
+    Args:
+        path: SQLite file; created (with the current schema) when absent,
+            validated and forward-migrated when present.
+        name: dataset name recorded in a *freshly created* store's meta
+            (existing stores keep theirs).
+        obs: observability bundle; committed batches emit ``ingest_batch``
+            ledger records and ``store.*`` metrics.
+
+    The connection is created with ``check_same_thread=False`` so the
+    threaded HTTP frontend can share it; the serving layer serialises all
+    access behind one lock (SQLite itself is not the concurrency story
+    here — the service owns the store exclusively).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        name: str = "dataset",
+        obs: Obs = NULL_OBS,
+    ) -> None:
+        from repro.store.schema import (
+            SCHEMA_VERSION,
+            STORE_FORMAT,
+            create_schema,
+            migrate,
+        )
+
+        self.path = pathlib.Path(path)
+        self._obs = obs
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        existing = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if existing is None:
+            if self._conn.execute("SELECT name FROM sqlite_master").fetchone():
+                raise LedgerError(
+                    f"{self.path} is a SQLite database but not a vote ledger"
+                )
+            with self._conn:
+                create_schema(self._conn)
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('name', ?)", (name,)
+                )
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('created_at', ?)",
+                    (_utc_now(),),
+                )
+        else:
+            marker = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'format'"
+            ).fetchone()
+            if marker is None or marker[0] != STORE_FORMAT:
+                raise LedgerError(f"{self.path} is not a {STORE_FORMAT} store")
+            try:
+                steps = migrate(self._conn)
+            except ValueError as exc:
+                raise LedgerError(str(exc)) from exc
+            if steps and obs.enabled:
+                obs.metrics.inc("store.migrations", steps)
+        self.schema_version = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VoteLedger":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @property
+    def name(self) -> str:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'name'"
+        ).fetchone()
+        return row[0] if row is not None else "dataset"
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def import_dataset(
+        self,
+        dataset: Dataset,
+        *,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        report: IngestReport | None = None,
+    ) -> IngestBatch:
+        """Bulk-load ``dataset`` as one ``import`` batch.
+
+        Sources and facts are inserted in registration order (the order
+        :meth:`export_dataset` reproduces).  A fact id the store already
+        holds is a dirty row (``duplicate_fact``): strict rolls the whole
+        batch back, the lenient policies skip the fact — votes included —
+        and account for it.  Truth and golden membership ride on the fact
+        rows.
+        """
+        policy = ErrorPolicy.coerce(on_error)
+        report = report if report is not None else IngestReport()
+        report.source = f"{self.path}::import"
+        report.policy = policy.value
+        matrix = dataset.matrix
+        rows: list[tuple[str, str, str]] = []
+        for fact in matrix.facts:
+            for source, vote in sorted(matrix.votes_on(fact).items()):
+                rows.append((fact, source, vote.value))
+        started = time.perf_counter()
+        with self._conn:
+            batch_id = self._open_batch("import")
+            existing_facts = self._fact_set()
+            kept_facts: list[str] = []
+            for fact in matrix.facts:
+                report.rows_read += 1
+                if fact in existing_facts:
+                    _reject(
+                        policy,
+                        report,
+                        location=f"facts[{fact!r}]",
+                        reason=DUPLICATE_FACT,
+                        message=f"fact {fact!r} already exists in {self.path}",
+                        row={"fact": fact},
+                    )
+                    continue
+                truth = dataset.truth.get(fact)
+                self._conn.execute(
+                    "INSERT INTO facts (fact_id, truth, golden, batch_id) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        fact,
+                        None if truth is None else int(truth),
+                        int(fact in dataset.golden_set),
+                        batch_id,
+                    ),
+                )
+                kept_facts.append(fact)
+                report.rows_kept += 1
+            kept_set = set(kept_facts)
+            new_sources = self._ensure_sources(matrix.sources, batch_id)
+            votes_added = 0
+            for fact, source, symbol in rows:
+                if fact not in kept_set:
+                    continue
+                self._conn.execute(
+                    "INSERT INTO votes (fact_id, source_id, vote, batch_id) "
+                    "VALUES (?, ?, ?, ?)",
+                    (fact, source, symbol, batch_id),
+                )
+                votes_added += 1
+            if dataset.name and self.name == "dataset":
+                # A fresh store inherits the first import's name, so the
+                # export round-trip preserves ``Dataset.name``.
+                self._conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'name'",
+                    (dataset.name,),
+                )
+            self._close_batch(batch_id, report)
+        batch = IngestBatch(
+            batch_id=batch_id,
+            kind="import",
+            report=report,
+            new_facts=tuple(kept_facts),
+            new_sources=tuple(new_sources),
+            votes_added=votes_added,
+        )
+        self._observe_batch(batch, time.perf_counter() - started)
+        return batch
+
+    def ingest_votes(
+        self,
+        rows: Iterable[tuple[str, str, str] | Mapping[str, object]],
+        *,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        report: IngestReport | None = None,
+        precounted: bool = False,
+    ) -> IngestBatch:
+        """Append one ``votes`` batch; returns the committed batch.
+
+        ``rows`` are ``(fact, source, symbol)`` triples or mappings with
+        ``fact`` / ``source`` / ``vote`` keys (the HTTP payload shape).
+        New facts and sources register themselves; votes on *pending*
+        (not yet labelled) facts are welcome, votes on labelled facts are
+        ``stale_fact`` rejects, and repeats of a stored ``(fact, source)``
+        pair are ``duplicate_vote`` / ``conflicting_vote``.
+
+        ``precounted=True`` is for callers that already validated the rows
+        through a :mod:`repro.model.io` reader against the same ``report``:
+        store-level rejects then move rows from ``rows_kept`` into
+        ``issues`` instead of double-counting ``rows_read``.
+        """
+        policy = ErrorPolicy.coerce(on_error)
+        report = report if report is not None else IngestReport()
+        report.source = f"{self.path}::votes"
+        report.policy = policy.value
+        started = time.perf_counter()
+        with self._conn:
+            batch_id = self._open_batch("votes")
+            labelled = {
+                row[0]
+                for row in self._conn.execute("SELECT fact_id FROM labels")
+            }
+            existing_facts = self._fact_set()
+            existing_sources = {
+                row[0]
+                for row in self._conn.execute("SELECT source_id FROM sources")
+            }
+            seen: dict[tuple[str, str], str] = {}
+            new_facts: list[str] = []
+            new_sources: list[str] = []
+            votes_added = 0
+            for index, raw in enumerate(rows):
+                location = f"row {index + 1}"
+                if not precounted:
+                    report.rows_read += 1
+
+                def drop(reason: str, message: str, row: dict | None) -> None:
+                    _reject(
+                        policy,
+                        report,
+                        location=location,
+                        reason=reason,
+                        message=message,
+                        row=row,
+                        error_cls=DuplicateVoteError
+                        if reason in (DUPLICATE_VOTE, CONFLICTING_VOTE)
+                        else IngestError,
+                    )
+                    if precounted:
+                        report.rows_kept -= 1
+
+                if isinstance(raw, Mapping):
+                    fact = raw.get("fact")
+                    source = raw.get("source")
+                    symbol = raw.get("vote")
+                else:
+                    try:
+                        fact, source, symbol = raw
+                    except (TypeError, ValueError):
+                        drop(
+                            MISSING_FIELD,
+                            f"{location}: expected (fact, source, vote)",
+                            None,
+                        )
+                        continue
+                if not fact or not source or symbol is None:
+                    drop(
+                        MISSING_FIELD,
+                        f"{location}: missing fact, source or vote",
+                        {"fact": fact, "source": source, "vote": symbol},
+                    )
+                    continue
+                fact, source = str(fact), str(source)
+                payload = {"fact": fact, "source": source, "vote": symbol}
+                try:
+                    vote = (
+                        Vote.from_symbol(symbol)
+                        if isinstance(symbol, str)
+                        else None
+                    )
+                except ValueError:
+                    drop(
+                        BAD_VOTE_SYMBOL,
+                        f"{location}: unrecognised vote symbol {symbol!r}",
+                        payload,
+                    )
+                    continue
+                if vote is None:
+                    if isinstance(symbol, str):
+                        drop(
+                            DASH_VOTE,
+                            f"{location}: '-' votes must simply be omitted",
+                            payload,
+                        )
+                    else:
+                        drop(
+                            BAD_VOTE_SYMBOL,
+                            f"{location}: vote symbol must be a string",
+                            payload,
+                        )
+                    continue
+                if fact in labelled:
+                    drop(
+                        STALE_FACT,
+                        (
+                            f"{location}: fact {fact!r} is already "
+                            "corroborated; late votes need a rebuild"
+                        ),
+                        payload,
+                    )
+                    continue
+                key = (fact, source)
+                prior_symbol = seen.get(key)
+                if prior_symbol is None:
+                    stored = self._conn.execute(
+                        "SELECT vote FROM votes WHERE fact_id=? AND source_id=?",
+                        key,
+                    ).fetchone()
+                    prior_symbol = stored[0] if stored is not None else None
+                if prior_symbol is not None:
+                    duplicate = prior_symbol == vote.value
+                    drop(
+                        DUPLICATE_VOTE if duplicate else CONFLICTING_VOTE,
+                        (
+                            f"{location}: "
+                            f"{'duplicate' if duplicate else 'conflicting'} "
+                            f"vote for fact={fact!r} source={source!r}"
+                        ),
+                        payload,
+                    )
+                    continue
+                if fact not in existing_facts:
+                    self._conn.execute(
+                        "INSERT INTO facts (fact_id, batch_id) VALUES (?, ?)",
+                        (fact, batch_id),
+                    )
+                    existing_facts.add(fact)
+                    new_facts.append(fact)
+                if source not in existing_sources:
+                    self._conn.execute(
+                        "INSERT INTO sources (source_id, batch_id) "
+                        "VALUES (?, ?)",
+                        (source, batch_id),
+                    )
+                    existing_sources.add(source)
+                    new_sources.append(source)
+                self._conn.execute(
+                    "INSERT INTO votes (fact_id, source_id, vote, batch_id) "
+                    "VALUES (?, ?, ?, ?)",
+                    (fact, source, vote.value, batch_id),
+                )
+                seen[key] = vote.value
+                votes_added += 1
+                if not precounted:
+                    report.rows_kept += 1
+            self._close_batch(batch_id, report)
+        batch = IngestBatch(
+            batch_id=batch_id,
+            kind="votes",
+            report=report,
+            new_facts=tuple(new_facts),
+            new_sources=tuple(new_sources),
+            votes_added=votes_added,
+        )
+        self._observe_batch(batch, time.perf_counter() - started)
+        return batch
+
+    def ingest_votes_csv(
+        self,
+        path_or_handle,
+        *,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        report: IngestReport | None = None,
+    ) -> IngestBatch:
+        """One ``votes`` batch read from a ``fact,source,vote`` CSV.
+
+        File-level validation (header, symbols, in-file duplicates, I/O
+        faults) is :func:`repro.model.io.read_votes_csv`'s — same policy,
+        same report — and runs *before* the store transaction opens, so a
+        file that dies mid-read under ``strict`` leaves the store
+        untouched.  Store-level checks then run through
+        :meth:`ingest_votes`.
+        """
+        from repro.model.io import read_votes_csv
+
+        policy = ErrorPolicy.coerce(on_error)
+        report = report if report is not None else IngestReport()
+        matrix = read_votes_csv(path_or_handle, on_error=policy, report=report)
+        source_name = report.source
+        rows = [
+            (fact, source, vote.value)
+            for fact in matrix.facts
+            for source, vote in sorted(matrix.votes_on(fact).items())
+        ]
+        batch = self.ingest_votes(
+            rows, on_error=policy, report=report, precounted=True
+        )
+        report.source = f"{source_name} -> {self.path}"
+        return batch
+
+    def _open_batch(self, kind: str) -> int:
+        cursor = self._conn.execute(
+            "INSERT INTO ingest_log (kind, created_at) VALUES (?, ?)",
+            (kind, _utc_now()),
+        )
+        return int(cursor.lastrowid)
+
+    def _close_batch(self, batch_id: int, report: IngestReport) -> None:
+        self._conn.execute(
+            "UPDATE ingest_log SET rows_read=?, rows_kept=?, report=? "
+            "WHERE batch_id=?",
+            (
+                report.rows_read,
+                report.rows_kept,
+                json.dumps(report.to_record()),
+                batch_id,
+            ),
+        )
+
+    def _ensure_sources(
+        self, sources: Iterable[SourceId], batch_id: int
+    ) -> list[SourceId]:
+        existing = {
+            row[0] for row in self._conn.execute("SELECT source_id FROM sources")
+        }
+        added: list[SourceId] = []
+        for source in sources:
+            if source in existing:
+                continue
+            self._conn.execute(
+                "INSERT INTO sources (source_id, batch_id) VALUES (?, ?)",
+                (source, batch_id),
+            )
+            added.append(source)
+        return added
+
+    def _fact_set(self) -> set[str]:
+        return {row[0] for row in self._conn.execute("SELECT fact_id FROM facts")}
+
+    def _observe_batch(self, batch: IngestBatch, seconds: float) -> None:
+        obs = self._obs
+        if not obs.enabled:
+            return
+        obs.metrics.inc("store.batches")
+        obs.metrics.inc("store.votes_ingested", batch.votes_added)
+        obs.metrics.observe("store.ingest_seconds", seconds)
+        obs.runlog.emit(
+            "ingest_batch",
+            store=str(self.path),
+            batch_id=batch.batch_id,
+            batch_kind=batch.kind,
+            rows_read=batch.report.rows_read,
+            rows_kept=batch.report.rows_kept,
+            new_facts=len(batch.new_facts),
+            new_sources=len(batch.new_sources),
+        )
+
+    # ------------------------------------------------------------------
+    # Export / queries
+    # ------------------------------------------------------------------
+    def export_dataset(self) -> Dataset:
+        """The stored problem instance as a :class:`Dataset` — losslessly.
+
+        Sources and facts come back in their stored ``position`` order
+        (identical to the original registration order), so the export is
+        the *identity* inverse of :meth:`import_dataset`: same lists, same
+        fact-group order, same tie breaks downstream.
+        """
+        matrix = VoteMatrix()
+        for row in self._conn.execute(
+            "SELECT source_id FROM sources ORDER BY position"
+        ):
+            matrix.add_source(row[0])
+        truth: dict[str, bool] = {}
+        golden: set[str] = set()
+        for row in self._conn.execute(
+            "SELECT fact_id, truth, golden FROM facts ORDER BY position"
+        ):
+            matrix.add_fact(row["fact_id"])
+            if row["truth"] is not None:
+                truth[row["fact_id"]] = bool(row["truth"])
+            if row["golden"]:
+                golden.add(row["fact_id"])
+        for row in self._conn.execute(
+            "SELECT v.fact_id, v.source_id, v.vote FROM votes v "
+            "JOIN facts f ON f.fact_id = v.fact_id "
+            "JOIN sources s ON s.source_id = v.source_id "
+            "ORDER BY f.position, s.position"
+        ):
+            matrix.add_vote(
+                row["fact_id"], row["source_id"], Vote.from_symbol(row["vote"])
+            )
+        return Dataset(
+            matrix=matrix,
+            truth=truth,
+            golden_set=frozenset(golden),
+            name=self.name,
+        )
+
+    def counts(self) -> dict:
+        """Row counts per table (summary / test assertions)."""
+        tables = ("sources", "facts", "votes", "labels", "ingest_log", "epochs")
+        out = {
+            table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in tables
+        }
+        out["pending"] = out["facts"] - out["labels"]
+        return out
+
+    def pending_facts(self) -> list[FactId]:
+        """Facts with no label yet, in registration order (the dirty set)."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT fact_id FROM facts WHERE fact_id NOT IN "
+                "(SELECT fact_id FROM labels) ORDER BY position"
+            )
+        ]
+
+    def facts_in_epoch(self, epoch: int) -> list[FactId]:
+        """Facts labelled by refresh ``epoch``, in registration order."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT f.fact_id FROM labels l "
+                "JOIN facts f ON f.fact_id = l.fact_id "
+                "WHERE l.epoch = ? ORDER BY f.position",
+                (epoch,),
+            )
+        ]
+
+    def sources_up_to_batch(self, batch_id: int) -> list[SourceId]:
+        """Sources known once ``batch_id`` had committed, in order."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT source_id FROM sources WHERE batch_id <= ? "
+                "ORDER BY position",
+                (batch_id,),
+            )
+        ]
+
+    def votes_on(self, fact: FactId) -> list[tuple[SourceId, str]]:
+        """``(source, symbol)`` votes on ``fact``, in source order."""
+        return [
+            (row[0], row[1])
+            for row in self._conn.execute(
+                "SELECT v.source_id, v.vote FROM votes v "
+                "JOIN sources s ON s.source_id = v.source_id "
+                "WHERE v.fact_id = ? ORDER BY s.position",
+                (fact,),
+            )
+        ]
+
+    def max_batch_id(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(batch_id), 0) FROM ingest_log"
+        ).fetchone()
+        return int(row[0])
+
+    def list_epochs(self) -> list[dict]:
+        return [
+            dict(row)
+            for row in self._conn.execute("SELECT * FROM epochs ORDER BY epoch")
+        ]
+
+    def list_batches(self) -> list[dict]:
+        """The append-only ingest log, oldest first (reports parsed)."""
+        batches = []
+        for row in self._conn.execute(
+            "SELECT * FROM ingest_log ORDER BY batch_id"
+        ):
+            record = dict(row)
+            if record.get("report"):
+                record["report"] = json.loads(record["report"])
+            batches.append(record)
+        return batches
+
+    def label_row(self, fact: FactId) -> dict | None:
+        row = self._conn.execute(
+            "SELECT * FROM labels WHERE fact_id = ?", (fact,)
+        ).fetchone()
+        return dict(row) if row is not None else None
+
+    def fact_record(self, fact: FactId) -> dict | None:
+        """Everything the store knows about one fact (the API payload)."""
+        row = self._conn.execute(
+            "SELECT * FROM facts WHERE fact_id = ?", (fact,)
+        ).fetchone()
+        if row is None:
+            return None
+        record = {
+            "fact": fact,
+            "batch_id": row["batch_id"],
+            "truth": None if row["truth"] is None else bool(row["truth"]),
+            "golden": bool(row["golden"]),
+            "votes": {source: symbol for source, symbol in self.votes_on(fact)},
+        }
+        label = self.label_row(fact)
+        if label is None:
+            record["status"] = "pending"
+        else:
+            record.update(
+                status="corroborated",
+                probability=label["probability"],
+                label=bool(label["label"]),
+                flipped=bool(label["flipped"]),
+                epoch=label["epoch"],
+                time_point=label.get("time_point"),
+            )
+        return record
+
+    def source_record(self, source: SourceId) -> dict | None:
+        """Current trust plus the full trajectory of one source."""
+        row = self._conn.execute(
+            "SELECT * FROM sources WHERE source_id = ?", (source,)
+        ).fetchone()
+        if row is None:
+            return None
+        trajectory = [
+            r[0]
+            for r in self._conn.execute(
+                "SELECT trust FROM trust_trajectory WHERE source_id = ? "
+                "ORDER BY time_point",
+                (source,),
+            )
+        ]
+        votes = self._conn.execute(
+            "SELECT COUNT(*) FROM votes WHERE source_id = ?", (source,)
+        ).fetchone()[0]
+        return {
+            "source": source,
+            "batch_id": row["batch_id"],
+            "votes": votes,
+            "trust": trajectory[-1] if trajectory else None,
+            "trajectory": trajectory,
+        }
+
+    def summary(self) -> dict:
+        """One structured overview row (the ``query --summary`` payload)."""
+        state = self.load_session_state()
+        return {
+            "store": str(self.path),
+            "name": self.name,
+            "schema_version": self.schema_version,
+            "epoch": None if state is None else state[0],
+            **self.counts(),
+        }
+
+    # ------------------------------------------------------------------
+    # Refresh persistence
+    # ------------------------------------------------------------------
+    def load_session_state(self) -> tuple[int, dict] | None:
+        """The continuation state of the last committed epoch, if any."""
+        row = self._conn.execute(
+            "SELECT epoch, state FROM session_state WHERE id = 1"
+        ).fetchone()
+        if row is None:
+            return None
+        return int(row["epoch"]), json.loads(row["state"])
+
+    def record_epoch(
+        self,
+        *,
+        epoch: int,
+        action: str,
+        last_batch: int,
+        entropy_mass: float | None,
+        labels: Iterable[dict],
+        trajectory: Iterable[Mapping[SourceId, float]],
+        state: dict,
+        time_points: int,
+    ) -> None:
+        """Persist one refresh epoch's output in a single transaction.
+
+        Writes the new ``labels`` rows, replaces the trust trajectory with
+        the epoch's full history, appends the ``epochs`` row and upserts
+        the continuation ``session_state`` — atomically, so a kill between
+        refresh and commit leaves the previous epoch fully intact (the
+        SQLite transaction is the store's
+        :func:`~repro.resilience.atomic.atomic_write_text`).
+        """
+        label_rows = list(labels)
+        with self._conn:
+            for row in label_rows:
+                self._conn.execute(
+                    "INSERT INTO labels (fact_id, probability, label, flipped, "
+                    "epoch, time_point) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        row["fact"],
+                        row["probability"],
+                        int(row["label"]),
+                        int(row["flipped"]),
+                        epoch,
+                        row["time_point"],
+                    ),
+                )
+            self._conn.execute("DELETE FROM trust_trajectory")
+            for time_point, vector in enumerate(trajectory):
+                self._conn.executemany(
+                    "INSERT INTO trust_trajectory (time_point, source_id, trust) "
+                    "VALUES (?, ?, ?)",
+                    [(time_point, s, float(t)) for s, t in vector.items()],
+                )
+            self._conn.execute(
+                "INSERT INTO epochs (epoch, last_batch, action, facts, "
+                "time_points, entropy_mass, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    epoch,
+                    last_batch,
+                    action,
+                    len(label_rows),
+                    time_points,
+                    entropy_mass,
+                    _utc_now(),
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO session_state (id, epoch, state) VALUES (1, ?, ?) "
+                "ON CONFLICT(id) DO UPDATE SET epoch=excluded.epoch, "
+                "state=excluded.state",
+                (epoch, json.dumps(state, separators=(",", ":"))),
+            )
+
+    def trajectory_rows(self) -> list[dict[SourceId, float]]:
+        """The stored trust trajectory as per-time-point vectors."""
+        rows: dict[int, dict[SourceId, float]] = {}
+        for row in self._conn.execute(
+            "SELECT tt.time_point, tt.source_id, tt.trust FROM trust_trajectory "
+            "tt JOIN sources s ON s.source_id = tt.source_id "
+            "ORDER BY tt.time_point, s.position"
+        ):
+            rows.setdefault(row["time_point"], {})[row["source_id"]] = row["trust"]
+        return [rows[tp] for tp in sorted(rows)]
+
+    def labels_map(self) -> dict[FactId, dict]:
+        """All label rows keyed by fact (bit-identity comparisons)."""
+        return {
+            row["fact_id"]: dict(row)
+            for row in self._conn.execute("SELECT * FROM labels")
+        }

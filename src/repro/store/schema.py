@@ -1,0 +1,196 @@
+"""SQLite schema of the persistent vote ledger, with forward migrations.
+
+The store keeps the full corroboration state of one problem instance on
+disk: the vote matrix (``sources`` / ``facts`` / ``votes``), ground truth
+and golden-set membership (columns of ``facts``), the per-fact verdicts
+(``labels``), the multi-value trust trajectory (``trust_trajectory``),
+the epoch history that partitions facts by the refresh that evaluated
+them (``epochs``), the serialized continuation state of the live session
+(``session_state``), and — crucially — an append-only ``ingest_log``.
+Every source, fact and vote carries the ``batch_id`` that introduced it,
+and every label carries the ``epoch`` that produced it, so any verdict is
+traceable back to the exact batch of evidence it rests on, and a full
+recompute can *replay* the log batch-for-batch (see
+``docs/serving.md`` for the epoch-replay semantics).
+
+Registration order matters to the algorithm (fact-group order and argmax
+tie breaks follow it), so ``sources`` and ``facts`` carry an explicit
+``position`` rowid and every export reads ``ORDER BY position`` — a
+round-trip through the store preserves :class:`~repro.model.dataset
+.Dataset` exactly, list order included.
+
+Versioning: ``meta.schema_version`` records the layout; opening an older
+store applies the statements in :data:`MIGRATIONS` in version order
+inside one transaction, opening a newer store refuses (downgrades cannot
+be safe for a format that encodes algorithm state).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Current layout version (see :data:`MIGRATIONS` for history).
+SCHEMA_VERSION = 2
+
+#: ``meta.format`` marker distinguishing our stores from arbitrary SQLite
+#: files a caller might point us at by mistake.
+STORE_FORMAT = "repro-vote-ledger"
+
+#: DDL of the version-1 layout (kept verbatim so migration tests can build
+#: a genuine old store; never edit historically shipped statements).
+_DDL_V1: tuple[str, ...] = (
+    """
+    CREATE TABLE meta (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE ingest_log (
+        batch_id INTEGER PRIMARY KEY AUTOINCREMENT,
+        kind TEXT NOT NULL CHECK (kind IN ('import', 'votes')),
+        created_at TEXT NOT NULL,
+        rows_read INTEGER NOT NULL DEFAULT 0,
+        rows_kept INTEGER NOT NULL DEFAULT 0,
+        report TEXT
+    )
+    """,
+    """
+    CREATE TABLE sources (
+        position INTEGER PRIMARY KEY AUTOINCREMENT,
+        source_id TEXT NOT NULL UNIQUE,
+        batch_id INTEGER NOT NULL REFERENCES ingest_log(batch_id)
+    )
+    """,
+    """
+    CREATE TABLE facts (
+        position INTEGER PRIMARY KEY AUTOINCREMENT,
+        fact_id TEXT NOT NULL UNIQUE,
+        truth INTEGER CHECK (truth IN (0, 1)),
+        golden INTEGER NOT NULL DEFAULT 0 CHECK (golden IN (0, 1)),
+        batch_id INTEGER NOT NULL REFERENCES ingest_log(batch_id)
+    )
+    """,
+    """
+    CREATE TABLE votes (
+        fact_id TEXT NOT NULL REFERENCES facts(fact_id),
+        source_id TEXT NOT NULL REFERENCES sources(source_id),
+        vote TEXT NOT NULL CHECK (vote IN ('T', 'F')),
+        batch_id INTEGER NOT NULL REFERENCES ingest_log(batch_id),
+        PRIMARY KEY (fact_id, source_id)
+    )
+    """,
+    """
+    CREATE TABLE labels (
+        fact_id TEXT PRIMARY KEY REFERENCES facts(fact_id),
+        probability REAL NOT NULL,
+        label INTEGER NOT NULL CHECK (label IN (0, 1)),
+        flipped INTEGER NOT NULL DEFAULT 0 CHECK (flipped IN (0, 1)),
+        epoch INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE trust_trajectory (
+        time_point INTEGER NOT NULL,
+        source_id TEXT NOT NULL REFERENCES sources(source_id),
+        trust REAL NOT NULL,
+        PRIMARY KEY (time_point, source_id)
+    )
+    """,
+    """
+    CREATE TABLE epochs (
+        epoch INTEGER PRIMARY KEY,
+        last_batch INTEGER NOT NULL REFERENCES ingest_log(batch_id),
+        action TEXT NOT NULL CHECK (action IN ('full', 'incremental')),
+        facts INTEGER NOT NULL,
+        time_points INTEGER NOT NULL,
+        entropy_mass REAL,
+        created_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE session_state (
+        id INTEGER PRIMARY KEY CHECK (id = 1),
+        epoch INTEGER NOT NULL,
+        state TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_facts_batch ON facts(batch_id)",
+    "CREATE INDEX idx_votes_batch ON votes(batch_id)",
+)
+
+#: Forward migrations: statements that take a store *from* the keyed
+#: version to the next one.  Applied in version order by :func:`migrate`.
+#:
+#: * 1 → 2: ``labels.time_point`` records t(f) — the time point Definition
+#:   1 evaluated the fact at — so ``query --fact`` can cite it without
+#:   replaying the trajectory; plus the by-source vote index the serving
+#:   queries use.
+MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        "ALTER TABLE labels ADD COLUMN time_point INTEGER",
+        "CREATE INDEX idx_votes_source ON votes(source_id)",
+    ),
+}
+
+
+def create_schema(conn: sqlite3.Connection, version: int = SCHEMA_VERSION) -> None:
+    """Create the schema at ``version`` (default: current) on a fresh DB.
+
+    Building from the v1 DDL plus recorded migrations guarantees a freshly
+    created store and a migrated old store have the identical layout —
+    there is exactly one path to the current schema.
+    """
+    if version < 1 or version > SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version}")
+    for statement in _DDL_V1:
+        conn.execute(statement)
+    for from_version in range(1, version):
+        for statement in MIGRATIONS[from_version]:
+            conn.execute(statement)
+    conn.execute(
+        "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+        (str(version),),
+    )
+    conn.execute(
+        "INSERT INTO meta (key, value) VALUES ('format', ?)", (STORE_FORMAT,)
+    )
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The ``meta.schema_version`` of an existing store."""
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        raise ValueError("store has no schema_version in meta")
+    return int(row[0])
+
+
+def migrate(conn: sqlite3.Connection) -> int:
+    """Bring an opened store forward to :data:`SCHEMA_VERSION`.
+
+    Returns the number of version steps applied (0 when already current).
+    All steps run in one transaction: a kill mid-migration leaves the old
+    version intact, never a half-migrated layout.  A store *newer* than
+    this code raises ``ValueError``.
+    """
+    current = schema_version(conn)
+    if current > SCHEMA_VERSION:
+        raise ValueError(
+            f"store schema version {current} is newer than this library "
+            f"supports ({SCHEMA_VERSION}); upgrade the library instead"
+        )
+    if current == SCHEMA_VERSION:
+        return 0
+    steps = 0
+    with conn:
+        for from_version in range(current, SCHEMA_VERSION):
+            for statement in MIGRATIONS[from_version]:
+                conn.execute(statement)
+            steps += 1
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
+    return steps

@@ -1,0 +1,364 @@
+"""Corroboration service: refresh-policy bit-identity, HTTP API, CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datasets import generate_hubdub_like, generate_restaurants
+from repro.model.dataset import Dataset
+from repro.obs import make_obs, validate_runlog_file
+from repro.resilience.errors import STALE_FACT, IngestError
+from repro.serve import (
+    CorroborationService,
+    RefreshDecision,
+    make_server,
+)
+from repro.store import LedgerError, VoteLedger
+
+
+def vote_rows(dataset: Dataset, facts: list[str]) -> list[tuple[str, str, str]]:
+    return [
+        (fact, source, vote.value)
+        for fact in facts
+        for source, vote in sorted(dataset.matrix.votes_on(fact).items())
+    ]
+
+
+def split_facts(dataset: Dataset, batches: int) -> list[list[str]]:
+    """Base chunk (~60%) plus ``batches`` delta chunks over the rest."""
+    facts = dataset.matrix.facts
+    base = int(len(facts) * 0.6)
+    rest = facts[base:]
+    size = max(1, len(rest) // batches)
+    chunks = [facts[:base]]
+    for i in range(batches):
+        chunk = rest[i * size :] if i == batches - 1 else rest[i * size : (i + 1) * size]
+        if chunk:
+            chunks.append(chunk)
+    return chunks
+
+
+def drive(tmp_path, dataset, policy, *, tag, engine=True, **kwargs):
+    """Stream the dataset into a fresh store under one refresh policy."""
+    ledger = VoteLedger(tmp_path / f"{tag}.db")
+    chunks = split_facts(dataset, batches=3)
+    ledger.ingest_votes(vote_rows(dataset, chunks[0]))
+    service = CorroborationService(
+        ledger, refresh=policy, engine=engine, **kwargs
+    )
+    decisions = [service.refresh()]
+    for chunk in chunks[1:]:
+        _, decision = service.apply_votes(vote_rows(dataset, chunk))
+        decisions.append(decision)
+    return ledger, service, decisions
+
+
+def stored_state(ledger: VoteLedger):
+    labels = {
+        fact: (row["probability"], row["label"], row["flipped"], row["time_point"])
+        for fact, row in ledger.labels_map().items()
+    }
+    return labels, ledger.trajectory_rows()
+
+
+SMALL_RESTAURANTS = generate_restaurants(
+    num_facts=150,
+    golden_true=6,
+    golden_false=4,
+    golden_false_with_f_votes=2,
+    seed=7,
+).dataset
+SMALL_HUBDUB = generate_hubdub_like(
+    num_questions=12, num_users=20, num_answer_facts=30, seed=5
+).questions.to_dataset()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: incremental == full, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "dataset",
+    [SMALL_RESTAURANTS, SMALL_HUBDUB],
+    ids=["restaurants", "hubdub-like"],
+)
+def test_incremental_bit_identical_to_full(tmp_path, dataset):
+    """Same vote stream, full replay vs warm continuation: identical
+    labels, probabilities, time points and trust trajectories."""
+    led_full, _, dec_full = drive(tmp_path, dataset, "full", tag="full")
+    led_inc, _, dec_inc = drive(tmp_path, dataset, "incremental", tag="inc")
+    assert [d.action for d in dec_full] == ["full"] * len(dec_full)
+    assert [d.action for d in dec_inc][1:] == ["incremental"] * (len(dec_inc) - 1)
+    labels_full, trajectory_full = stored_state(led_full)
+    labels_inc, trajectory_inc = stored_state(led_inc)
+    assert labels_full == labels_inc  # exact — no tolerance
+    assert trajectory_full == trajectory_inc
+    assert set(labels_full) == set(dataset.matrix.facts)
+    led_full.close()
+    led_inc.close()
+
+
+def test_entropy_policy_matches_and_escalates(tmp_path):
+    dataset = SMALL_RESTAURANTS
+    led_inc, _, _ = drive(tmp_path, dataset, "incremental", tag="i2")
+    # generous threshold: never escalates, behaves like incremental
+    led_lazy, _, dec_lazy = drive(
+        tmp_path, dataset, "entropy", tag="lazy", entropy_threshold=1e9
+    )
+    assert [d.action for d in dec_lazy][1:] == ["incremental"] * (
+        len(dec_lazy) - 1
+    )
+    assert all(
+        d.entropy_mass is not None and d.entropy_mass < 1e9
+        for d in dec_lazy[1:]
+    )
+    # zero threshold: every batch escalates to a verified full replay
+    led_eager, _, dec_eager = drive(
+        tmp_path, dataset, "entropy", tag="eager", entropy_threshold=0.0
+    )
+    assert [d.action for d in dec_eager][1:] == ["full"] * (len(dec_eager) - 1)
+    assert stored_state(led_lazy) == stored_state(led_inc)
+    assert stored_state(led_eager) == stored_state(led_inc)
+    led_inc.close()
+    led_lazy.close()
+    led_eager.close()
+
+
+def test_scalar_backend_bit_identical(tmp_path):
+    dataset = SMALL_HUBDUB
+    led_engine, _, _ = drive(tmp_path, dataset, "incremental", tag="eng")
+    led_scalar, _, _ = drive(
+        tmp_path, dataset, "incremental", tag="sca", engine=False
+    )
+    assert stored_state(led_engine) == stored_state(led_scalar)
+    led_engine.close()
+    led_scalar.close()
+
+
+def test_new_sources_in_later_epochs(tmp_path):
+    """Sources first seen mid-stream enter with λ and the epoch-0 prior."""
+    ledger = VoteLedger(tmp_path / "s.db")
+    service = CorroborationService(ledger, refresh="incremental")
+    service.apply_votes([("f1", "s1", "T"), ("f2", "s1", "F"), ("f2", "s2", "T")])
+    service.apply_votes([("f3", "s3", "T"), ("f4", "s3", "T"), ("f4", "s1", "T")])
+    assert service.verify() == 4  # replay agrees with the stored labels
+    trust = ledger.source_record("s3")
+    assert trust is not None and trust["trust"] is not None
+    ledger.close()
+
+
+def test_verify_detects_tampering(tmp_path):
+    ledger = VoteLedger(tmp_path / "s.db")
+    service = CorroborationService(ledger)
+    service.apply_votes(vote_rows(SMALL_RESTAURANTS, SMALL_RESTAURANTS.matrix.facts[:40]))
+    ledger._conn.execute(
+        "UPDATE labels SET probability = probability + 0.25 "
+        "WHERE fact_id = (SELECT fact_id FROM labels LIMIT 1)"
+    )
+    ledger._conn.commit()
+    with pytest.raises(LedgerError, match="replay mismatch"):
+        service.verify()
+    ledger.close()
+
+
+def test_refresh_with_nothing_pending_is_a_noop(tmp_path):
+    ledger = VoteLedger(tmp_path / "s.db")
+    service = CorroborationService(ledger)
+    decision = service.refresh()
+    assert isinstance(decision, RefreshDecision)
+    assert decision.action == "none"
+    assert decision.dirty_facts == 0
+    assert ledger.counts()["epochs"] == 0
+    ledger.close()
+
+
+def test_stale_votes_rejected_through_service(tmp_path):
+    ledger = VoteLedger(tmp_path / "s.db")
+    service = CorroborationService(ledger)
+    service.apply_votes([("f1", "s1", "T")])
+    with pytest.raises(IngestError) as excinfo:
+        service.apply_votes([("f1", "s2", "F")])
+    assert excinfo.value.reason == STALE_FACT
+    # the failed batch committed nothing — labels and epochs unchanged
+    assert ledger.counts()["epochs"] == 1
+    ledger.close()
+
+
+def test_service_runlog_records_validate(tmp_path):
+    """ingest_batch / refresh / serve_request records pass the schema."""
+    obs = make_obs(runlog=tmp_path / "serve.jsonl")
+    ledger = VoteLedger(tmp_path / "s.db", obs=obs)
+    service = CorroborationService(ledger, obs=obs)
+    service.apply_votes([("f1", "s1", "T"), ("f2", "s1", "F")])
+    server = make_server(service, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=5
+        ) as response:
+            assert response.status == 200
+    finally:
+        server.shutdown()
+        server.server_close()
+    obs.close()
+    ledger.close()
+    records = {"ingest_batch", "refresh", "serve_request"}
+    import json as _json
+
+    kinds = {
+        _json.loads(line)["kind"]
+        for line in (tmp_path / "serve.jsonl").read_text().splitlines()
+    }
+    assert records <= kinds
+    validate_runlog_file(tmp_path / "serve.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# HTTP API
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def http_service(tmp_path):
+    ledger = VoteLedger(tmp_path / "s.db")
+    service = CorroborationService(ledger)
+    service.apply_votes(
+        [("f1", "s1", "T"), ("f1", "s2", "T"), ("f2", "s1", "F")]
+    )
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    ledger.close()
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_http_healthz_and_metrics(http_service):
+    status, health = get_json(f"{http_service}/healthz")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["pending"] == 0
+    status, metrics = get_json(f"{http_service}/metrics")
+    assert status == 200
+    assert "metrics" in metrics
+
+
+def test_http_fact_and_source(http_service):
+    status, fact = get_json(f"{http_service}/facts/f1")
+    assert status == 200
+    assert fact["status"] == "corroborated"
+    assert fact["label"] is True
+    assert fact["votes"] == {"s1": "T", "s2": "T"}
+    status, source = get_json(f"{http_service}/sources/s1/trust")
+    assert status == 200
+    assert source["votes"] == 2
+    assert len(source["trajectory"]) >= 2
+
+
+def test_http_post_votes_and_refresh(http_service):
+    status, body = post_json(
+        f"{http_service}/votes",
+        {"votes": [{"fact": "f3", "source": "s2", "vote": "T"}]},
+    )
+    assert status == 200
+    assert body["new_facts"] == ["f3"]
+    assert body["refresh"]["action"] == "incremental"
+    status, fact = get_json(f"{http_service}/facts/f3")
+    assert fact["status"] == "corroborated"
+
+
+def test_http_errors(http_service):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        get_json(f"{http_service}/facts/nope")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post_json(f"{http_service}/votes", {"nope": 1})
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        # stale vote on the already-labelled f1 → typed 400
+        post_json(
+            f"{http_service}/votes",
+            {"votes": [{"fact": "f1", "source": "s9", "vote": "T"}]},
+        )
+    assert excinfo.value.code == 400
+    assert json.loads(excinfo.value.read())["reason"] == STALE_FACT
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_ingest_query_roundtrip(tmp_path, capsys):
+    from repro.model.io import save_dataset
+
+    dataset = SMALL_HUBDUB
+    save_dataset(dataset, tmp_path / "d.json")
+    store = str(tmp_path / "s.db")
+    assert (
+        cli_main(
+            [
+                "ingest",
+                "--store",
+                store,
+                "--dataset",
+                str(tmp_path / "d.json"),
+                "--refresh",
+                "incremental",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "batch 1 (import)" in out
+    assert '"action": "full"' in out  # first epoch is always a full run
+
+    assert cli_main(["query", "--store", store, "--summary"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["facts"] == dataset.matrix.num_facts
+    assert summary["pending"] == 0
+
+    fact = dataset.matrix.facts[0]
+    assert cli_main(["query", "--store", store, "--fact", fact]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["status"] == "corroborated"
+
+    assert cli_main(["query", "--store", store, "--fact", "missing"]) == 1
+
+
+def test_cli_ingest_votes_csv(tmp_path, capsys):
+    from repro.model.io import write_votes_csv
+
+    write_votes_csv(SMALL_HUBDUB, tmp_path / "v.csv")
+    store = str(tmp_path / "s.db")
+    assert (
+        cli_main(["ingest", "--store", store, "--votes", str(tmp_path / "v.csv")])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "batch 1 (votes)" in out
+    assert cli_main(["query", "--store", store, "--summary"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["votes"] == sum(
+        len(SMALL_HUBDUB.matrix.votes_on(f)) for f in SMALL_HUBDUB.matrix.facts
+    )
+    assert summary["pending"] == summary["facts"]  # --refresh none default
