@@ -22,6 +22,10 @@ Commands:
 logger verbosity; progress goes to stderr, results stay on stdout).  See
 ``docs/observability.md``.
 
+``experiment`` additionally takes ``--workers N`` to shard the run over a
+``spawn`` process pool (0 = CPU count); every worker count produces
+bit-identical tables — see ``docs/parallelism.md``.
+
 Both also take ``--on-error {strict,skip,quarantine}`` (malformed-input
 policy for ``corroborate``; failing-method isolation for ``experiment``),
 and ``corroborate`` supports crash-safe checkpointing of the session-based
@@ -215,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="dataset-size multiplier for the heavy experiments",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the experiment over N spawn workers (0 = CPU count); "
+            "results are bit-identical for every N — see docs/parallelism.md"
+        ),
     )
     _add_on_error_arg(experiment)
     _add_obs_args(experiment)
@@ -480,9 +494,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     supervision: Supervision = (
         FAIL_FAST if args.on_error == "strict" else SUPERVISED
     )
+    workers = args.workers
+    if workers is not None and workers < 0:
+        print("experiment: --workers must be >= 0", file=sys.stderr)
+        return 2
     with obs.tracer.span("experiment", experiment=args.name, scale=args.scale):
         if args.name == "table2":
-            rows = experiments.table2(obs=obs, supervision=supervision)
+            rows = experiments.table2(
+                obs=obs, supervision=supervision, workers=workers
+            )
         elif args.name == "table3":
             world = experiments.build_world(
                 num_facts=max(100, int(36_916 * args.scale))
@@ -494,7 +514,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             _finish_obs(args, obs)
             return 0
         elif args.name == "table7":
-            rows = experiments.table7(obs=obs, supervision=supervision)
+            rows = experiments.table7(
+                obs=obs, supervision=supervision, workers=workers
+            )
         else:
             num_facts = max(200, int(20_000 * args.scale))
             builder = {
@@ -502,7 +524,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "figure3b": experiments.figure3b,
                 "figure3c": experiments.figure3c,
             }[args.name]
-            rows = builder(num_facts=num_facts, obs=obs, supervision=supervision)
+            rows = builder(
+                num_facts=num_facts,
+                obs=obs,
+                supervision=supervision,
+                workers=workers,
+            )
     print(render_table(rows, title=args.name, float_digits=3))
     _finish_obs(args, obs)
     return 0

@@ -61,6 +61,10 @@ DEFAULT_OUTPUT = "BENCH_core.json"
 SERVE_SCHEMA_VERSION = 1
 DEFAULT_SERVE_OUTPUT = "BENCH_serve.json"
 
+#: Schema / default output of the parallel-scaling benchmark (``--parallel``).
+PARALLEL_SCHEMA_VERSION = 1
+DEFAULT_PARALLEL_OUTPUT = "BENCH_parallel.json"
+
 
 @dataclasses.dataclass
 class BenchRecord:
@@ -460,6 +464,180 @@ def write_serve_bench(
     return payload
 
 
+# ---------------------------------------------------------------------------
+# Parallel-scaling benchmark (BENCH_parallel.json)
+# ---------------------------------------------------------------------------
+def measure_sweep_workers(
+    workers: int | None,
+    num_facts: int,
+    source_counts: list[int],
+    repeats: int,
+    sweep_repeats: int,
+) -> dict:
+    """Time the Figure 3(a) synthetic sweep at one worker count.
+
+    ``workers=None`` is the historical serial loop (the baseline);
+    explicit counts go through the :class:`~repro.parallel.ShardRunner`
+    ``spawn`` pool.  Returns the timing record plus the sweep rows so the
+    caller can assert worker-count invariance of the results themselves.
+    """
+    import time
+
+    from repro.experiments.synthetic_exp import figure3a
+
+    best: tuple[float, list[dict]] | None = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        rows = figure3a(
+            num_facts=num_facts,
+            source_counts=source_counts,
+            repeats=sweep_repeats,
+            bayes_burn_in=5,
+            bayes_samples=10,
+            workers=workers,
+        )
+        seconds = time.perf_counter() - started
+        if best is None or seconds < best[0]:
+            best = (seconds, rows)
+    assert best is not None
+    seconds, rows = best
+    return {
+        "mode": "serial" if workers is None else "sharded",
+        "workers": 0 if workers is None else workers,
+        "cells": len(source_counts) * sweep_repeats,
+        "num_facts": num_facts,
+        "sweep_repeats": sweep_repeats,
+        "repeats": repeats,
+        "seconds": round(seconds, 6),
+        "_rows": rows,  # stripped before serialisation
+    }
+
+
+def run_parallel_bench(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    quick: bool = False,
+) -> dict:
+    """Serial vs N-worker synthetic sweep; the BENCH_parallel.json payload.
+
+    The payload records the host's ``cpu_count`` because the speedups are
+    only meaningful relative to it: on a 1-core container the pooled runs
+    *cannot* beat serial (they pay spawn overhead for no extra hardware),
+    so consumers — ``benchmarks/test_bench_parallel.py`` and the CI gate —
+    assert the ≥2x@4-workers floor only when ``cpu_count >= 4``.
+    ``summary.identical_rows`` asserts the worker-count-invariance
+    contract on every host: all runs, serial included, must produce
+    exactly equal sweep rows.
+    """
+    import os
+
+    if quick:
+        num_facts, source_counts, sweep_repeats = 300, [4, 6], 2
+    else:
+        # Paper-scale cells (20k facts, Sec 6.3.1): each cell runs about a
+        # second, so the pool's spawn overhead amortises and the measured
+        # scaling reflects the work, not interpreter start-up.
+        num_facts, source_counts, sweep_repeats = 20_000, [4, 6, 8, 10], 2
+    records = [
+        measure_sweep_workers(
+            None, num_facts, source_counts, repeats, sweep_repeats
+        )
+    ]
+    for workers in worker_counts:
+        records.append(
+            measure_sweep_workers(
+                workers, num_facts, source_counts, repeats, sweep_repeats
+            )
+        )
+    serial = records[0]
+    identical = all(r["_rows"] == serial["_rows"] for r in records)
+    summary: dict = {
+        "identical_rows": identical,
+        "serial_seconds": serial["seconds"],
+        "speedups": {
+            str(r["workers"]): round(serial["seconds"] / r["seconds"], 2)
+            if r["seconds"] > 0
+            else None
+            for r in records[1:]
+        },
+    }
+    for record in records:
+        record.pop("_rows")
+    return {
+        "schema_version": PARALLEL_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "records": records,
+        "summary": summary,
+    }
+
+
+def validate_parallel_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid parallel bench.
+
+    Shape and invariance only: the speedup *floor* is asserted by the
+    consumers (benchmark test / CI), gated on the recorded ``cpu_count``,
+    because a valid file produced on a small host legitimately shows < 1x.
+    """
+    if payload.get("schema_version") != PARALLEL_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    if not isinstance(payload.get("cpu_count"), int) or payload["cpu_count"] < 1:
+        raise ValueError("cpu_count must be a positive integer")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("records must be a non-empty list")
+    required = {
+        "mode": str,
+        "workers": int,
+        "cells": int,
+        "num_facts": int,
+        "sweep_repeats": int,
+        "repeats": int,
+        "seconds": float,
+    }
+    seen: set[tuple[str, int]] = set()
+    for i, record in enumerate(records):
+        for key, kind in required.items():
+            if not isinstance(record.get(key), kind):
+                raise ValueError(f"records[{i}].{key} is not a {kind.__name__}")
+        if record["mode"] not in ("serial", "sharded"):
+            raise ValueError(f"records[{i}].mode is {record['mode']!r}")
+        if record["seconds"] < 0:
+            raise ValueError(f"records[{i}].seconds is negative")
+        seen.add((record["mode"], record["workers"]))
+    if ("serial", 0) not in seen:
+        raise ValueError("missing the serial baseline record")
+    for workers in (2, 4):
+        if ("sharded", workers) not in seen:
+            raise ValueError(f"missing the {workers}-worker record")
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("summary is missing")
+    if summary.get("identical_rows") is not True:
+        raise ValueError(
+            "summary.identical_rows is not true — worker-count invariance "
+            "broke"
+        )
+    if not isinstance(summary.get("speedups"), dict):
+        raise ValueError("summary.speedups is missing")
+
+
+def write_parallel_bench(
+    path: str | pathlib.Path = DEFAULT_PARALLEL_OUTPUT,
+    repeats: int = 1,
+    quick: bool = False,
+) -> dict:
+    """Run the parallel bench and write ``path``; returns the payload."""
+    payload = run_parallel_bench(repeats=repeats, quick=quick)
+    validate_parallel_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=None)
@@ -477,7 +655,39 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"ledger) and write {DEFAULT_SERVE_OUTPUT} instead"
         ),
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help=(
+            "run the parallel-scaling benchmark (serial vs sharded "
+            f"synthetic sweep) and write {DEFAULT_PARALLEL_OUTPUT} instead"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.parallel:
+        output = args.output or DEFAULT_PARALLEL_OUTPUT
+        payload = write_parallel_bench(
+            output,
+            repeats=args.repeats if args.repeats is not None else 1,
+            quick=args.quick,
+        )
+        for record in payload["records"]:
+            label = (
+                "serial"
+                if record["mode"] == "serial"
+                else f"{record['workers']} workers"
+            )
+            print(
+                f"{label:>12s}  {record['seconds']*1000:10.1f} ms  "
+                f"({record['cells']} cells)"
+            )
+        print(
+            f"cpu_count {payload['cpu_count']}  "
+            f"speedups {payload['summary']['speedups']}  "
+            f"identical_rows {payload['summary']['identical_rows']}"
+        )
+        print(f"wrote {output} ({len(payload['records'])} records)")
+        return 0
     if args.serve:
         output = args.output or DEFAULT_SERVE_OUTPUT
         payload = write_serve_bench(

@@ -36,6 +36,12 @@ from repro.core.result import CorroborationResult, Corroborator
 from repro.eval.metrics import evaluate_result, quality_row, trust_mse_for
 from repro.model.dataset import Dataset
 from repro.obs import NULL_OBS, Obs, SpanTracer, get_logger
+from repro.parallel.shards import (
+    CellOutcome,
+    DatasetSpec,
+    ShardRunner,
+    resolve_dataset,
+)
 from repro.resilience.atomic import atomic_write_text
 from repro.resilience.supervisor import (
     SUPERVISED,
@@ -172,20 +178,110 @@ def _run_supervised(
     return MethodRun(method=method.name, result=result, seconds=span.duration_s)
 
 
+def _method_cell(payload: tuple, obs: Obs) -> MethodRun:
+    """One sharded cell: a single method over the (materialised) dataset.
+
+    Module-level so the ``spawn`` pool can import it by reference.  The
+    payload dataset may be a :class:`~repro.parallel.DatasetSpec`; it is
+    materialised here, on the worker's side of the process boundary, so
+    live resources (an open SQLite ledger) never cross it.
+    """
+    method, dataset, supervision = payload
+    dataset = resolve_dataset(dataset)
+    tracer = obs.tracer if obs.tracer.enabled else SpanTracer()
+    return _run_supervised(method, dataset, obs, tracer, supervision)
+
+
+def _cell_failure_run(outcome: CellOutcome, method_name: str) -> MethodRun:
+    """A MethodRun failure row for a cell that died outside the supervisor
+    (worker crash, unpicklable payload, broken pool)."""
+    return MethodRun(
+        method=method_name,
+        result=None,
+        seconds=outcome.seconds,
+        error=outcome.error,
+        error_type=outcome.error_type,
+    )
+
+
+def _run_methods_sharded(
+    methods: Sequence[Corroborator],
+    dataset: Dataset | DatasetSpec,
+    obs: Obs,
+    supervision: Supervision,
+    directory: pathlib.Path | None,
+    resume: bool,
+    workers: int,
+) -> list[MethodRun]:
+    """The ``workers=N`` path of :func:`run_methods`: one cell per method.
+
+    All explicit worker counts — including ``workers=1`` — go through the
+    same :class:`~repro.parallel.ShardRunner` code path, so the merged
+    ledger and the outcome list are identical for any ``N`` (the
+    worker-count-invariance contract the parallel test suite pins).
+    """
+    runs: list[MethodRun | None] = [None] * len(methods)
+    payloads: list[tuple] = []
+    labels: list[str] = []
+    cell_slots: list[int] = []
+    for slot, method in enumerate(methods):
+        if directory is not None and resume:
+            cached = _cached_run(directory, method.name)
+            if cached is not None:
+                _LOG.info("%s: cached result found, skipping", method.name)
+                runs[slot] = cached
+                continue
+        # Workers rebind obs in-process; live parent sinks must not ride
+        # along in the pickle.
+        method.obs = NULL_OBS
+        payloads.append((method, dataset, supervision))
+        labels.append(method.name)
+        cell_slots.append(slot)
+    if payloads:
+        runner = ShardRunner(
+            workers=workers,
+            isolate_errors=supervision.isolate_errors,
+            obs=obs,
+            label="harness",
+        )
+        outcomes = runner.run(_method_cell, payloads, labels=labels)
+        for outcome, slot in zip(outcomes, cell_slots):
+            if outcome.failed:
+                run = _cell_failure_run(outcome, methods[slot].name)
+                if obs.enabled:
+                    obs.metrics.inc("harness.method_failures")
+                    obs.runlog.emit(
+                        "method_failure",
+                        method=run.method,
+                        error_type=run.error_type,
+                        error=run.error,
+                        seconds=run.seconds,
+                    )
+            else:
+                run = outcome.value
+            if directory is not None and run.ok:
+                _cache_run(directory, run)
+            runs[slot] = run
+    return [run for run in runs if run is not None]
+
+
 def run_methods(
     methods: Sequence[Corroborator],
-    dataset: Dataset,
+    dataset: Dataset | DatasetSpec,
     obs: Obs = NULL_OBS,
     *,
     supervision: Supervision = SUPERVISED,
     checkpoint_dir: str | pathlib.Path | None = None,
     resume: bool = False,
+    workers: int | None = None,
 ) -> list[MethodRun]:
     """Run every corroborator on the dataset, span-timing each.
 
     Args:
         methods: corroborators to run, in order.
-        dataset: the dataset every method runs on.
+        dataset: the dataset every method runs on, or a
+            :class:`~repro.parallel.DatasetSpec` reference materialised
+            lazily (inside each worker under ``workers=N``).
         obs: observability bundle.  Each method runs under a
             ``harness.method`` span and with ``method.obs`` temporarily set
             to the bundle, so its internal spans / metrics / ledger records
@@ -201,12 +297,24 @@ def run_methods(
             written here (crash-safely) as it completes.
         resume: with ``checkpoint_dir``, skip methods whose cached result
             is already present — a killed sweep restarts where it left off.
+        workers: ``None`` (default) keeps the historical serial loop.  Any
+            explicit count — including ``1`` — runs each method as a
+            sharded cell through :class:`~repro.parallel.ShardRunner`
+            (``spawn`` pool above 1 worker, inline at 1), with per-shard
+            ledgers merged back in method order under ``shard_start`` /
+            ``shard_merge`` framing.  The outcome rows are identical for
+            every worker count.
     """
-    tracer = obs.tracer if obs.tracer.enabled else SpanTracer()
     directory: pathlib.Path | None = None
     if checkpoint_dir is not None:
         directory = pathlib.Path(checkpoint_dir)
         directory.mkdir(parents=True, exist_ok=True)
+    if workers is not None:
+        return _run_methods_sharded(
+            methods, dataset, obs, supervision, directory, resume, workers
+        )
+    dataset = resolve_dataset(dataset)
+    tracer = obs.tracer if obs.tracer.enabled else SpanTracer()
     runs: list[MethodRun] = []
     for method in methods:
         if directory is not None and resume:

@@ -22,6 +22,7 @@ def table7(
     world: HubdubWorld | None = None,
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
+    workers: int | None = None,
 ) -> list[dict]:
     """Table 7 rows: method → number of errors.
 
@@ -33,7 +34,9 @@ def table7(
     world = world or generate_hubdub_like()
     question_set = world.questions
     dataset = question_set.to_dataset(name="hubdub-like")
-    runs = run_methods(hubdub_methods(), dataset, obs=obs, supervision=supervision)
+    runs = run_methods(
+        hubdub_methods(), dataset, obs=obs, supervision=supervision, workers=workers
+    )
     rows = []
     for run in runs:
         if run.failed:

@@ -21,6 +21,7 @@ def table2(
     dataset: Dataset | None = None,
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
+    workers: int | None = None,
 ) -> list[dict]:
     """Rows of Table 2: P/R/A of the three Section 2 strategies.
 
@@ -35,7 +36,9 @@ def table2(
         BayesEstimate(burn_in=50, samples=150),
         IncEstimate(IncEstHeu()),
     ]
-    runs = run_methods(methods, dataset, obs=obs, supervision=supervision)
+    runs = run_methods(
+        methods, dataset, obs=obs, supervision=supervision, workers=workers
+    )
     rows = []
     for run in runs:
         if run.failed:

@@ -10,6 +10,14 @@ Three accuracy sweeps over the Section 6.3.1 generator:
 The paper uses 20,000 facts per configuration; ``num_facts`` (and
 ``repeats`` for variance reduction) are exposed so tests can run small.
 Each point is the accuracy over all facts.
+
+The sweeps are embarrassingly parallel: each ``(point, seed)`` pair is an
+independent cell.  Pass ``workers=N`` to run them on a ``spawn`` process
+pool (:mod:`repro.parallel`); any explicit worker count — including 1 —
+produces bit-identical rows and a bit-identical merged run ledger, because
+the cell seeds come from the cell's *identity* (``root_seed`` + figure +
+point + repeat, via :func:`repro.parallel.spawn_seeds`), never from the
+schedule.  ``workers=None`` keeps the historical serial loop.
 """
 
 from __future__ import annotations
@@ -21,9 +29,97 @@ from repro.eval.harness import run_methods
 from repro.eval.metrics import evaluate_result
 from repro.experiments.methods import synthetic_methods
 from repro.obs import NULL_OBS, Obs, get_logger
+from repro.parallel import ShardRunner, spawn_seeds
 from repro.resilience.supervisor import SUPERVISED, Supervision
 
 _LOG = get_logger(__name__)
+
+
+def _point_seeds(
+    root_seed: int | None, figure: str, point: object, repeats: int
+) -> list[int]:
+    """Per-repeat dataset seeds for one sweep point.
+
+    With no ``root_seed`` the historical ``0..repeats-1`` seeds are kept
+    (so published numbers do not move); with one, seeds derive from the
+    cell identity and are therefore schedule- and worker-count-independent.
+    """
+    if root_seed is None:
+        return list(range(repeats))
+    component = point if isinstance(point, int) else str(point)
+    return spawn_seeds(root_seed, repeats, figure, component)
+
+
+def _sweep_cell(payload: dict, obs: Obs = NULL_OBS) -> dict:
+    """One ``(point, seed)`` cell: generate the world, run every method.
+
+    Module-level (picklable by reference) so it can run inside a ``spawn``
+    worker; the serial path calls the same function inline.  Returns
+    per-method accuracies plus the isolated failures, never raises under
+    a supervised sweep.
+    """
+    world = generate_synthetic(
+        num_accurate=payload["num_accurate"],
+        num_inaccurate=payload["num_inaccurate"],
+        num_facts=payload["num_facts"],
+        eta=payload["eta"],
+        seed=payload["seed"],
+    )
+    runs = run_methods(
+        synthetic_methods(
+            bayes_burn_in=payload["bayes_burn_in"],
+            bayes_samples=payload["bayes_samples"],
+        ),
+        world.dataset,
+        obs=obs,
+        supervision=payload["supervision"],
+    )
+    accuracies: dict[str, float] = {}
+    failures: dict[str, str] = {}
+    for run in runs:
+        if run.failed:
+            failures[run.method] = run.error_type or "error"
+        else:
+            counts = evaluate_result(run.result, world.dataset)
+            accuracies[run.method] = counts.accuracy
+    return {"accuracies": accuracies, "failures": failures}
+
+
+def _cell_payload(
+    num_accurate: int,
+    num_inaccurate: int,
+    eta: float,
+    num_facts: int,
+    seed: int,
+    bayes_burn_in: int,
+    bayes_samples: int,
+    supervision: Supervision,
+) -> dict:
+    return {
+        "num_accurate": num_accurate,
+        "num_inaccurate": num_inaccurate,
+        "eta": eta,
+        "num_facts": num_facts,
+        "seed": seed,
+        "bayes_burn_in": bayes_burn_in,
+        "bayes_samples": bayes_samples,
+        "supervision": supervision,
+    }
+
+
+def _mean_accuracies(cell_results: list[dict]) -> dict[str, float]:
+    """Mean accuracy per method over one point's cells, in cell order."""
+    totals: dict[str, list[float]] = {}
+    for result in cell_results:
+        for method, error_type in result["failures"].items():
+            _LOG.warning(
+                "%s failed at this sweep point (%s); excluded from the mean",
+                method,
+                error_type,
+            )
+        for method, accuracy in result["accuracies"].items():
+            totals.setdefault(method, []).append(accuracy)
+    return {method: float(np.mean(values)) for method, values in totals.items()}
 
 
 def _accuracy_point(
@@ -37,7 +133,7 @@ def _accuracy_point(
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
 ) -> dict[str, float]:
-    """Mean accuracy per method over the given seeds."""
+    """Mean accuracy per method over the given seeds (serial path)."""
     _LOG.info(
         "sweep point: %d accurate + %d inaccurate sources, eta=%.3f, "
         "%d facts x %d seeds",
@@ -47,33 +143,101 @@ def _accuracy_point(
         num_facts,
         len(seeds),
     )
-    totals: dict[str, list[float]] = {}
-    for seed in seeds:
-        world = generate_synthetic(
-            num_accurate=num_accurate,
-            num_inaccurate=num_inaccurate,
-            num_facts=num_facts,
-            eta=eta,
-            seed=seed,
+    results = [
+        _sweep_cell(
+            _cell_payload(
+                num_accurate,
+                num_inaccurate,
+                eta,
+                num_facts,
+                seed,
+                bayes_burn_in,
+                bayes_samples,
+                supervision,
+            ),
+            obs,
         )
-        runs = run_methods(
-            synthetic_methods(bayes_burn_in=bayes_burn_in, bayes_samples=bayes_samples),
-            world.dataset,
-            obs=obs,
-            supervision=supervision,
-        )
-        for run in runs:
-            if run.failed:
+        for seed in seeds
+    ]
+    return _mean_accuracies(results)
+
+
+#: One sweep point: (row key, row value, num_accurate, num_inaccurate, eta).
+_Point = tuple[str, object, int, int, float]
+
+
+def _sweep_rows(
+    figure: str,
+    points: list[_Point],
+    num_facts: int,
+    repeats: int,
+    bayes_burn_in: int,
+    bayes_samples: int,
+    obs: Obs,
+    supervision: Supervision,
+    workers: int | None,
+    root_seed: int | None,
+) -> list[dict]:
+    """Run one Figure 3 sweep, serially or sharded over ``workers``."""
+    if workers is None:
+        rows = []
+        for key, value, num_accurate, num_inaccurate, eta in points:
+            point = _accuracy_point(
+                num_accurate=num_accurate,
+                num_inaccurate=num_inaccurate,
+                eta=eta,
+                num_facts=num_facts,
+                seeds=_point_seeds(root_seed, figure, value, repeats),
+                bayes_burn_in=bayes_burn_in,
+                bayes_samples=bayes_samples,
+                obs=obs,
+                supervision=supervision,
+            )
+            rows.append({key: value, **point})
+        return rows
+
+    payloads: list[dict] = []
+    labels: list[str] = []
+    for key, value, num_accurate, num_inaccurate, eta in points:
+        seeds = _point_seeds(root_seed, figure, value, repeats)
+        for repeat, seed in enumerate(seeds):
+            payloads.append(
+                _cell_payload(
+                    num_accurate,
+                    num_inaccurate,
+                    eta,
+                    num_facts,
+                    seed,
+                    bayes_burn_in,
+                    bayes_samples,
+                    supervision,
+                )
+            )
+            labels.append(f"{figure}[{key}={value}]#{repeat}")
+    runner = ShardRunner(
+        workers=workers,
+        isolate_errors=supervision.isolate_errors,
+        obs=obs,
+        label=figure,
+    )
+    outcomes = runner.run(_sweep_cell, payloads, labels=labels)
+    rows = []
+    cursor = 0
+    for key, value, _, _, _ in points:
+        cells = outcomes[cursor : cursor + repeats]
+        cursor += repeats
+        results = []
+        for outcome in cells:
+            if outcome.failed:
                 _LOG.warning(
-                    "%s failed at this sweep point (%s); excluded from the "
-                    "mean",
-                    run.method,
-                    run.error_type,
+                    "%s failed (%s); excluded from the mean",
+                    outcome.label,
+                    outcome.error_type,
                 )
                 continue
-            counts = evaluate_result(run.result, world.dataset)
-            totals.setdefault(run.method, []).append(counts.accuracy)
-    return {method: float(np.mean(values)) for method, values in totals.items()}
+            results.append(outcome.value)
+        rows.append({key: value, **_mean_accuracies(results)})
+    return rows
 
 
 def figure3a(
@@ -84,24 +248,26 @@ def figure3a(
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
+    workers: int | None = None,
+    root_seed: int | None = None,
 ) -> list[dict]:
     """Accuracy vs total number of sources (2 inaccurate fixed)."""
     counts = source_counts or list(range(2, 12))
-    rows = []
-    for total in counts:
-        point = _accuracy_point(
-            num_accurate=total - 2,
-            num_inaccurate=2,
-            eta=0.03,
-            num_facts=num_facts,
-            seeds=list(range(repeats)),
-            bayes_burn_in=bayes_burn_in,
-            bayes_samples=bayes_samples,
-            obs=obs,
-            supervision=supervision,
-        )
-        rows.append({"num_sources": total, **point})
-    return rows
+    points: list[_Point] = [
+        ("num_sources", total, total - 2, 2, 0.03) for total in counts
+    ]
+    return _sweep_rows(
+        "figure3a",
+        points,
+        num_facts,
+        repeats,
+        bayes_burn_in,
+        bayes_samples,
+        obs,
+        supervision,
+        workers,
+        root_seed,
+    )
 
 
 def figure3b(
@@ -112,24 +278,27 @@ def figure3b(
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
+    workers: int | None = None,
+    root_seed: int | None = None,
 ) -> list[dict]:
     """Accuracy vs number of inaccurate sources (10 total fixed)."""
     counts = inaccurate_counts if inaccurate_counts is not None else list(range(0, 11))
-    rows = []
-    for inaccurate in counts:
-        point = _accuracy_point(
-            num_accurate=10 - inaccurate,
-            num_inaccurate=inaccurate,
-            eta=0.03,
-            num_facts=num_facts,
-            seeds=list(range(repeats)),
-            bayes_burn_in=bayes_burn_in,
-            bayes_samples=bayes_samples,
-            obs=obs,
-            supervision=supervision,
-        )
-        rows.append({"num_inaccurate": inaccurate, **point})
-    return rows
+    points: list[_Point] = [
+        ("num_inaccurate", inaccurate, 10 - inaccurate, inaccurate, 0.03)
+        for inaccurate in counts
+    ]
+    return _sweep_rows(
+        "figure3b",
+        points,
+        num_facts,
+        repeats,
+        bayes_burn_in,
+        bayes_samples,
+        obs,
+        supervision,
+        workers,
+        root_seed,
+    )
 
 
 def figure3c(
@@ -140,21 +309,21 @@ def figure3c(
     bayes_samples: int = 20,
     obs: Obs = NULL_OBS,
     supervision: Supervision = SUPERVISED,
+    workers: int | None = None,
+    root_seed: int | None = None,
 ) -> list[dict]:
     """Accuracy vs F-vote fraction η (10 sources, 2 inaccurate)."""
     eta_values = etas or [0.01, 0.02, 0.03, 0.04, 0.05]
-    rows = []
-    for eta in eta_values:
-        point = _accuracy_point(
-            num_accurate=8,
-            num_inaccurate=2,
-            eta=eta,
-            num_facts=num_facts,
-            seeds=list(range(repeats)),
-            bayes_burn_in=bayes_burn_in,
-            bayes_samples=bayes_samples,
-            obs=obs,
-            supervision=supervision,
-        )
-        rows.append({"eta": eta, **point})
-    return rows
+    points: list[_Point] = [("eta", eta, 8, 2, eta) for eta in eta_values]
+    return _sweep_rows(
+        "figure3c",
+        points,
+        num_facts,
+        repeats,
+        bayes_burn_in,
+        bayes_samples,
+        obs,
+        supervision,
+        workers,
+        root_seed,
+    )

@@ -74,6 +74,23 @@ class VoteMatrix:
         self._derived_cache: dict = {}
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without derived caches (group arrays, fact/source lists).
+
+        The caches are pure functions of the vote data and can hold large
+        NumPy blocks; dropping them keeps the payload a sharded sweep ships
+        to each worker proportional to the votes, and workers rebuild on
+        first use.
+        """
+        state = self.__dict__.copy()
+        state["_derived_cache"] = {}
+        state["_facts_cache"] = None
+        state["_sources_cache"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:

@@ -57,6 +57,15 @@ an appended block):
 ``serve_request``
     ``request_method``, ``path``, ``status``, ``seconds`` — one handled
     HTTP request of the serving API.
+``shard_start``
+    ``shard`` (cell index), ``label`` — opens one shard's block in a
+    merged parallel-sweep ledger (:mod:`repro.parallel.merge`); the
+    shard's own records follow verbatim, in shard-local order.
+``shard_merge``
+    ``shards``, ``records``, ``failures`` — closes a shard merge: how many
+    cells were merged, how many shard records were replayed, and how many
+    cells ended as isolated failures.  Merges happen in cell order, so a
+    sharded ledger is deterministic across worker counts.
 
 :data:`NULL_RUNLOG` is the no-op default; :class:`JsonlRunLog` appends to
 a file (``mode="a"``: re-running a command extends the ledger, it never
@@ -124,6 +133,8 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "seconds",
     ),
     "serve_request": ("request_method", "path", "status", "seconds"),
+    "shard_start": ("shard", "label"),
+    "shard_merge": ("shards", "records", "failures"),
 }
 
 

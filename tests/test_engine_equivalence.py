@@ -18,6 +18,9 @@ from repro.core.incestimate import IncEstimate
 from repro.core.selection import IncEstHeu, IncEstPS
 from repro.core.session import CorroborationSession
 from repro.core.trust import TrustTrajectory
+from repro.eval.harness import run_methods
+from repro.model.dataset import Dataset
+from repro.model.matrix import VoteMatrix
 from repro.model.votes import Vote
 
 STRATEGIES = {
@@ -245,3 +248,68 @@ class TestBulkMarkEvaluated:
         trajectory.mark_evaluated_many(["f2"], 1)  # accepted lazily
         with pytest.raises(ValueError, match="duplicate facts"):
             trajectory.evaluation_time("f1")
+
+
+def _fuzz_world(seed: int) -> Dataset:
+    """A small random vote matrix with shape drawn from the seed.
+
+    Every fact gets at least one vote; sizes are kept small so the fuzz
+    sweep explores many tie/flush edge cases rather than a few big runs.
+    """
+    rng = np.random.default_rng(seed)
+    num_sources = int(rng.integers(3, 9))
+    num_facts = int(rng.integers(8, 40))
+    matrix = VoteMatrix()
+    sources = [f"s{i}" for i in range(num_sources)]
+    for source in sources:
+        matrix.add_source(source)
+    for i in range(num_facts):
+        fact = f"f{i}"
+        matrix.add_fact(fact)
+        voters = [s for s in sources if rng.random() < 0.6]
+        if not voters:
+            voters = [sources[int(rng.integers(0, num_sources))]]
+        for source in voters:
+            vote = Vote.TRUE if rng.random() < 0.7 else Vote.FALSE
+            matrix.add_vote(fact, source, vote)
+    truth = {f"f{i}": bool(rng.integers(0, 2)) for i in range(num_facts)}
+    return Dataset(
+        matrix=matrix,
+        truth=truth,
+        golden_set=frozenset(),
+        name=f"fuzz-{seed}",
+    )
+
+
+class TestDifferentialFuzz:
+    """Seeded random matrices through every backend pairing.
+
+    Two differential axes on the same inputs: the scalar session against
+    the SessionArrays engine (bit-exact, via ``assert_results_identical``)
+    and the serial harness against the sharded one at two workers."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("strategy", ["heu", "ps", "heu-noflush"])
+    def test_scalar_vs_engine(self, seed, strategy):
+        dataset = _fuzz_world(seed)
+        assert_results_identical(*run_both(dataset, STRATEGIES[strategy]))
+
+    @pytest.mark.parametrize("seed", [101, 102])
+    def test_serial_vs_sharded(self, seed):
+        dataset = _fuzz_world(seed)
+
+        def methods():
+            return [
+                IncEstimate(strategy=IncEstHeu(), engine=False),
+                IncEstimate(strategy=IncEstHeu(), engine=True),
+                IncEstimate(strategy=IncEstPS(), engine=True),
+            ]
+
+        serial = run_methods(methods(), dataset)
+        sharded = run_methods(methods(), dataset, workers=2)
+        assert [run.method for run in sharded] == [
+            run.method for run in serial
+        ]
+        for run_sharded, run_serial in zip(sharded, serial):
+            assert run_sharded.error is None
+            assert_results_identical(run_sharded.result, run_serial.result)
