@@ -32,6 +32,17 @@ def test_bench_core_json(benchmark, paper_world, hubdub_world):
     # The engine must never lose to the scalar reference path it replaces.
     for row in payload["summary"]:
         assert row["speedup"] > 1.0, row
+    # Incremental candidate scoring holds the hubdub-like end-to-end floor
+    # (the seed's full-rescan engine took ~10 s on this workload).
+    hubdub_heu = [
+        rec
+        for rec in payload["records"]
+        if rec["dataset"] == "hubdub-like"
+        and rec["method"] == "IncEstimate[IncEstHeu]"
+        and rec["backend"] == "engine"
+    ]
+    assert hubdub_heu, "hubdub-like IncEstHeu engine record missing"
+    assert hubdub_heu[0]["seconds"] <= 1.0, hubdub_heu[0]
     (REPO_ROOT / "BENCH_core.json").write_text(json.dumps(payload, indent=2) + "\n")
 
 

@@ -1,0 +1,47 @@
+"""Sparse scale tier — validates the committed ``BENCH_scale.json``.
+
+The full tier (one million facts, ten thousand sources) takes ~30 s and
+~700 MiB, so this module does not regenerate it on every run; regenerate
+with ``python -m repro.eval.bench --scale`` when the engine changes.  What
+runs here is the quick tier — a downsized sparse world that exercises the
+same generator, grouping, and incremental-engine path in under a second —
+plus a schema-and-floor check of the committed full-tier artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.eval.bench import (
+    SCALE_FLOORS,
+    SCALE_MEMORY_GUARD_KB,
+    run_scale_bench,
+    validate_scale_payload,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_scale_quick_tier_schema():
+    payload = run_scale_bench(quick=True)
+    validate_scale_payload(payload)
+    assert payload["tier"] == "quick"
+    record = payload["records"][0]
+    assert record["facts"] >= SCALE_FLOORS["quick"]["facts"]
+    assert record["sources"] >= SCALE_FLOORS["quick"]["sources"]
+
+
+def test_committed_scale_bench_holds_floors():
+    path = REPO_ROOT / "BENCH_scale.json"
+    if not path.exists():
+        pytest.fail("BENCH_scale.json missing — run python -m repro.eval.bench --scale")
+    payload = json.loads(path.read_text())
+    validate_scale_payload(payload)
+    assert payload["tier"] == "full"
+    record = payload["records"][0]
+    assert record["facts"] >= SCALE_FLOORS["full"]["facts"]
+    assert record["sources"] >= SCALE_FLOORS["full"]["sources"]
+    assert record["peak_rss_kb"] <= SCALE_MEMORY_GUARD_KB

@@ -3,21 +3,26 @@
 Every algorithm here scores a fact from *who voted and how*, so facts with
 identical vote signatures are interchangeable and all numeric work happens
 over **fact groups** (:mod:`repro.core.fact_groups`).  This module holds the
-two array structures built on that observation:
+array structures built on that observation:
 
-* :class:`GroupArrays` — immutable dense incidence matrices of a matrix's
-  fact groups.  The iterative baselines (TwoEstimate, 3-Estimates, Cosine,
-  BayesEstimate, …) run their fixpoint loops directly over these matrices;
-  it moved here from ``repro.baselines._arrays`` once the incremental
-  algorithm started sharing it.
+* :class:`GroupIndex` — the *sparse* grouping of a matrix: the fact groups
+  and the source axis with per-group degree/size vectors, but **no** dense
+  (G × S) incidence matrices.  Everything else derives from it, and it is
+  the only grouping structure the million-fact scale tier materialises.
+* :class:`GroupArrays` — immutable dense incidence matrices over a
+  :class:`GroupIndex`.  The iterative baselines (TwoEstimate, 3-Estimates,
+  Cosine, BayesEstimate, …) run their fixpoint loops directly over these
+  matrices; it moved here from ``repro.baselines._arrays`` once the
+  incremental algorithm started sharing it.
 * :class:`SessionArrays` — the *session-lifetime engine* of the incremental
   algorithm: per-source ``correct``/``total`` counters and the trust vector
   as numpy arrays updated in place, an active-group mask instead of list
   rebuilds, and vectorised group probabilities.  One instance is built per
   :class:`~repro.core.session.CorroborationSession` and maintained
-  incrementally across time points, so the ΔH selection step consumes
-  cached incidence matrices instead of reconstructing them from group
-  signatures at every time point.
+  incrementally across time points.  The ΔH selection step scores through
+  the session's pair-level :class:`~repro.core.deltah.DeltaHEngine`
+  (:meth:`SessionArrays.dh_engine`), fed evaluation notifications by
+  :meth:`SessionArrays.apply_evaluation`.
 
 Construction is array-native: the vote matrix maintains a packed signature
 code per fact (:meth:`~repro.model.matrix.VoteMatrix.signature_codes`), so
@@ -48,6 +53,7 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro.core.deltah import DeltaHEngine, DeltaHStatic
 from repro.core.fact_groups import FactGroup
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, Signature, SourceId, VoteMatrix
@@ -68,6 +74,9 @@ _INT64_SOURCE_LIMIT = 31
 #: Key under which :meth:`GroupArrays.for_matrix` caches itself in the
 #: matrix's derived-structure cache.
 _CACHE_KEY = "group_arrays"
+
+#: Key of the cached :class:`GroupIndex` (sparse grouping).
+_INDEX_KEY = "group_index"
 
 #: Key of the cached :class:`_EngineTemplate` (flat per-vote structures).
 _TEMPLATE_KEY = "engine_template"
@@ -142,6 +151,94 @@ def _signature_from_values(values: np.ndarray, sources: list[SourceId]) -> Signa
 
 
 @dataclasses.dataclass
+class GroupIndex:
+    """Sparse grouping of a matrix: groups and axes, no dense incidences.
+
+    The minimal shared structure every grouping consumer starts from — the
+    fact groups in :func:`~repro.core.fact_groups.group_facts` order, the
+    source axis, and the per-group voter/size vectors.  Nothing here scales
+    with G × S, so it is the only grouping structure built for wide
+    matrices (the million-fact scale tier).  Treat instances as
+    **immutable**: they are cached on the vote matrix and shared.
+
+    Attributes:
+        groups: the fact groups, aligned with all row-indexed vectors.
+        sources: source ids (the canonical source axis).
+        degree: number of voters per group.
+        sizes: number of facts per group.
+    """
+
+    groups: list[FactGroup]
+    sources: list[SourceId]
+    degree: np.ndarray
+    sizes: np.ndarray
+
+    @classmethod
+    def from_matrix(cls, matrix: VoteMatrix) -> "GroupIndex":
+        """Group ``matrix``'s facts without materialising (G × S) arrays.
+
+        Produces exactly the groups of
+        :func:`~repro.core.fact_groups.group_facts` — same order, same
+        signatures, same member order.  Uses the packed signature codes
+        when the matrix maintains them (integer-key partition); wide
+        matrices fall back to bucketing per-fact signature tuples.
+        """
+        sources = matrix.sources
+        if matrix.has_signature_codes:
+            group_codes, facts_lists = _partition_by_code(matrix)
+            values = _decode_codes(group_codes, len(sources))
+            groups = [
+                FactGroup(
+                    signature=_signature_from_values(values[g], sources),
+                    facts=facts,
+                )
+                for g, facts in enumerate(facts_lists)
+            ]
+        else:
+            buckets: dict[Signature, list[FactId]] = {}
+            for fact in matrix.facts:
+                signature = matrix.signature(fact)
+                members = buckets.get(signature)
+                if members is None:
+                    buckets[signature] = [fact]
+                else:
+                    members.append(fact)
+            groups = [
+                FactGroup(signature=signature, facts=facts)
+                for signature, facts in buckets.items()
+            ]
+        return cls(
+            groups=groups,
+            sources=sources,
+            degree=np.array(
+                [float(len(g.signature)) for g in groups], dtype=float
+            ),
+            sizes=np.array([float(len(g.facts)) for g in groups], dtype=float),
+        )
+
+    @classmethod
+    def for_matrix(cls, matrix: VoteMatrix) -> "GroupIndex":
+        """The (cached) sparse grouping of ``matrix``."""
+        cache = matrix.derived_cache()
+        index = cache.get(_INDEX_KEY)
+        if index is None:
+            _METRICS.inc("arrays.group_index_cache.miss")
+            index = cls.from_matrix(matrix)
+            cache[_INDEX_KEY] = index
+        else:
+            _METRICS.inc("arrays.group_index_cache.hit")
+        return index
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+
+@dataclasses.dataclass
 class GroupArrays:
     """Dense incidence matrices of the fact groups of a matrix.
 
@@ -169,31 +266,28 @@ class GroupArrays:
 
     @classmethod
     def from_matrix(cls, matrix: VoteMatrix) -> "GroupArrays":
-        """Build the dense group arrays of ``matrix`` (array-native path).
-
-        Produces exactly the groups of
-        :func:`~repro.core.fact_groups.group_facts` — same order, same
-        signatures, same member order — but derives them from the matrix's
-        packed signature codes instead of per-fact signature tuples.
-        """
-        sources = matrix.sources
-        group_codes, facts_lists = _partition_by_code(matrix)
-        values = _decode_codes(group_codes, len(sources))
-        groups = [
-            FactGroup(signature=_signature_from_values(values[g], sources), facts=facts)
-            for g, facts in enumerate(facts_lists)
-        ]
-        affirm = (values == 1).astype(float)
-        deny = (values == 2).astype(float)
+        """Build the dense group arrays over ``matrix``'s (cached) sparse
+        :class:`GroupIndex` — the group objects are shared with it."""
+        index = GroupIndex.for_matrix(matrix)
+        sources = index.sources
+        source_pos = {s: i for i, s in enumerate(sources)}
+        affirm = np.zeros((index.num_groups, len(sources)))
+        deny = np.zeros((index.num_groups, len(sources)))
+        for row, group in enumerate(index.groups):
+            for source, symbol in group.signature:
+                if symbol == Vote.TRUE.value:
+                    affirm[row, source_pos[source]] = 1.0
+                else:
+                    deny[row, source_pos[source]] = 1.0
         voted = affirm + deny
         return cls(
-            groups=groups,
+            groups=index.groups,
             sources=sources,
             affirm=affirm,
             deny=deny,
             voted=voted,
             degree=voted.sum(axis=1),
-            sizes=np.array([len(facts) for facts in facts_lists], dtype=float),
+            sizes=index.sizes.copy(),
         )
 
     @classmethod
@@ -264,7 +358,7 @@ class _EngineTemplate:
     max_degree: int
 
 
-def _build_engine_template(base: GroupArrays) -> _EngineTemplate:
+def _build_engine_template(base: GroupIndex) -> _EngineTemplate:
     source_pos = {s: i for i, s in enumerate(base.sources)}
     flat_rows: list[int] = []
     flat_cols: list[int] = []
@@ -303,8 +397,8 @@ def _build_engine_template(base: GroupArrays) -> _EngineTemplate:
     )
 
 
-def _engine_template(matrix: VoteMatrix, base: GroupArrays) -> _EngineTemplate:
-    """The (cached) flat vote structures of ``matrix``'s group arrays."""
+def _engine_template(matrix: VoteMatrix, base: GroupIndex) -> _EngineTemplate:
+    """The (cached) flat vote structures of ``matrix``'s grouping."""
     cache = matrix.derived_cache()
     template = cache.get(_TEMPLATE_KEY)
     if template is None:
@@ -314,20 +408,6 @@ def _engine_template(matrix: VoteMatrix, base: GroupArrays) -> _EngineTemplate:
     else:
         _METRICS.inc("arrays.engine_template_cache.hit")
     return template
-
-
-@dataclasses.dataclass
-class _DHSlices:
-    """Active-row slices of the ΔH incidence matrices (see ``dh_slices``)."""
-
-    affirm: np.ndarray
-    deny: np.ndarray
-    degree: np.ndarray
-    degree_pos: np.ndarray
-    sizes: np.ndarray
-    affirm_sized: np.ndarray
-    deny_sized: np.ndarray
-    voted_sized: np.ndarray
 
 
 class VectorMapping(Mapping):
@@ -381,8 +461,9 @@ class SessionArrays:
       exactly (see the module docstring), so the engine's probabilities are
       bit-identical to :func:`~repro.core.fact_groups.group_probability`.
 
-    The ΔH selection step reads the cached :attr:`base` incidence matrices
-    through :meth:`active_rows` instead of rebuilding them per time point.
+    The ΔH selection step scores through the lazily built pair-level
+    :meth:`dh_engine`; :meth:`apply_evaluation` feeds it the invalidation
+    notifications it needs to re-score only the affected pairs.
     """
 
     def __init__(
@@ -391,8 +472,9 @@ class SessionArrays:
         default_trust: float,
         prior: float,
     ) -> None:
-        base = GroupArrays.for_matrix(matrix)
+        base = GroupIndex.for_matrix(matrix)
         self.base = base
+        self._matrix = matrix
         self.sources: list[SourceId] = base.sources
         #: Fresh consumable copies — ``take()`` happens on these, never on
         #: the shared cached groups.
@@ -414,28 +496,22 @@ class SessionArrays:
         # Flat (entry-per-vote) structures in *sorted-signature order* —
         # immutable, so shared across sessions via the matrix-level cache.
         template = _engine_template(matrix, base)
-        self._flat_rows = template.flat_rows
-        self._flat_cols = template.flat_cols
         self._flat_src = template.flat_src
         self._flat_is_true = template.flat_is_true
         self._row_sources = template.row_sources
         self._row_true = template.row_true
         self._row_false = template.row_false
         self._max_degree = template.max_degree
+        self._flat_rows = template.flat_rows
+        self._flat_cols = template.flat_cols
         self._contrib = np.zeros((n_groups, template.max_degree), dtype=float)
         self._active_rows_cache: np.ndarray | None = None
         self._active_groups_cache: list[FactGroup] | None = None
         self._counter_views: tuple[VectorMapping, VectorMapping] | None = None
-        self._dh_cache: _DHSlices | None = None
-        # Size-scaled incidence matrices (incidence × group size), kept in
-        # sync with `sizes` so the ΔH step's hypothetical counter deltas
-        # are plain row slices instead of per-step broadcasts.  Row values
-        # equal `base.affirm[g] * sizes[g]` at all times (elementwise
-        # products of identical floats, so bit-identical to computing the
-        # broadcast fresh).
-        self.affirm_sized = base.affirm * self.sizes[:, None]
-        self.deny_sized = base.deny * self.sizes[:, None]
-        self.voted_sized = base.voted * self.sizes[:, None]
+        self._trust_view: VectorMapping | None = None
+        #: Pair-level ΔH scorer; built on first use (IncEstPS sessions
+        #: never pay for it).
+        self._dh: DeltaHEngine | None = None
         #: σ(FG) for every group row under the current trust; refreshed by
         #: :meth:`compute_probabilities` at the start of each time point.
         self.probabilities = np.empty(n_groups, dtype=float)
@@ -498,31 +574,33 @@ class SessionArrays:
             )
         return self._counter_views
 
-    def dh_slices(self) -> _DHSlices:
-        """Active-row slices of the ΔH incidence matrices (cached).
+    def trust_view(self) -> "VectorMapping":
+        """The trust vector as a live non-copying mapping.
 
-        The slices are rebuilt whenever a row deactivates; in between,
-        :meth:`apply_evaluation` patches the affected row of the mutable
-        members (``sizes`` and the size-scaled matrices) in place with the
-        exact values a fresh fancy-index slice would hold, so consumers
-        always see bit-identical data without the per-call slicing cost.
+        Tracks :meth:`refresh_trust`'s in-place updates, so one view serves
+        every :class:`~repro.core.selection.SelectionContext` of a session
+        without per-step dict construction.
         """
-        if self._dh_cache is None:
-            _METRICS.inc("arrays.dh_slices.rebuild")
-            rows_idx = self.active_rows()
-            base = self.base
-            degree = base.degree[rows_idx]
-            self._dh_cache = _DHSlices(
-                affirm=base.affirm[rows_idx],
-                deny=base.deny[rows_idx],
-                degree=degree,
-                degree_pos=degree > 0,
-                sizes=self.sizes[rows_idx],
-                affirm_sized=self.affirm_sized[rows_idx],
-                deny_sized=self.deny_sized[rows_idx],
-                voted_sized=self.voted_sized[rows_idx],
+        if self._trust_view is None:
+            index = {s: i for i, s in enumerate(self.sources)}
+            self._trust_view = VectorMapping(self.sources, index, self.trust)
+        return self._trust_view
+
+    def dh_engine(self) -> DeltaHEngine:
+        """The session's pair-level ΔH scorer (lazily built).
+
+        The immutable pair graph is cached on the vote matrix
+        (:meth:`~repro.core.deltah.DeltaHStatic.for_matrix`) and shared
+        with every other session over it, including the scalar reference
+        backend; the engine instance — term caches and dirty accumulators —
+        is private to this session.
+        """
+        if self._dh is None:
+            static = DeltaHStatic.for_matrix(
+                self._matrix, self.base.groups, self.sources
             )
-        return self._dh_cache
+            self._dh = DeltaHEngine(static)
+        return self._dh
 
     # ------------------------------------------------------------------
     # Per-time-point numeric kernel
@@ -534,8 +612,9 @@ class SessionArrays:
         scalar loop: contributions are scattered into a (groups × degree)
         matrix in sorted-signature order and folded column by column, so
         each group's additions happen left-to-right exactly like
-        ``group_probability``.  Groups with an empty signature keep
-        ``default_fact_probability``.
+        ``group_probability``.  (``np.add.reduceat`` would be cheaper but
+        sums pairwise — a different reduction tree, off by an ulp.)
+        Groups with an empty signature keep ``default_fact_probability``.
         """
         n_groups = len(self.groups)
         if n_groups == 0:
@@ -575,23 +654,14 @@ class SessionArrays:
         self.correct[agreeing] += n
         self.sizes[row] -= n
         size = self.sizes[row]
-        base = self.base
-        self.affirm_sized[row] = base.affirm[row] * size
-        self.deny_sized[row] = base.deny[row] * size
-        self.voted_sized[row] = base.voted[row] * size
+        if self._dh is not None:
+            self._dh.note_evaluation(row)
         if size <= 0:
             self.active[row] = False
             self._active_rows_cache = None
             self._active_groups_cache = None
-            self._dh_cache = None
-        elif self._dh_cache is not None:
-            _METRICS.inc("arrays.dh_slices.patch")
-            cache = self._dh_cache
-            pos = int(np.searchsorted(self.active_rows(), row))
-            cache.sizes[pos] = size
-            cache.affirm_sized[pos] = self.affirm_sized[row]
-            cache.deny_sized[pos] = self.deny_sized[row]
-            cache.voted_sized[pos] = self.voted_sized[row]
+            if self._dh is not None:
+                self._dh.note_deactivated(row)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -601,12 +671,11 @@ class SessionArrays:
 
         Only genuinely mutable state is stored: the per-source counters and
         trust, plus each group row's remaining facts.  Everything else —
-        sizes, the active mask, the size-scaled incidence matrices — is a
-        pure function of the remaining facts and is recomputed bit-exactly
-        on load (``sizes`` evolve by integer-valued ``-= n`` steps, so
-        ``float(len(facts))`` restores them exactly, and the sized matrices
-        are the same ``base * size`` elementwise products the live updates
-        write).
+        sizes, the active mask, the ΔH pair caches — is a pure function of
+        the remaining facts and is recomputed bit-exactly on load
+        (``sizes`` evolve by integer-valued ``-= n`` steps, so
+        ``float(len(facts))`` restores them exactly, and the ΔH engine is
+        simply rebuilt, its first scoring call being a full rescan).
         """
         return {
             "correct": self.correct.tolist(),
@@ -640,18 +709,20 @@ class SessionArrays:
             [float(len(facts)) for facts in group_facts], dtype=float
         )
         self.active = self.sizes > 0
-        base = self.base
-        self.affirm_sized = base.affirm * self.sizes[:, None]
-        self.deny_sized = base.deny * self.sizes[:, None]
-        self.voted_sized = base.voted * self.sizes[:, None]
         self._active_rows_cache = None
         self._active_groups_cache = None
         self._counter_views = None
-        self._dh_cache = None
+        self._trust_view = None
+        self._dh = None
 
     def refresh_trust(self) -> np.ndarray:
-        """Recompute the trust vector from the counters (Equation 8)."""
+        """Recompute the trust vector from the counters (Equation 8).
+
+        Updates :attr:`trust` **in place** (same values as a fresh
+        ``np.where``) so the live :meth:`trust_view` mapping stays valid
+        across time points.
+        """
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = self.correct / self.total
-        self.trust = np.where(self.total != 0, ratio, self._default_trust)
+        self.trust[:] = np.where(self.total != 0, ratio, self._default_trust)
         return self.trust

@@ -13,9 +13,12 @@ evaluate next, given the remaining fact groups and the current trust values:
 * :class:`IncEstPS` — the naive greedy comparison strategy of Section 6.1.1:
   always select the group with the highest probability.
 
-The ΔH ranking is vectorised: with G remaining groups and |S| sources it
-costs O(G²·|S|) numpy flops per time point, evaluated in row chunks so the
-intermediate G×G probability matrix never exceeds a fixed memory budget.
+The ΔH ranking runs on the pair-level kernel of :mod:`repro.core.deltah`:
+only ordered pairs of groups sharing a source carry a non-zero entropy
+term, and between time points only the pairs whose inputs moved are
+re-scored (see the module doc there and docs/performance.md).  The session
+backends and hand-built contexts all route through the same kernel, so the
+ranking — including tie-break order — is bit-identical everywhere.
 """
 
 from __future__ import annotations
@@ -27,15 +30,11 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.core.arrays import SessionArrays
+from repro.core.deltah import DeltaHEngine, DeltaHStatic, ScalarDeltaH
 from repro.core.entropy import binary_entropy_array
 from repro.core.fact_groups import FactGroup, group_probability
 from repro.model.matrix import SourceId
-from repro.model.votes import Vote
 from repro.obs import NULL_OBS, Obs
-
-#: Maximum number of candidate-group rows per ΔH chunk; bounds the peak
-#: size of the hypothetical-probability matrix at CHUNK × G floats.
-_DELTA_H_CHUNK = 512
 
 
 @dataclasses.dataclass
@@ -60,10 +59,19 @@ probabilities` are current for this time point, and the ΔH ranking reads
             the cached incidence matrices instead of rebuilding them.
             ``None`` for hand-built contexts and the scalar reference path;
             every strategy must work in both modes.
+        dh: the scalar session's :class:`~repro.core.deltah.ScalarDeltaH`
+            scorer, when the driver runs the scalar backend.  ``None`` for
+            engine sessions (which score through ``arrays``) and hand-built
+            contexts (which build a one-shot pair graph).
         obs: the driver's observability bundle (:mod:`repro.obs`); the
             no-op :data:`~repro.obs.NULL_OBS` by default.  Strategies may
             emit spans and metrics through it but must never let it
             influence what they select.
+        stats: per-round observability scratch.  Strategies record
+            round-level numbers here (``candidates_rescored`` /
+            ``candidates_skipped``) when observability is enabled; the
+            session attaches them to its ``steps`` span.  Never read by
+            selection logic.
     """
 
     groups: Sequence[FactGroup]
@@ -73,7 +81,9 @@ probabilities` are current for this time point, and the ΔH ranking reads
     correct_counts: Mapping[SourceId, float]
     total_counts: Mapping[SourceId, float]
     arrays: SessionArrays | None = None
+    dh: ScalarDeltaH | None = None
     obs: Obs = NULL_OBS
+    stats: dict = dataclasses.field(default_factory=dict)
 
     def group_probabilities(self) -> list[float]:
         """σ(FG) for each remaining group under the current trust."""
@@ -192,6 +202,10 @@ class IncEstHeu(SelectionStrategy):
             trust λ until real evidence accumulates.  The *actual* trust
             update of the driver stays unsmoothed, exactly as in the
             paper's worked example.
+        incremental: reuse cached pair terms between time points on the
+            array-engine backend (the default).  Disable to force a full
+            rescan every round — bit-identical by construction, kept as
+            the differential-test reference and escape hatch.
     """
 
     name = "IncEstHeu"
@@ -201,6 +215,7 @@ class IncEstHeu(SelectionStrategy):
         flush_when_one_sided: bool = True,
         own_entropy_weight: float = 1.0,
         projection_smoothing: float = 0.0,
+        incremental: bool = True,
     ) -> None:
         if own_entropy_weight < 0:
             raise ValueError(
@@ -213,6 +228,7 @@ class IncEstHeu(SelectionStrategy):
         self.flush_when_one_sided = flush_when_one_sided
         self.own_entropy_weight = own_entropy_weight
         self.projection_smoothing = projection_smoothing
+        self.incremental = incremental
 
     def select(self, context: SelectionContext) -> Selection:
         groups = list(context.groups)
@@ -262,14 +278,34 @@ class IncEstHeu(SelectionStrategy):
         obs = context.obs
         obs.metrics.inc("selection.delta_h_rounds")
         obs.metrics.inc("selection.delta_h_groups_scored", len(probabilities))
-        with obs.tracer.span("selection.delta_h", groups=len(probabilities)):
+        with obs.tracer.span(
+            "selection.delta_h", groups=len(probabilities)
+        ) as span:
             cross = _delta_h_scores(
-                context, probabilities, smoothing=self.projection_smoothing
+                context,
+                probabilities,
+                smoothing=self.projection_smoothing,
+                force_full=not self.incremental,
             )
+            stats = context.stats
+            if "candidates_rescored" in stats:
+                obs.metrics.inc(
+                    "selection.candidates_rescored",
+                    stats["candidates_rescored"],
+                )
+                obs.metrics.inc(
+                    "selection.candidates_skipped",
+                    stats["candidates_skipped"],
+                )
+                span.add(
+                    candidates_rescored=stats["candidates_rescored"],
+                    candidates_skipped=stats["candidates_skipped"],
+                )
         if self.own_entropy_weight == 0.0:
             return cross
         if context.arrays is not None:
-            sizes = context.arrays.dh_slices().sizes
+            arrays = context.arrays
+            sizes = arrays.sizes[arrays.active_rows()]
         else:
             sizes = np.array([g.size for g in context.groups], dtype=float)
         own = binary_entropy_array(probabilities) * sizes
@@ -280,6 +316,7 @@ def _delta_h_scores(
     context: SelectionContext,
     probabilities: np.ndarray,
     smoothing: float = 0.0,
+    force_full: bool = False,
 ) -> np.ndarray:
     """ΔH(F̄)_FG of Equation 9 for every remaining group.
 
@@ -289,104 +326,66 @@ def _delta_h_scores(
     by ``smoothing`` pseudo-votes at the default trust), derive the
     hypothetical trust vector σi+1(S), and sum the resulting entropy change
     over every other remaining group (group entropy = group size × H(σ)).
+
+    All three context flavours route through the pair-level kernel of
+    :mod:`repro.core.deltah`: the array engine scores incrementally against
+    its session-lifetime pair cache (unless ``force_full``), the scalar
+    session scores through its matrix-shared :class:`ScalarDeltaH`, and
+    hand-built contexts build a one-shot pair graph.  One kernel, one
+    reduction layout — the results are bit-identical across all of them.
     """
     groups = context.groups
     arrays = context.arrays
+    collect = context.obs.metrics.enabled or context.obs.tracer.enabled
     if arrays is not None:
-        # Engine path: read the cached active-row slices of the
-        # session-lifetime incidence matrices instead of rebuilding them
-        # from signatures.  The slices hold the same float values the
-        # scalar construction below would produce, so everything
-        # downstream is bit-identical.
-        slices = arrays.dh_slices()
-        affirm = slices.affirm
-        deny = slices.deny
-        degree = slices.degree
-        degree_pos = slices.degree_pos
-        sizes = slices.sizes
-        affirm_sized = slices.affirm_sized
-        deny_sized = slices.deny_sized
-        voted_sized = slices.voted_sized
-        correct = arrays.correct
-        total = arrays.total
-        n_groups = len(sizes)
-    else:
-        sources = list(context.trust)
-        source_index = {s: i for i, s in enumerate(sources)}
-        n_groups = len(groups)
-        n_sources = len(sources)
-
-        # Vote-incidence matrices: affirm[g, s] / deny[g, s].
-        affirm = np.zeros((n_groups, n_sources))
-        deny = np.zeros((n_groups, n_sources))
-        for gi, group in enumerate(groups):
-            for source, symbol in group.signature:
-                if symbol == Vote.TRUE.value:
-                    affirm[gi, source_index[source]] = 1.0
-                else:
-                    deny[gi, source_index[source]] = 1.0
-        voted = affirm + deny
-        degree = voted.sum(axis=1)
-        degree_pos = degree > 0
-        sizes = np.array([g.size for g in groups], dtype=float)
-        # Size-scaled incidences (incidence × group size): the per-source
-        # counter deltas of evaluating a whole group.
-        affirm_sized = affirm * sizes[:, None]
-        deny_sized = deny * sizes[:, None]
-        voted_sized = voted * sizes[:, None]
-        correct = np.array(
-            [context.correct_counts.get(s, 0) for s in sources], dtype=float
+        engine = arrays.dh_engine()
+        delta = engine.cross_scores(
+            correct=arrays.correct,
+            total=arrays.total,
+            sizes=arrays.sizes,
+            active=arrays.active,
+            probabilities=arrays.probabilities,
+            default_trust=context.default_trust,
+            default_fact_probability=context.default_fact_probability,
+            smoothing=smoothing,
+            full=force_full,
+            collect_stats=collect,
         )
-        total = np.array(
-            [context.total_counts.get(s, 0) for s in sources], dtype=float
+        if collect:
+            context.stats["candidates_rescored"] = engine.last_rescored
+            context.stats["candidates_skipped"] = engine.last_skipped
+        return delta[arrays.active_rows()]
+    if collect:
+        context.stats["candidates_rescored"] = len(groups)
+        context.stats["candidates_skipped"] = 0
+    if context.dh is not None:
+        return context.dh.scores(
+            groups=groups,
+            probabilities=probabilities,
+            correct_counts=context.correct_counts,
+            total_counts=context.total_counts,
+            default_trust=context.default_trust,
+            default_fact_probability=context.default_fact_probability,
+            smoothing=smoothing,
         )
-    # Part-consistent hypothesis: a candidate from the positive part
-    # (σ > 0.5) is projected true, anything else (including σ = 0.5
-    # exactly) is projected false — matching SelectionItem labels.
-    labels = probabilities > 0.5
-
-    if smoothing > 0:
-        correct = correct + context.default_trust * smoothing
-        total = total + smoothing
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        # Baseline entropies are computed in the same (smoothed) projection
-        # space as the hypotheticals, so a no-op candidate scores exactly 0.
-        base_trust = np.where(total > 0, correct / total, context.default_trust)
-        base_numerator = affirm @ base_trust + deny @ (1.0 - base_trust)
-        base_prob = base_numerator / degree
-        base_prob = np.where(degree_pos, base_prob, context.default_fact_probability)
-        entropy_now = binary_entropy_array(base_prob) * sizes
-        sum_entropy_now = entropy_now.sum()
-
-        delta = np.empty(n_groups)
-        for start in range(0, n_groups, _DELTA_H_CHUNK):
-            stop = min(start + _DELTA_H_CHUNK, n_groups)
-            rows = slice(start, stop)
-            # Hypothetical per-source counters after evaluating each
-            # candidate.
-            hyp_total = total[None, :] + voted_sized[rows]
-            hyp_correct = correct[None, :] + np.where(
-                labels[rows, None], affirm_sized[rows], deny_sized[rows]
-            )
-            hyp_trust = hyp_correct / hyp_total
-            hyp_trust = np.where(hyp_total > 0, hyp_trust, context.default_trust)
-
-            # Probabilities of every group under each candidate's
-            # hypothetical trust: new_prob[c, h] for candidate c (row) and
-            # group h (column).
-            numerator = hyp_trust @ affirm.T + (1.0 - hyp_trust) @ deny.T
-            new_prob = numerator / degree[None, :]
-            new_prob = np.where(
-                degree_pos[None, :], new_prob, context.default_fact_probability
-            )
-            new_entropy = binary_entropy_array(new_prob) * sizes[None, :]
-            # Σ over FG' ≠ FG of (H_new − H_now): exclude the candidate's
-            # own column from both sums.
-            candidate_cols = np.arange(start, stop)
-            own_new = new_entropy[np.arange(stop - start), candidate_cols]
-            own_now = entropy_now[candidate_cols]
-            delta[rows] = (
-                new_entropy.sum(axis=1) - own_new - (sum_entropy_now - own_now)
-            )
-    return delta
+    sources = list(context.trust)
+    static = DeltaHStatic.build(list(groups), sources)
+    engine = DeltaHEngine(static)
+    correct = np.array(
+        [context.correct_counts.get(s, 0) for s in sources], dtype=float
+    )
+    total = np.array(
+        [context.total_counts.get(s, 0) for s in sources], dtype=float
+    )
+    sizes = np.array([g.size for g in groups], dtype=float)
+    return engine.cross_scores(
+        correct=correct,
+        total=total,
+        sizes=sizes,
+        active=np.ones(len(groups), dtype=bool),
+        probabilities=np.asarray(probabilities, dtype=float),
+        default_trust=context.default_trust,
+        default_fact_probability=context.default_fact_probability,
+        smoothing=smoothing,
+        full=True,
+    )

@@ -31,6 +31,7 @@ from __future__ import annotations
 from itertools import repeat
 
 from repro.core.arrays import SessionArrays
+from repro.core.deltah import ScalarDeltaH
 from repro.core.entropy import binary_entropy
 from repro.core.fact_groups import (
     FactGroup,
@@ -112,7 +113,11 @@ class CorroborationSession:
                 self._trust: dict[SourceId, float] = {
                     s: default_trust for s in self._sources
                 }
+                # Lazy pair-graph ΔH scorer shared (via the matrix cache)
+                # with any engine session over the same matrix.
+                self._dh_scalar = ScalarDeltaH(matrix)
         self._trajectory = TrustTrajectory(self._sources, obs=obs)
+        self._last_step_stats: dict = {}
         self._probabilities: dict[FactId, float] = {}
         self._label_overrides: dict[FactId, bool] = {}
         self._rounds: list[RoundRecord] = []
@@ -214,20 +219,23 @@ class CorroborationSession:
             if self._arrays is not None:
                 return self._step_engine()
             return self._step_scalar()
-        with obs.tracer.span("session.step", time_point=self.time_point):
+        with obs.tracer.span("session.step", time_point=self.time_point) as span:
             if self._arrays is not None:
                 records = self._step_engine()
             else:
                 records = self._step_scalar()
             self._observe_step(records)
+            if self._last_step_stats:
+                # Selection round stats (candidates_rescored / skipped)
+                # recorded by the strategy for this time point.
+                span.add(**self._last_step_stats)
         return records
 
     def _step_engine(self) -> list[RoundRecord]:
         """Array-engine time point; bit-identical to :meth:`_step_scalar`."""
         arrays = self._arrays
         tracer = self._obs.tracer
-        trust_map = arrays.trust_dict()
-        time_point = self._trajectory.record(trust_map)
+        time_point = self._trajectory.record_vector(arrays.trust, self._sources)
         if time_point >= self._max_time_points:
             raise RuntimeError(
                 f"{self._method_name}: exceeded {self._max_time_points} time "
@@ -239,7 +247,7 @@ class CorroborationSession:
         correct_view, total_view = arrays.counter_views()
         context = SelectionContext(
             groups=arrays.active_groups(),
-            trust=trust_map,
+            trust=arrays.trust_view(),
             default_trust=self._default_trust,
             default_fact_probability=self._default_fact_probability,
             correct_counts=correct_view,
@@ -247,6 +255,7 @@ class CorroborationSession:
             arrays=arrays,
             obs=self._obs,
         )
+        self._last_step_stats = context.stats
         with tracer.span("session.select", strategy=self._strategy.name):
             selections = self._strategy.select(context)
         if not any(item.count > 0 for item in selections):
@@ -296,8 +305,10 @@ class CorroborationSession:
             default_fact_probability=self._default_fact_probability,
             correct_counts=self._correct,
             total_counts=self._total,
+            dh=self._dh_scalar,
             obs=self._obs,
         )
+        self._last_step_stats = context.stats
         with tracer.span("session.select", strategy=self._strategy.name):
             selections = self._strategy.select(context)
         if not any(item.count > 0 for item in selections):

@@ -5,12 +5,22 @@ The paper replaces the classical single trust score per source by a
 the incremental algorithm.  :class:`TrustTrajectory` records that sequence
 for every source, which is both the algorithm's working state history and
 the raw data behind Figure 2 (trust score at each time point).
+
+Storage is delta-encoded: each time point keeps only the sources whose
+trust changed since the previous one (a selection round touches a group's
+voters, not the whole source axis), plus one maintained full dict of the
+latest vector.  At web scale — tens of thousands of sources over thousands
+of time points — the full per-point dicts this class used to store would
+dominate the session's memory.  The encoding is internal: every public
+reader still produces the same full vectors, bit for bit.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from itertools import repeat
+
+import numpy as np
 
 from repro.model.matrix import FactId, SourceId
 from repro.obs import NULL_OBS, Obs
@@ -33,7 +43,13 @@ class TrustTrajectory:
     def __init__(self, sources: Sequence[SourceId], obs: Obs = NULL_OBS) -> None:
         self._obs = obs
         self._sources = list(sources)
-        self._history: list[dict[SourceId, float]] = []
+        #: Per-time-point changed entries (the first entry is full).
+        self._deltas: list[dict[SourceId, float]] = []
+        #: Full vector of the latest recorded time point.
+        self._current: dict[SourceId, float] = {}
+        #: Latest vector in source order, for the numpy diff fast path;
+        #: ``None`` after a dict-shaped :meth:`record`.
+        self._current_vec: np.ndarray | None = None
         self._evaluation_time: dict[FactId, int] = {}
         # Batches accepted by mark_evaluated_many but not yet folded into
         # the index; flushed lazily on the first read.
@@ -46,16 +62,64 @@ class TrustTrajectory:
 
     @property
     def num_time_points(self) -> int:
-        return len(self._history)
+        return len(self._deltas)
 
     def record(self, trust: Mapping[SourceId, float]) -> int:
         """Append the trust vector of the next time point; returns its index."""
         missing = [s for s in self._sources if s not in trust]
         if missing:
             raise ValueError(f"trust vector missing sources: {missing}")
-        self._history.append({s: float(trust[s]) for s in self._sources})
+        current = self._current
+        if self._deltas:
+            delta = {}
+            for s in self._sources:
+                value = float(trust[s])
+                if current[s] != value:
+                    delta[s] = value
+        else:
+            delta = {s: float(trust[s]) for s in self._sources}
+        self._deltas.append(delta)
+        current.update(delta)
+        self._current_vec = None
         self._obs.metrics.inc("trust.time_points")
-        return len(self._history) - 1
+        return len(self._deltas) - 1
+
+    def record_vector(
+        self, trust: np.ndarray, sources: Sequence[SourceId]
+    ) -> int:
+        """:meth:`record` for a source-ordered trust vector.
+
+        ``sources`` must be this trajectory's source axis in order (the
+        array engine's invariant).  Change detection is a single vectorised
+        comparison against the previous vector instead of a per-source dict
+        build — the fast path of the engine's step loop.
+        """
+        if sources is not self._sources and list(sources) != self._sources:
+            raise ValueError("trust vector is not over this trajectory's sources")
+        previous = self._current_vec
+        if previous is None:
+            if self._deltas:
+                # Re-sync after a dict-shaped record: diff against the
+                # maintained current dict.
+                current = self._current
+                values = trust.tolist()
+                delta = {
+                    s: value
+                    for s, value in zip(self._sources, values)
+                    if current[s] != value
+                }
+            else:
+                delta = dict(zip(self._sources, trust.tolist()))
+        else:
+            changed = np.flatnonzero(trust != previous)
+            delta = {
+                self._sources[i]: float(trust[i]) for i in changed.tolist()
+            }
+        self._deltas.append(delta)
+        self._current.update(delta)
+        self._current_vec = trust.copy()
+        self._obs.metrics.inc("trust.time_points")
+        return len(self._deltas) - 1
 
     def mark_evaluated(self, facts: Sequence[FactId], time_point: int) -> None:
         """Record t(f) — the time point at which each fact was selected."""
@@ -103,23 +167,42 @@ class TrustTrajectory:
 
     def at(self, time_point: int) -> dict[SourceId, float]:
         """σ_timepoint(S) as a fresh dict."""
-        return dict(self._history[time_point])
+        n = len(self._deltas)
+        index = time_point if time_point >= 0 else n + time_point
+        if not 0 <= index < n:
+            raise IndexError(f"time point {time_point} out of range")
+        if index == n - 1:
+            return dict(self._current)
+        vector = dict(self._deltas[0])
+        for delta in self._deltas[1 : index + 1]:
+            vector.update(delta)
+        return vector
 
     def final(self) -> dict[SourceId, float]:
         """The last recorded trust vector (Table 5's reported scores)."""
-        if not self._history:
+        if not self._deltas:
             raise ValueError("no trust vectors recorded yet")
-        return dict(self._history[-1])
+        return dict(self._current)
 
     def series(self, source: SourceId) -> list[float]:
         """The full trust trajectory of one source (a Figure 2 line)."""
         if source not in set(self._sources):
             raise KeyError(f"unknown source {source!r}")
-        return [vector[source] for vector in self._history]
+        values: list[float] = []
+        value = 0.0
+        for delta in self._deltas:
+            value = delta.get(source, value)
+            values.append(value)
+        return values
 
     def as_rows(self) -> list[dict[str, float]]:
         """Figure-2-style rows: one dict per time point, keyed by source."""
-        return [dict(vector) for vector in self._history]
+        rows: list[dict[str, float]] = []
+        vector: dict[SourceId, float] = {}
+        for delta in self._deltas:
+            vector.update(delta)
+            rows.append(dict(vector))
+        return rows
 
     def state_dict(self) -> dict:
         """JSON-safe full state (checkpointing; see ``docs/robustness.md``).
@@ -132,7 +215,7 @@ class TrustTrajectory:
         self._flush_marks()
         return {
             "sources": list(self._sources),
-            "history": [dict(vector) for vector in self._history],
+            "history": self.as_rows(),
             "evaluation_time": dict(self._evaluation_time),
         }
 
@@ -143,26 +226,43 @@ class TrustTrajectory:
         :meth:`mark_evaluated` calls — so restoring does not re-count
         metrics for work the original run already recorded.
         """
-        if self._history or self._evaluation_time or self._pending_marks:
+        if self._deltas or self._evaluation_time or self._pending_marks:
             raise ValueError("load_state_dict requires an empty trajectory")
         if list(state["sources"]) != self._sources:
             raise ValueError(
                 "trajectory state is for different sources: "
                 f"{state['sources']!r} != {self._sources!r}"
             )
-        self._history = [
-            {s: float(vector[s]) for s in self._sources}
-            for vector in state["history"]
-        ]
+        for vector in state["history"]:
+            self._deltas.append(
+                self._delta_from(
+                    {s: float(vector[s]) for s in self._sources}
+                )
+            )
         self._evaluation_time = {
             str(fact): int(t) for fact, t in state["evaluation_time"].items()
         }
 
+    def _delta_from(self, vector: dict[SourceId, float]) -> dict[SourceId, float]:
+        """Changed entries of ``vector`` vs the current state; updates it."""
+        current = self._current
+        if current:
+            delta = {
+                s: value
+                for s, value in vector.items()
+                if current[s] != value
+            }
+        else:
+            delta = vector
+        current.update(delta)
+        self._current_vec = None
+        return delta
+
     def __len__(self) -> int:
-        return len(self._history)
+        return len(self._deltas)
 
     def __repr__(self) -> str:
         return (
             f"TrustTrajectory(sources={len(self._sources)}, "
-            f"time_points={len(self._history)})"
+            f"time_points={len(self._deltas)})"
         )

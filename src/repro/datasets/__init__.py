@@ -27,8 +27,10 @@ from repro.datasets.restaurants import (
 )
 from repro.datasets.synthetic import (
     SourceSpec,
+    SparseSyntheticWorld,
     SyntheticWorld,
     draw_source_specs,
+    generate_sparse_synthetic,
     generate_synthetic,
 )
 
@@ -42,6 +44,7 @@ __all__ = [
     "SOURCES",
     "SourceProfile",
     "SourceSpec",
+    "SparseSyntheticWorld",
     "SyntheticWorld",
     "TRUTH",
     "Restaurant",
@@ -55,6 +58,7 @@ __all__ = [
     "generate_universe",
     "inject_copier",
     "generate_restaurants",
+    "generate_sparse_synthetic",
     "generate_synthetic",
     "motivating_example",
 ]

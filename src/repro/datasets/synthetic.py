@@ -188,3 +188,129 @@ def generate_synthetic(
         ),
     )
     return SyntheticWorld(dataset=dataset, specs=specs, eta=eta)
+
+
+# ---------------------------------------------------------------------------
+# Sparse web-scale tier
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class SparseSyntheticWorld:
+    """A web-scale sparse instance plus its structural parameters.
+
+    ``num_templates`` distinct vote signatures shared by ``num_facts``
+    facts: the grouping step collapses the instance to ``num_templates``
+    fact groups, which is what makes a million facts tractable — every
+    per-group structure stays small while the fact axis, the vote count
+    and the source axis are genuinely web-scale.
+    """
+
+    dataset: Dataset
+    num_templates: int
+    num_hubs: int
+    votes: int
+
+
+def generate_sparse_synthetic(
+    num_facts: int = 1_000_000,
+    num_sources: int = 10_000,
+    num_templates: int = 2_400,
+    min_voters: int = 2,
+    max_voters: int = 6,
+    num_hubs: int = 150,
+    hub_bias: float = 0.5,
+    false_vote_rate: float = 0.2,
+    seed: int = 0,
+    name: str | None = None,
+) -> SparseSyntheticWorld:
+    """Generate a sparse million-fact / ten-thousand-source instance.
+
+    The generator is *template-based*: it draws ``num_templates`` vote
+    signatures — each a set of 2–6 (source, vote) pairs — and assigns every
+    fact to one template.  Facts sharing a template share a signature
+    bit-for-bit, so the grouping step produces ``num_templates`` fact
+    groups regardless of ``num_facts``; no dense per-source array is ever
+    materialised (at 10k sources the matrix also drops packed signature
+    codes and grouping runs through signature-tuple bucketing).
+
+    Source selection is hub-biased: each voter slot picks from a small hub
+    pool with probability ``hub_bias`` and from the long tail otherwise.
+    Hubs are what make templates *share* sources — they bound the size of
+    the ΔH pair graph (two groups pair iff they share a voter), so the
+    knobs ``num_hubs``/``hub_bias`` directly control the selection
+    engine's working set.
+
+    Truth is i.i.d. fair per fact; each template vote is F with
+    probability ``false_vote_rate``.  Fully deterministic given ``seed``.
+    """
+    if num_facts < 1 or num_sources < 1 or num_templates < 1:
+        raise ValueError("num_facts, num_sources and num_templates must be positive")
+    if num_templates > num_facts:
+        raise ValueError(
+            f"num_templates ({num_templates}) cannot exceed num_facts ({num_facts})"
+        )
+    if not 1 <= min_voters <= max_voters <= num_sources:
+        raise ValueError(
+            f"need 1 <= min_voters <= max_voters <= num_sources, got "
+            f"{min_voters}..{max_voters} over {num_sources} sources"
+        )
+    if not 0 < num_hubs <= num_sources:
+        raise ValueError(f"num_hubs must be in [1, {num_sources}], got {num_hubs}")
+    if not 0.0 <= hub_bias <= 1.0:
+        raise ValueError(f"hub_bias must be in [0, 1], got {hub_bias}")
+    if not 0.0 <= false_vote_rate <= 1.0:
+        raise ValueError(f"false_vote_rate must be in [0, 1], got {false_vote_rate}")
+    rng = np.random.default_rng(seed)
+    source_ids = [f"s{i}" for i in range(num_sources)]
+    tail = num_sources - num_hubs
+
+    # Draw the template signatures: distinct voters per template, each
+    # slot hub-biased, each vote F with probability false_vote_rate.
+    templates: list[list[tuple[str, Vote]]] = []
+    for _ in range(num_templates):
+        k = int(rng.integers(min_voters, max_voters + 1))
+        n_hub = int(rng.binomial(k, hub_bias)) if tail else k
+        n_hub = min(n_hub, num_hubs)
+        voters = rng.choice(num_hubs, size=n_hub, replace=False)
+        if k - n_hub:
+            voters = np.concatenate(
+                (
+                    voters,
+                    num_hubs + rng.choice(tail, size=k - n_hub, replace=False),
+                )
+            )
+        votes = np.where(rng.random(k) < false_vote_rate, 1, 0)
+        templates.append(
+            [
+                (source_ids[int(v)], Vote.FALSE if f else Vote.TRUE)
+                for v, f in zip(voters, votes)
+            ]
+        )
+
+    template_of = rng.integers(0, num_templates, size=num_facts)
+    truth = rng.random(num_facts) < 0.5
+
+    matrix = VoteMatrix()
+    for source in source_ids:
+        matrix.add_source(source)
+    votes_total = 0
+    add_votes = matrix.add_votes
+    for i in range(num_facts):
+        template = templates[template_of[i]]
+        add_votes(f"f{i}", template)
+        votes_total += len(template)
+
+    dataset = Dataset(
+        matrix=matrix,
+        truth={f"f{i}": bool(t) for i, t in enumerate(truth)},
+        name=name
+        or (
+            f"sparse-synthetic[{num_facts}f, {num_sources}s, "
+            f"{num_templates}g]"
+        ),
+    )
+    return SparseSyntheticWorld(
+        dataset=dataset,
+        num_templates=num_templates,
+        num_hubs=num_hubs,
+        votes=votes_total,
+    )

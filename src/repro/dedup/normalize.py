@@ -133,8 +133,9 @@ def normalize_name(name: str) -> str:
     lowered = lowered.replace("'s", "s").replace("'", "")
     lowered = _NON_ALNUM.sub(" ", lowered)
     tokens = [t for t in _WHITESPACE.split(lowered) if t]
-    # Drop a leading article, but only when something follows it — "A A"
-    # must normalise idempotently, not vanish token by token.
-    if len(tokens) > 1 and tokens[0] in {"the", "a", "an"}:
+    # Drop leading articles, but only while something follows them — the
+    # result must never *start* with a droppable article (idempotence),
+    # and a name that is nothing but articles keeps its last token.
+    while len(tokens) > 1 and tokens[0] in {"the", "a", "an"}:
         tokens = tokens[1:]
     return " ".join(tokens)

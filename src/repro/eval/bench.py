@@ -65,6 +65,24 @@ DEFAULT_SERVE_OUTPUT = "BENCH_serve.json"
 PARALLEL_SCHEMA_VERSION = 1
 DEFAULT_PARALLEL_OUTPUT = "BENCH_parallel.json"
 
+#: Schema / default output of the sparse scale-tier benchmark (``--scale``).
+SCALE_SCHEMA_VERSION = 1
+DEFAULT_SCALE_OUTPUT = "BENCH_scale.json"
+
+#: Hard ceiling on the scale run's peak RSS: the million-fact tier must
+#: stay sparse, and a dense (G × S) or per-fact-code structure sneaking
+#: back in shows up here long before it ooms a CI runner.
+SCALE_MEMORY_GUARD_KB = 6 * 1024 * 1024
+
+#: Minimum instance sizes per tier, asserted by the validator so a
+#: committed BENCH_scale.json cannot silently shrink below the paper-scale
+#: claim (full) or below the wide-matrix code path (quick keeps the source
+#: axis past the signature-code limit).
+SCALE_FLOORS = {
+    "full": {"facts": 1_000_000, "sources": 10_000},
+    "quick": {"facts": 50_000, "sources": 2_000},
+}
+
 
 @dataclasses.dataclass
 class BenchRecord:
@@ -465,6 +483,172 @@ def write_serve_bench(
 
 
 # ---------------------------------------------------------------------------
+# Sparse scale-tier benchmark (BENCH_scale.json)
+# ---------------------------------------------------------------------------
+def run_scale_bench(quick: bool = False) -> dict:
+    """Run the sparse million-fact tier; the BENCH_scale.json payload.
+
+    One end-to-end ``IncEstimate[IncEstHeu]`` engine run over the
+    template-based sparse instance
+    (:func:`~repro.datasets.synthetic.generate_sparse_synthetic`) — a
+    million facts over ten thousand sources in full mode, a downsized but
+    still wide-matrix instance (past the signature-code source limit) with
+    ``quick``.  Phases cover the whole pipeline: ``generate`` (dataset
+    synthesis), ``group`` (sparse grouping), ``setup`` (session build,
+    including the ΔH pair graph), ``steps`` and ``finalize``.  A single
+    timed run: at this scale, repeat-and-take-best would triple a CI job
+    for a number whose guard (the memory ceiling) does not jitter.
+    """
+    import time
+
+    from repro.core.arrays import GroupIndex
+    from repro.datasets import generate_sparse_synthetic
+
+    tier = "quick" if quick else "full"
+    if quick:
+        params = dict(
+            num_facts=50_000,
+            num_sources=2_000,
+            num_templates=300,
+            num_hubs=60,
+            seed=17,
+        )
+    else:
+        params = dict(
+            num_facts=1_000_000,
+            num_sources=10_000,
+            num_templates=2_400,
+            num_hubs=150,
+            seed=17,
+        )
+    phases: dict[str, float] = {}
+    started = time.perf_counter()
+    world = generate_sparse_synthetic(**params)
+    phases["generate"] = time.perf_counter() - started
+    matrix = world.dataset.matrix
+
+    started = time.perf_counter()
+    index = GroupIndex.for_matrix(matrix)
+    phases["group"] = time.perf_counter() - started
+
+    estimator = IncEstimate(strategy=IncEstHeu(), engine=True)
+    started = time.perf_counter()
+    session = CorroborationSession(
+        world.dataset,
+        estimator.strategy,
+        estimator.default_trust,
+        estimator.default_fact_probability,
+        estimator.trust_prior_strength,
+        estimator.name,
+        engine=True,
+    )
+    phases["setup"] = time.perf_counter() - started
+    started = time.perf_counter()
+    while not session.done:
+        session.step()
+    phases["steps"] = time.perf_counter() - started
+    started = time.perf_counter()
+    result = session.finalize()
+    phases["finalize"] = time.perf_counter() - started
+
+    record = {
+        "method": estimator.name,
+        "dataset": world.dataset.name,
+        "backend": "engine",
+        "facts": matrix.num_facts,
+        "sources": matrix.num_sources,
+        "groups": index.num_groups,
+        "votes": world.votes,
+        "rounds": len(result.rounds),
+        "phases": {k: round(v, 6) for k, v in phases.items()},
+        "seconds": round(sum(phases.values()), 6),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return {
+        "schema_version": SCALE_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "tier": tier,
+        "memory_guard_kb": SCALE_MEMORY_GUARD_KB,
+        "records": [record],
+    }
+
+
+def validate_scale_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid scale bench.
+
+    Shape, the per-tier instance-size floors and the memory guard: a
+    committed BENCH_scale.json must describe a genuinely web-scale run
+    that stayed within the sparse-tier memory ceiling.
+    """
+    if payload.get("schema_version") != SCALE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    tier = payload.get("tier")
+    if tier not in SCALE_FLOORS:
+        raise ValueError(f"tier must be one of {sorted(SCALE_FLOORS)}, got {tier!r}")
+    guard = payload.get("memory_guard_kb")
+    if not isinstance(guard, int) or guard < 1:
+        raise ValueError("memory_guard_kb must be a positive integer")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("records must be a non-empty list")
+    required = {
+        "method": str,
+        "dataset": str,
+        "backend": str,
+        "facts": int,
+        "sources": int,
+        "groups": int,
+        "votes": int,
+        "rounds": int,
+        "phases": dict,
+        "seconds": float,
+        "peak_rss_kb": int,
+    }
+    floors = SCALE_FLOORS[tier]
+    phase_keys = {"generate", "group", "setup", "steps", "finalize"}
+    for i, record in enumerate(records):
+        for key, kind in required.items():
+            if not isinstance(record.get(key), kind):
+                raise ValueError(f"records[{i}].{key} is not a {kind.__name__}")
+        if set(record["phases"]) != phase_keys:
+            raise ValueError(f"records[{i}].phases has keys {set(record['phases'])}")
+        if record["seconds"] < 0:
+            raise ValueError(f"records[{i}].seconds is negative")
+        if record["facts"] < floors["facts"]:
+            raise ValueError(
+                f"records[{i}].facts={record['facts']} is below the "
+                f"{tier}-tier floor {floors['facts']}"
+            )
+        if record["sources"] < floors["sources"]:
+            raise ValueError(
+                f"records[{i}].sources={record['sources']} is below the "
+                f"{tier}-tier floor {floors['sources']}"
+            )
+        if record["groups"] < 1:
+            raise ValueError(f"records[{i}].groups must be positive")
+        if record["peak_rss_kb"] > guard:
+            raise ValueError(
+                f"records[{i}].peak_rss_kb={record['peak_rss_kb']} exceeds "
+                f"the memory guard {guard} KiB"
+            )
+
+
+def write_scale_bench(
+    path: str | pathlib.Path = DEFAULT_SCALE_OUTPUT,
+    quick: bool = False,
+) -> dict:
+    """Run the scale bench and write ``path``; returns the payload."""
+    payload = run_scale_bench(quick=quick)
+    validate_scale_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # Parallel-scaling benchmark (BENCH_parallel.json)
 # ---------------------------------------------------------------------------
 def measure_sweep_workers(
@@ -663,7 +847,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"synthetic sweep) and write {DEFAULT_PARALLEL_OUTPUT} instead"
         ),
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "run the sparse million-fact scale tier and write "
+            f"{DEFAULT_SCALE_OUTPUT} instead (--quick downsizes)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.scale:
+        output = args.output or DEFAULT_SCALE_OUTPUT
+        payload = write_scale_bench(output, quick=args.quick)
+        record = payload["records"][0]
+        print(
+            f"{record['method']} on {record['dataset']}: "
+            f"{record['seconds']:.1f} s total "
+            f"({record['facts']} facts, {record['sources']} sources, "
+            f"{record['groups']} groups, {record['votes']} votes)"
+        )
+        for phase, seconds in record["phases"].items():
+            print(f"{phase:>10s}  {seconds*1000:10.1f} ms")
+        print(
+            f"peak_rss {record['peak_rss_kb']} KiB "
+            f"(guard {payload['memory_guard_kb']} KiB)"
+        )
+        print(f"wrote {output}")
+        return 0
     if args.parallel:
         output = args.output or DEFAULT_PARALLEL_OUTPUT
         payload = write_parallel_bench(

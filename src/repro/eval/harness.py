@@ -30,6 +30,7 @@ import dataclasses
 import json
 import pathlib
 import re
+import tempfile
 from collections.abc import Sequence
 
 from repro.core.result import CorroborationResult, Corroborator
@@ -219,11 +220,15 @@ def _run_methods_sharded(
     same :class:`~repro.parallel.ShardRunner` code path, so the merged
     ledger and the outcome list are identical for any ``N`` (the
     worker-count-invariance contract the parallel test suite pins).
+
+    Cells ship :class:`~repro.parallel.DatasetSpec` references, never
+    materialised datasets: a caller-provided ``Dataset`` headed for a real
+    pool is spilled to a temporary JSON file once and each cell pickles
+    the tiny spec — without this, every one of N method cells would
+    serialise the full vote matrix across the spawn boundary.
     """
     runs: list[MethodRun | None] = [None] * len(methods)
-    payloads: list[tuple] = []
-    labels: list[str] = []
-    cell_slots: list[int] = []
+    cells: list[tuple[int, Corroborator]] = []
     for slot, method in enumerate(methods):
         if directory is not None and resume:
             cached = _cached_run(directory, method.name)
@@ -234,20 +239,36 @@ def _run_methods_sharded(
         # Workers rebind obs in-process; live parent sinks must not ride
         # along in the pickle.
         method.obs = NULL_OBS
-        payloads.append((method, dataset, supervision))
-        labels.append(method.name)
-        cell_slots.append(slot)
-    if payloads:
-        runner = ShardRunner(
-            workers=workers,
-            isolate_errors=supervision.isolate_errors,
-            obs=obs,
-            label="harness",
-        )
-        outcomes = runner.run(_method_cell, payloads, labels=labels)
-        for outcome, slot in zip(outcomes, cell_slots):
+        cells.append((slot, method))
+    if cells:
+        spill: tempfile.TemporaryDirectory | None = None
+        shipped: Dataset | DatasetSpec = dataset
+        if isinstance(dataset, Dataset) and min(workers, len(cells)) > 1:
+            from repro.model.io import save_dataset
+
+            spill = tempfile.TemporaryDirectory(prefix="harness-dataset-")
+            path = pathlib.Path(spill.name) / "dataset.json"
+            save_dataset(dataset, path)
+            shipped = DatasetSpec.from_json(path)
+            obs.metrics.inc("harness.dataset_spills")
+        try:
+            payloads = [
+                (method, shipped, supervision) for _, method in cells
+            ]
+            labels = [method.name for _, method in cells]
+            runner = ShardRunner(
+                workers=workers,
+                isolate_errors=supervision.isolate_errors,
+                obs=obs,
+                label="harness",
+            )
+            outcomes = runner.run(_method_cell, payloads, labels=labels)
+        finally:
+            if spill is not None:
+                spill.cleanup()
+        for outcome, (slot, method) in zip(outcomes, cells):
             if outcome.failed:
-                run = _cell_failure_run(outcome, methods[slot].name)
+                run = _cell_failure_run(outcome, method.name)
                 if obs.enabled:
                     obs.metrics.inc("harness.method_failures")
                     obs.runlog.emit(

@@ -21,7 +21,11 @@ maintains three kinds of it:
 * every fact carries an incrementally-maintained *packed signature code*
   (2 bits per source), so the fact-grouping step of the array engine
   (:mod:`repro.core.arrays`) is a single integer-key partition instead of
-  per-fact signature construction and sorting;
+  per-fact signature construction and sorting.  Code maintenance is
+  dropped once the source axis grows past
+  :data:`SIGNATURE_CODE_SOURCE_LIMIT` — at web scale the per-fact big-ints
+  would dominate memory, and grouping falls back to signature-tuple
+  bucketing (:attr:`~VoteMatrix.has_signature_codes`);
 * a :attr:`version` counter ticks on every mutation, letting derived
   structures (e.g. the dense group arrays) cache themselves against a
   matrix snapshot via :meth:`derived_cache`.
@@ -45,6 +49,12 @@ Signature = tuple[tuple[SourceId, str], ...]
 #: Shared empty mapping backing the non-copying iterators for unknown keys.
 _EMPTY_VOTES: dict = {}
 
+#: Beyond this many sources the matrix stops maintaining packed signature
+#: codes: each code holds 2 bits per source column, so at 10k+ sources a
+#: million facts would pin gigabytes of Python big-ints for an index the
+#: grouping step can live without (it buckets signature tuples instead).
+SIGNATURE_CODE_SOURCE_LIMIT = 1024
+
 
 class VoteMatrix:
     """Sparse map of the votes cast by sources over facts.
@@ -66,8 +76,9 @@ class VoteMatrix:
         self._by_source: dict[SourceId, dict[FactId, Vote]] = {}
         #: Column index of each source, in registration order.
         self._source_pos: dict[SourceId, int] = {}
-        #: Packed signature code per fact (see :meth:`signature_codes`).
-        self._sig_codes: dict[FactId, int] = {}
+        #: Packed signature code per fact (see :meth:`signature_codes`);
+        #: ``None`` once maintenance is dropped for a wide source axis.
+        self._sig_codes: dict[FactId, int] | None = {}
         self._facts_cache: list[FactId] | None = None
         self._sources_cache: list[SourceId] | None = None
         self._version = 0
@@ -102,7 +113,8 @@ class VoteMatrix:
         """Register ``fact`` (idempotent)."""
         if fact not in self._by_fact:
             self._by_fact[fact] = {}
-            self._sig_codes[fact] = 0
+            if self._sig_codes is not None:
+                self._sig_codes[fact] = 0
             self._facts_cache = None
             self._invalidate()
 
@@ -111,6 +123,11 @@ class VoteMatrix:
         if source not in self._by_source:
             self._source_pos[source] = len(self._by_source)
             self._by_source[source] = {}
+            if (
+                self._sig_codes is not None
+                and len(self._by_source) > SIGNATURE_CODE_SOURCE_LIMIT
+            ):
+                self._sig_codes = None
             self._sources_cache = None
             self._invalidate()
 
@@ -135,8 +152,48 @@ class VoteMatrix:
         self.add_source(source)
         self._by_fact[fact][source] = vote
         self._by_source[source][fact] = vote
-        code = self._CODE_TRUE if vote is Vote.TRUE else self._CODE_FALSE
-        self._sig_codes[fact] += code << (2 * self._source_pos[source])
+        if self._sig_codes is not None:
+            code = self._CODE_TRUE if vote is Vote.TRUE else self._CODE_FALSE
+            self._sig_codes[fact] += code << (2 * self._source_pos[source])
+        self._invalidate()
+
+    def add_votes(
+        self, fact: FactId, votes: Iterable[tuple[SourceId, Vote]]
+    ) -> None:
+        """Record several votes on ``fact`` in one call.
+
+        Semantically identical to looping :meth:`add_vote`, but pays the
+        registration, signature-code and cache-invalidation overhead once
+        per fact instead of once per vote — the bulk-ingest path the sparse
+        synthetic generator feeds millions of votes through.
+        """
+        self.add_fact(fact)
+        fact_votes = self._by_fact[fact]
+        code_delta = 0
+        for source, vote in votes:
+            if not isinstance(vote, Vote):
+                raise TypeError(
+                    f"vote must be a Vote, got {type(vote).__name__}"
+                )
+            existing = fact_votes.get(source)
+            if existing is not None:
+                if existing is not vote:
+                    raise ValueError(
+                        f"conflicting vote for fact={fact!r} "
+                        f"source={source!r}: {existing} already recorded, "
+                        f"attempted {vote}"
+                    )
+                continue
+            self.add_source(source)
+            fact_votes[source] = vote
+            self._by_source[source][fact] = vote
+            if self._sig_codes is not None:
+                code = (
+                    self._CODE_TRUE if vote is Vote.TRUE else self._CODE_FALSE
+                )
+                code_delta += code << (2 * self._source_pos[source])
+        if self._sig_codes is not None and code_delta:
+            self._sig_codes[fact] += code_delta
         self._invalidate()
 
     @classmethod
@@ -264,6 +321,17 @@ class VoteMatrix:
         votes = self._by_fact.get(fact, {})
         return tuple(sorted((source, vote.value) for source, vote in votes.items()))
 
+    @property
+    def has_signature_codes(self) -> bool:
+        """Whether packed signature codes are being maintained.
+
+        ``False`` once the source axis has grown past
+        :data:`SIGNATURE_CODE_SOURCE_LIMIT`; grouping consumers must then
+        bucket signature tuples instead (see
+        :meth:`~repro.core.arrays.GroupIndex.from_matrix`).
+        """
+        return self._sig_codes is not None
+
     def signature_codes(self) -> dict[FactId, int]:
         """Packed signature code per fact, in registration order.
 
@@ -273,7 +341,15 @@ class VoteMatrix:
         :meth:`signature` — grouping facts reduces to partitioning by an
         integer key.  Maintained incrementally on :meth:`add_vote`; the
         returned mapping is the live internal index, treat it as read-only.
+        Raises when maintenance was dropped for a wide source axis — check
+        :attr:`has_signature_codes` first.
         """
+        if self._sig_codes is None:
+            raise RuntimeError(
+                "signature codes are not maintained past "
+                f"{SIGNATURE_CODE_SOURCE_LIMIT} sources; "
+                "check has_signature_codes"
+            )
         return self._sig_codes
 
     def source_positions(self) -> dict[SourceId, int]:

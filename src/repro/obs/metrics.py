@@ -19,6 +19,10 @@ Metric names are dotted paths.  The ones the library emits:
 ``selection.flush_rounds``             one-sided flush time points (counter)
 ``selection.delta_h_rounds``           time points that ranked by ΔH
 ``selection.delta_h_groups_scored``    candidate groups scored by Eq. 9
+``selection.candidates_rescored``      (cand, other) pairs recomputed by the
+                                       incremental engine (counter)
+``selection.candidates_skipped``       pairs served from the pair cache
+                                       without recomputation (counter)
 ``selection.groups_per_round``         active groups per time point (hist.)
 ``selection.greedy_rounds``            IncEstPS selections (counter)
 ``baseline.<name>.iterations``         fixpoint iterations per baseline run
@@ -30,8 +34,9 @@ Cache traffic on the shared array structures is process-global (the caches
 live on the vote matrix, not in any one session), so it lands in the
 always-on :func:`global_metrics` registry under ``arrays.*``:
 ``arrays.group_arrays_cache.{hit,miss}``,
+``arrays.group_index_cache.{hit,miss}``,
 ``arrays.engine_template_cache.{hit,miss}``,
-``arrays.dh_slices.{rebuild,patch}``.
+``arrays.deltah_static_cache.{hit,miss}``.
 """
 
 from __future__ import annotations

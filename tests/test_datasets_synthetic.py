@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.datasets.synthetic import draw_source_specs, generate_synthetic
+from repro.core.arrays import GroupIndex
+from repro.datasets.synthetic import (
+    draw_source_specs,
+    generate_sparse_synthetic,
+    generate_synthetic,
+)
 from repro.model.votes import Vote
 
 
@@ -99,3 +104,52 @@ class TestGenerator:
         conflicted = len(ds.matrix.conflicted_facts())
         # |F*| >> |F − F*| (Section 3.3).
         assert affirmative_only > 10 * conflicted
+
+
+class TestSparseSynthetic:
+    """The million-fact scale-tier generator, exercised at a small size."""
+
+    def _world(self, **overrides):
+        params = dict(
+            num_facts=3000,
+            num_sources=2000,
+            num_templates=40,
+            num_hubs=25,
+            seed=11,
+        )
+        params.update(overrides)
+        return generate_sparse_synthetic(**params)
+
+    def test_deterministic_given_seed(self):
+        a = self._world()
+        b = self._world()
+        assert a.dataset.matrix.num_votes == b.dataset.matrix.num_votes
+        assert a.dataset.truth == b.dataset.truth
+        for fact in a.dataset.matrix.facts[:50]:
+            assert a.dataset.matrix.votes_on(fact) == b.dataset.matrix.votes_on(fact)
+
+    def test_group_count_equals_templates(self):
+        world = self._world()
+        index = GroupIndex.for_matrix(world.dataset.matrix)
+        assert index.num_groups == world.num_templates == 40
+
+    def test_wide_matrix_skips_packed_codes(self):
+        # Above SIGNATURE_CODE_SOURCE_LIMIT sources there are no packed
+        # signature codes; grouping must still work via tuple bucketing.
+        world = self._world()
+        assert not world.dataset.matrix.has_signature_codes
+
+    def test_every_fact_voted(self):
+        world = self._world()
+        assert len(world.dataset.matrix.facts) == 3000
+        assert world.dataset.matrix.num_votes >= 2 * 3000
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            self._world(num_facts=0)
+        with pytest.raises(ValueError):
+            self._world(num_templates=5000)  # more templates than facts
+        with pytest.raises(ValueError):
+            self._world(num_hubs=3000)  # more hubs than sources
+        with pytest.raises(ValueError):
+            self._world(min_voters=0)

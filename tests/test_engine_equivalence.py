@@ -28,6 +28,7 @@ STRATEGIES = {
     "ps": lambda: IncEstPS(),
     "heu-noflush": lambda: IncEstHeu(flush_when_one_sided=False),
     "heu-smoothed": lambda: IncEstHeu(projection_smoothing=0.1),
+    "heu-full": lambda: IncEstHeu(incremental=False),
 }
 
 
@@ -78,7 +79,7 @@ class TestEndToEndEquivalence:
         dataset = generate_synthetic(num_facts=1_500, seed=7).dataset
         assert_results_identical(*run_both(dataset, STRATEGIES[strategy]))
 
-    @pytest.mark.parametrize("strategy", ["heu", "ps"])
+    @pytest.mark.parametrize("strategy", ["heu", "ps", "heu-full"])
     def test_small_hubdub_wide_source_path(self, small_hubdub_world, strategy):
         # >31 sources: exercises the big-int signature partitioning path.
         dataset = small_hubdub_world.questions.to_dataset()
@@ -165,24 +166,46 @@ class TestSessionArraysKernel:
         assert arrays.remaining_facts() == before - size
         assert len(arrays.active_groups()) == arrays.num_groups - 1
 
-    def test_dh_slices_patch_equals_fresh_slice(self, small_restaurant_world):
-        """In-place patched ΔH slices == fancy-index slices at all times."""
+    def test_incremental_pair_cache_equals_full_rescan(
+        self, small_restaurant_world
+    ):
+        """Incrementally maintained ΔH terms == full rescan, bit for bit.
+
+        Two identical sessions-worth of arrays receive the same random
+        evaluation stream; one scores incrementally against its pair-term
+        cache, the other forces a rebuild every round.  Scores over the
+        active rows must stay ``==``-equal at every time point — the
+        invalidation rule may never miss a moved input.
+        """
         matrix = small_restaurant_world.dataset.matrix
-        arrays = SessionArrays(matrix, default_trust=0.8, prior=1.0)
-        arrays.dh_slices()  # prime the cache so patches (not rebuilds) run
+        inc_arrays = SessionArrays(matrix, default_trust=0.8, prior=1.0)
+        full_arrays = SessionArrays(matrix, default_trust=0.8, prior=1.0)
         rng = np.random.default_rng(5)
-        for _ in range(20):
-            rows = arrays.active_rows()
-            row = int(rows[rng.integers(0, len(rows))])
-            count = int(rng.integers(1, arrays.sizes[row] + 1))
-            arrays.apply_evaluation(row, count, bool(rng.integers(0, 2)))
-            slices = arrays.dh_slices()
-            idx = arrays.active_rows()
-            assert np.array_equal(slices.sizes, arrays.sizes[idx])
-            assert np.array_equal(slices.affirm_sized, arrays.affirm_sized[idx])
-            assert np.array_equal(slices.deny_sized, arrays.deny_sized[idx])
-            assert np.array_equal(slices.voted_sized, arrays.voted_sized[idx])
-            assert np.array_equal(slices.affirm, arrays.base.affirm[idx])
+        for smoothing in (0.0, 0.1):
+            for _ in range(20):
+                scores = []
+                for arrays, full in ((inc_arrays, False), (full_arrays, True)):
+                    arrays.refresh_trust()
+                    arrays.compute_probabilities(0.2)
+                    delta = arrays.dh_engine().cross_scores(
+                        correct=arrays.correct,
+                        total=arrays.total,
+                        sizes=arrays.sizes,
+                        active=arrays.active,
+                        probabilities=arrays.probabilities,
+                        default_trust=0.8,
+                        default_fact_probability=0.2,
+                        smoothing=smoothing,
+                        full=full,
+                    )
+                    scores.append(delta[arrays.active_rows()])
+                assert np.array_equal(scores[0], scores[1])
+                rows = inc_arrays.active_rows()
+                row = int(rows[rng.integers(0, len(rows))])
+                count = int(rng.integers(1, inc_arrays.sizes[row] + 1))
+                label = bool(rng.integers(0, 2))
+                inc_arrays.apply_evaluation(row, count, label)
+                full_arrays.apply_evaluation(row, count, label)
 
     def test_counter_views_are_live_and_read_only(self, motivating):
         arrays = SessionArrays(motivating.matrix, default_trust=0.5, prior=1.0)
@@ -289,7 +312,7 @@ class TestDifferentialFuzz:
     and the serial harness against the sharded one at two workers."""
 
     @pytest.mark.parametrize("seed", range(12))
-    @pytest.mark.parametrize("strategy", ["heu", "ps", "heu-noflush"])
+    @pytest.mark.parametrize("strategy", ["heu", "ps", "heu-noflush", "heu-full"])
     def test_scalar_vs_engine(self, seed, strategy):
         dataset = _fuzz_world(seed)
         assert_results_identical(*run_both(dataset, STRATEGIES[strategy]))
