@@ -1,0 +1,54 @@
+"""Serving load baseline — regenerates ``BENCH_load.json``.
+
+Drives a live HTTP server with mixed ingest/query traffic via the load
+generator (:mod:`repro.eval.loadgen`), cross-checks the server's own
+``/metrics`` / ``/statusz`` telemetry against the client-side ground
+truth, and rewrites the machine-readable baseline at the repository
+root.  The schema and the per-tier floors live in
+:mod:`repro.eval.bench`; the CI ``load-smoke`` job validates the same
+schema from a ``--quick`` run in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.eval.bench import (
+    LOAD_FLOORS,
+    run_load_bench,
+    validate_load_payload,
+    write_load_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_bench_load_json(benchmark):
+    def run():
+        return run_load_bench(quick=False)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    validate_load_payload(payload)
+    assert payload["tier"] == "full"
+    assert (
+        payload["ingest"]["votes_per_second"]
+        >= LOAD_FLOORS["full"]["votes_per_second"]
+    ), payload["ingest"]
+    (REPO_ROOT / "BENCH_load.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def test_bench_load_quick_schema(tmp_path):
+    """The --load --quick path (the CI smoke) emits a schema-valid file
+    and leaves inspectable artifacts behind."""
+    artifacts = tmp_path / "artifacts"
+    payload = write_load_bench(
+        tmp_path / "BENCH_load.json", quick=True, artifacts_dir=artifacts
+    )
+    validate_load_payload(payload)
+    assert (tmp_path / "BENCH_load.json").exists()
+    assert (artifacts / "access.jsonl").exists()
+    assert (artifacts / "runlog.jsonl").exists()
+    assert (artifacts / "trace.json").exists()

@@ -311,6 +311,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--method", default="incestimate", choices=sorted(SERVE_METHODS)
     )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="append one JSONL record per handled request to PATH",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="WARN (and count) requests taking at least MS milliseconds",
+    )
     _add_obs_args(serve)
     return parser
 
@@ -667,9 +678,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.serve import CorroborationService, make_server
+    from repro.serve.telemetry import AccessLog
     from repro.store import VoteLedger
 
     obs = _make_obs(args)
+    access_log = AccessLog(args.access_log) if args.access_log else None
     ledger = VoteLedger(args.store, obs=obs)
     service = CorroborationService(
         ledger,
@@ -679,7 +692,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs=obs,
     )
     decision = service.refresh()  # labels current before the first request
-    server = make_server(service, host=args.host, port=args.port)
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        access_log=access_log,
+        slow_ms=args.slow_ms,
+    )
     host, port = server.server_address[:2]
 
     def _terminate(signum, frame):  # noqa: ARG001 — signal contract
@@ -698,6 +717,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        if access_log is not None:
+            access_log.close()
         ledger.close()
         _finish_obs(args, obs)
         print("server stopped")

@@ -69,6 +69,21 @@ DEFAULT_PARALLEL_OUTPUT = "BENCH_parallel.json"
 SCALE_SCHEMA_VERSION = 1
 DEFAULT_SCALE_OUTPUT = "BENCH_scale.json"
 
+#: Schema / default output of the serving load benchmark (``--load``).
+LOAD_SCHEMA_VERSION = 1
+DEFAULT_LOAD_OUTPUT = "BENCH_load.json"
+
+#: Per-tier acceptance floors of the load bench, asserted by the
+#: validator: minimum sustained ingest throughput (votes/second through
+#: POST /votes including the incremental refresh) and a generous ceiling
+#: on the client-observed query p99 (milliseconds).  Set far below/above
+#: a healthy run so only a genuine serving regression — or a committed
+#: file from a broken run — trips them, not host jitter.
+LOAD_FLOORS = {
+    "full": {"votes_per_second": 150.0, "query_p99_ms": 2500.0},
+    "quick": {"votes_per_second": 25.0, "query_p99_ms": 2500.0},
+}
+
 #: Hard ceiling on the scale run's peak RSS: the million-fact tier must
 #: stay sparse, and a dense (G × S) or per-fact-code structure sneaking
 #: back in shows up here long before it ooms a CI runner.
@@ -649,6 +664,101 @@ def write_scale_bench(
 
 
 # ---------------------------------------------------------------------------
+# Serving load benchmark (BENCH_load.json)
+# ---------------------------------------------------------------------------
+def run_load_bench(
+    quick: bool = False,
+    artifacts_dir: str | pathlib.Path | None = None,
+) -> dict:
+    """Run the load generator against a live server; the BENCH_load payload.
+
+    Delegates the traffic to :func:`repro.eval.loadgen.run_load` (which
+    raises if the server's own ``/metrics`` / ``/statusz`` telemetry
+    disagrees with the driven load) and wraps the results with the
+    schema/platform header.  ``artifacts_dir`` keeps the run's access
+    log, run ledger and span trace for inspection.
+    """
+    from repro.eval.loadgen import FULL_CONFIG, QUICK_CONFIG, run_load
+
+    tier = "quick" if quick else "full"
+    config = QUICK_CONFIG if quick else FULL_CONFIG
+    results = run_load(config, artifacts_dir=artifacts_dir)
+    return {
+        "schema_version": LOAD_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "tier": tier,
+        "floors": LOAD_FLOORS[tier],
+        **results,
+    }
+
+
+def validate_load_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid load bench.
+
+    Shape plus the per-tier floors: a committed BENCH_load.json must
+    describe a run that sustained the minimum ingest throughput, kept the
+    query p99 under the ceiling, finished with nothing pending and
+    answered every query without client-side errors.
+    """
+    if payload.get("schema_version") != LOAD_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    tier = payload.get("tier")
+    if tier not in LOAD_FLOORS:
+        raise ValueError(f"tier must be one of {sorted(LOAD_FLOORS)}, got {tier!r}")
+    for section in ("config", "ingest", "query", "server"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"{section} section is missing")
+    ingest, query, server = payload["ingest"], payload["query"], payload["server"]
+    for section_name, section, keys in (
+        ("ingest", ingest, ("batches", "votes", "seconds", "votes_per_second", "p50_ms", "p99_ms")),
+        ("query", query, ("ops", "errors", "statuses", "p50_ms", "p99_ms")),
+        ("server", server, ("requests", "slow_requests", "request_p50_ms", "request_p99_ms", "facts", "votes", "refresh_age_seconds")),
+    ):
+        for key in keys:
+            if key not in section:
+                raise ValueError(f"{section_name}.{key} is missing")
+    floors = LOAD_FLOORS[tier]
+    if ingest["votes_per_second"] < floors["votes_per_second"]:
+        raise ValueError(
+            f"ingest.votes_per_second={ingest['votes_per_second']} is below "
+            f"the {tier}-tier floor {floors['votes_per_second']}"
+        )
+    if query["p99_ms"] > floors["query_p99_ms"]:
+        raise ValueError(
+            f"query.p99_ms={query['p99_ms']} exceeds the {tier}-tier "
+            f"ceiling {floors['query_p99_ms']}"
+        )
+    if query["errors"] != 0:
+        raise ValueError(f"query.errors={query['errors']} (expected 0)")
+    if query["ops"] < 1:
+        raise ValueError("query.ops must be positive")
+    if server["votes"] != ingest["votes"]:
+        raise ValueError(
+            f"server.votes={server['votes']} != ingest.votes={ingest['votes']}"
+        )
+    if server["requests"] < ingest["batches"] + query["ops"]:
+        raise ValueError(
+            "server.requests is below the client-side request total"
+        )
+
+
+def write_load_bench(
+    path: str | pathlib.Path = DEFAULT_LOAD_OUTPUT,
+    quick: bool = False,
+    artifacts_dir: str | pathlib.Path | None = None,
+) -> dict:
+    """Run the load bench and write ``path``; returns the payload."""
+    payload = run_load_bench(quick=quick, artifacts_dir=artifacts_dir)
+    validate_load_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # Parallel-scaling benchmark (BENCH_parallel.json)
 # ---------------------------------------------------------------------------
 def measure_sweep_workers(
@@ -855,7 +965,49 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{DEFAULT_SCALE_OUTPUT} instead (--quick downsizes)"
         ),
     )
+    parser.add_argument(
+        "--load",
+        action="store_true",
+        help=(
+            "run the serving load generator (mixed ingest/query traffic "
+            f"against a live server) and write {DEFAULT_LOAD_OUTPUT} instead"
+        ),
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="(--load only) keep the run's access log, run ledger and trace in DIR",
+    )
     args = parser.parse_args(argv)
+    if args.load:
+        output = args.output or DEFAULT_LOAD_OUTPUT
+        payload = write_load_bench(
+            output, quick=args.quick, artifacts_dir=args.artifacts
+        )
+        ingest, query, server = (
+            payload["ingest"],
+            payload["query"],
+            payload["server"],
+        )
+        print(
+            f"ingest  {ingest['votes']} votes in {ingest['seconds']:.2f} s  "
+            f"({ingest['votes_per_second']:.1f} votes/s, "
+            f"p99 {ingest['p99_ms']:.1f} ms/batch)"
+        )
+        print(
+            f"query   {query['ops']} ops  "
+            f"p50 {query['p50_ms']:.1f} ms  p99 {query['p99_ms']:.1f} ms  "
+            f"statuses {query['statuses']}"
+        )
+        print(
+            f"server  {int(server['requests'])} requests  "
+            f"p50 {server['request_p50_ms']:.1f} ms  "
+            f"p99 {server['request_p99_ms']:.1f} ms  "
+            f"{int(server['slow_requests'])} slow"
+        )
+        print(f"wrote {output}")
+        return 0
     if args.scale:
         output = args.output or DEFAULT_SCALE_OUTPUT
         payload = write_scale_bench(output, quick=args.quick)

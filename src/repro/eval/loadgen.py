@@ -1,0 +1,399 @@
+"""Load generator for the corroboration serving stack.
+
+Drives a *live* :func:`~repro.serve.make_server` instance over a real
+socket with mixed traffic — an ingest driver POSTing fresh vote batches
+(each one an ingest + incremental refresh, the serving hot path) while
+query workers hammer the read endpoints — then scrapes ``/metrics`` and
+``/statusz`` and cross-checks the server's own telemetry against the
+client-side ground truth: the exposition must report at least as many
+handled requests as the generator sent, the store totals must equal the
+votes driven in, nothing may be left pending, and the refresh age must be
+sane.  The result is the ``BENCH_load.json`` payload (see
+:func:`repro.eval.bench.write_load_bench` for the schema/floor side).
+
+Traffic is deterministic per seed: batch contents, the query-op mix and
+the per-worker interleaving within one worker are all drawn from seeded
+:class:`random.Random` streams.  Wall-clock numbers naturally vary with
+the host; the committed floors are set far below a healthy run.
+
+Every fact a batch posts is *new* — the store's stale-fact rule rejects
+votes on already-labelled facts, so a realistic generator, like a
+realistic client, only ever extends the fact set.  Sources, which carry
+trust across epochs, are reused from a fixed pool.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.eval.bench --load --quick
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import pathlib
+import random
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.obs import Obs, make_obs
+from repro.obs.prom import parse_prometheus_text
+from repro.serve import CorroborationService, make_server
+from repro.serve.telemetry import AccessLog
+from repro.store import VoteLedger
+
+#: Fraction of fact queries aimed at unknown ids (exercises the 404 path).
+MISS_RATE = 0.05
+
+#: Query-op mix (cumulative weights): fact reads dominate, trust reads
+#: second, the status/health endpoints are the scrape-shaped tail.
+_OP_FACT, _OP_TRUST, _OP_STATUSZ, _OP_HEALTHZ = 0.60, 0.80, 0.90, 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one load run (all traffic derives from these + ``seed``)."""
+
+    ingest_batches: int
+    facts_per_batch: int
+    votes_per_fact: int
+    source_pool: int
+    query_workers: int
+    seed: int = 20140324  # EDBT'14
+
+    @property
+    def total_votes(self) -> int:
+        return self.ingest_batches * self.facts_per_batch * self.votes_per_fact
+
+    def to_record(self) -> dict:
+        record = dataclasses.asdict(self)
+        record["total_votes"] = self.total_votes
+        return record
+
+
+#: The two canonical run shapes: CI smoke vs the committed benchmark.
+QUICK_CONFIG = LoadConfig(
+    ingest_batches=6,
+    facts_per_batch=8,
+    votes_per_fact=3,
+    source_pool=12,
+    query_workers=2,
+)
+FULL_CONFIG = LoadConfig(
+    ingest_batches=40,
+    facts_per_batch=25,
+    votes_per_fact=4,
+    source_pool=40,
+    query_workers=4,
+)
+
+
+def _vote_batch(config: LoadConfig, batch: int, rng: random.Random) -> list[dict]:
+    """Batch ``batch``'s votes: fresh facts, pooled sources, seeded T/F."""
+    votes = []
+    for i in range(config.facts_per_batch):
+        fact = f"load-f{batch}-{i}"
+        sources = rng.sample(range(config.source_pool), config.votes_per_fact)
+        # A seeded majority-true fact: the first source votes T, the rest
+        # lean T — disagreement exists but labels stay non-degenerate.
+        for j, source in enumerate(sources):
+            symbol = "T" if j == 0 or rng.random() < 0.8 else "F"
+            votes.append(
+                {"fact": fact, "source": f"load-s{source}", "vote": symbol}
+            )
+    return votes
+
+
+class _IngestDriver(threading.Thread):
+    """POSTs every batch back-to-back; sustained votes/sec is its clock."""
+
+    def __init__(self, host: str, port: int, config: LoadConfig) -> None:
+        super().__init__(name="loadgen-ingest", daemon=True)
+        self.host, self.port, self.config = host, port, config
+        self.rng = random.Random(config.seed)
+        self.posted_facts: list[str] = []  # append-only; GIL-safe to read
+        self.latencies: list[float] = []
+        self.errors = 0
+        self.seconds = 0.0
+        self.trace_ids: list[str] = []
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=30
+        )
+        started = time.perf_counter()
+        try:
+            for batch in range(self.config.ingest_batches):
+                votes = _vote_batch(self.config, batch, self.rng)
+                body = json.dumps({"votes": votes}).encode()
+                sent = time.perf_counter()
+                connection.request(
+                    "POST",
+                    "/votes",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                self.latencies.append(time.perf_counter() - sent)
+                if response.status != 200:
+                    self.errors += 1
+                    continue
+                self.trace_ids.append(payload["trace_id"])
+                self.posted_facts.extend(payload["new_facts"])
+        finally:
+            self.seconds = time.perf_counter() - started
+            connection.close()
+
+
+class _QueryWorker(threading.Thread):
+    """One keep-alive connection looping the seeded read mix until told."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: LoadConfig,
+        worker: int,
+        driver: _IngestDriver,
+        stop: threading.Event,
+    ) -> None:
+        super().__init__(name=f"loadgen-query-{worker}", daemon=True)
+        self.host, self.port = host, port
+        self.config = config
+        self.rng = random.Random(config.seed + 1_000 + worker)
+        self.driver = driver
+        self.stop = stop
+        self.latencies: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.errors = 0
+
+    def _pick_path(self) -> str:
+        roll = self.rng.random()
+        if roll < _OP_FACT:
+            facts = self.driver.posted_facts
+            if facts and self.rng.random() >= MISS_RATE:
+                return f"/facts/{facts[self.rng.randrange(len(facts))]}"
+            return f"/facts/missing-{self.rng.randrange(10_000)}"
+        if roll < _OP_TRUST:
+            source = self.rng.randrange(self.config.source_pool)
+            return f"/sources/load-s{source}/trust"
+        if roll < _OP_STATUSZ:
+            return "/statusz"
+        return "/healthz"
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=30
+        )
+        try:
+            while not self.stop.is_set():
+                path = self._pick_path()
+                sent = time.perf_counter()
+                try:
+                    connection.request("GET", path)
+                    response = connection.getresponse()
+                    response.read()
+                except (http.client.HTTPException, OSError):
+                    self.errors += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=30
+                    )
+                    continue
+                self.latencies.append(time.perf_counter() - sent)
+                self.statuses[response.status] = (
+                    self.statuses.get(response.status, 0) + 1
+                )
+        finally:
+            connection.close()
+
+
+def _scrape(host: str, port: int) -> tuple[dict[str, float], dict]:
+    """One final ``/metrics`` + ``/statusz`` read over a fresh connection."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        exposition = response.read().decode()
+        if response.status != 200:
+            raise RuntimeError(f"/metrics answered {response.status}")
+        connection.request("GET", "/statusz")
+        response = connection.getresponse()
+        statusz = json.loads(response.read())
+        if response.status != 200:
+            raise RuntimeError(f"/statusz answered {response.status}")
+    finally:
+        connection.close()
+    return parse_prometheus_text(exposition), statusz
+
+
+def _check(condition: bool, message: str, failures: list[str]) -> None:
+    if not condition:
+        failures.append(message)
+
+
+def run_load(
+    config: LoadConfig,
+    artifacts_dir: str | pathlib.Path | None = None,
+    slow_ms: float = 500.0,
+) -> dict:
+    """Drive one load run against a live server; the results document.
+
+    With ``artifacts_dir`` the run leaves its access log (JSONL), run
+    ledger (JSONL) and span trace (Chrome JSON) behind for inspection /
+    CI upload; without it the telemetry flows into the same sinks but
+    nothing hits disk.  Raises ``RuntimeError`` if any server-vs-client
+    consistency check fails — a load bench that cannot trust the
+    exposition has no business committing numbers derived from it.
+    """
+    artifacts = pathlib.Path(artifacts_dir) if artifacts_dir else None
+    if artifacts is not None:
+        artifacts.mkdir(parents=True, exist_ok=True)
+        obs: Obs = make_obs(trace=True, runlog=artifacts / "runlog.jsonl")
+        access_log = AccessLog(artifacts / "access.jsonl")
+    else:
+        obs = make_obs(metrics=True)
+        access_log = None
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = VoteLedger(pathlib.Path(tmp) / "load.db", obs=obs)
+        service = CorroborationService(ledger, refresh="incremental", obs=obs)
+        server = make_server(
+            service, port=0, access_log=access_log, slow_ms=slow_ms
+        )
+        host, port = server.server_address[:2]
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        stop = threading.Event()
+        driver = _IngestDriver(host, port, config)
+        workers = [
+            _QueryWorker(host, port, config, i, driver, stop)
+            for i in range(config.query_workers)
+        ]
+        try:
+            driver.start()
+            for worker in workers:
+                worker.start()
+            driver.join()
+            stop.set()
+            for worker in workers:
+                worker.join()
+            exposition, statusz = _scrape(host, port)
+        finally:
+            stop.set()
+            server.shutdown()
+            server.server_close()
+            if access_log is not None:
+                access_log.close()
+            if obs.tracer.enabled and artifacts is not None:
+                obs.tracer.write(artifacts / "trace.json")
+            obs.close()
+            ledger.close()
+
+    if driver.errors:
+        raise RuntimeError(f"{driver.errors} ingest batches failed")
+    query_latencies = [s for w in workers for s in w.latencies]
+    query_errors = sum(w.errors for w in workers)
+    statuses: dict[str, int] = {}
+    for worker in workers:
+        for status, count in worker.statuses.items():
+            statuses[str(status)] = statuses.get(str(status), 0) + count
+    client_requests = len(driver.latencies) + len(query_latencies)
+
+    failures: list[str] = []
+    _check(
+        exposition["repro_serve_requests_total"] >= client_requests,
+        f"server counted {exposition['repro_serve_requests_total']} requests, "
+        f"client sent {client_requests}",
+        failures,
+    )
+    _check(
+        exposition["repro_store_votes"] == config.total_votes,
+        f"store holds {exposition['repro_store_votes']} votes, "
+        f"drove {config.total_votes}",
+        failures,
+    )
+    _check(
+        exposition["repro_serve_pending_facts"] == 0,
+        f"{exposition['repro_serve_pending_facts']} facts left pending",
+        failures,
+    )
+    _check(
+        exposition.get("repro_serve_refresh_age_seconds", -1.0) >= 0.0,
+        "refresh age gauge missing or negative",
+        failures,
+    )
+    p50_key = 'repro_serve_request_seconds_quantile{quantile="0.5"}'
+    p99_key = 'repro_serve_request_seconds_quantile{quantile="0.99"}'
+    _check(
+        p50_key in exposition and p99_key in exposition,
+        "request-latency quantile gauges missing from the exposition",
+        failures,
+    )
+    _check(
+        statusz["pending"] == 0 and statusz["counts"]["votes"] == config.total_votes,
+        "statusz disagrees with the driven load",
+        failures,
+    )
+    _check(
+        statusz["requests"] >= client_requests,
+        f"statusz counted {statusz.get('requests')} requests, "
+        f"client sent {client_requests}",
+        failures,
+    )
+    _check(
+        statusz["last_refresh"] is not None
+        and statusz["last_refresh"]["age_seconds"] >= 0.0,
+        "statusz last_refresh is missing or has a negative age",
+        failures,
+    )
+    _check(
+        len(driver.trace_ids) == config.ingest_batches
+        and len(set(driver.trace_ids)) == config.ingest_batches,
+        "ingest responses did not carry unique trace ids",
+        failures,
+    )
+    if failures:
+        raise RuntimeError(
+            "server telemetry disagrees with the driven load: "
+            + "; ".join(failures)
+        )
+
+    ingest_ms = np.asarray(driver.latencies) * 1000.0
+    query_ms = np.asarray(query_latencies) * 1000.0
+    return {
+        "config": config.to_record(),
+        "ingest": {
+            "batches": config.ingest_batches,
+            "votes": config.total_votes,
+            "seconds": round(driver.seconds, 6),
+            "votes_per_second": round(config.total_votes / driver.seconds, 1)
+            if driver.seconds > 0
+            else 0.0,
+            "p50_ms": round(float(np.percentile(ingest_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(ingest_ms, 99)), 3),
+        },
+        "query": {
+            "ops": len(query_latencies),
+            "errors": query_errors,
+            "statuses": statuses,
+            "p50_ms": round(float(np.percentile(query_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(query_ms, 99)), 3),
+        },
+        "server": {
+            "requests": exposition["repro_serve_requests_total"],
+            "slow_requests": exposition.get(
+                "repro_serve_slow_requests_total", 0.0
+            ),
+            "request_p50_ms": round(exposition[p50_key] * 1000.0, 3),
+            "request_p99_ms": round(exposition[p99_key] * 1000.0, 3),
+            "facts": exposition["repro_store_facts"],
+            "votes": exposition["repro_store_votes"],
+            "refresh_age_seconds": exposition["repro_serve_refresh_age_seconds"],
+        },
+    }

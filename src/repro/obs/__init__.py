@@ -44,11 +44,26 @@ import pathlib
 import sys
 from typing import IO
 
+from repro.obs.context import (
+    coerce_trace_id,
+    current_trace_id,
+    new_trace_id,
+    trace_scope,
+)
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HISTOGRAM_SAMPLE_CAP,
     NULL_METRICS,
+    SUMMARY_QUANTILES,
     MetricsRegistry,
     NullMetrics,
     global_metrics,
+)
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
 )
 from repro.obs.runlog import (
     NULL_RUNLOG,
@@ -196,13 +211,17 @@ def configure_logging(
 
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "HISTOGRAM_SAMPLE_CAP",
     "LOGGER_NAME",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_RUNLOG",
     "NULL_SPAN",
     "NULL_TRACER",
+    "PROMETHEUS_CONTENT_TYPE",
     "RUNLOG_SCHEMA_VERSION",
+    "SUMMARY_QUANTILES",
     "TRACE_SCHEMA_VERSION",
     "JsonlRunLog",
     "MetricsRegistry",
@@ -213,14 +232,21 @@ __all__ = [
     "Obs",
     "Span",
     "SpanTracer",
+    "coerce_trace_id",
     "configure_logging",
+    "current_trace_id",
     "get_logger",
     "global_metrics",
     "load_trace",
     "make_obs",
+    "new_trace_id",
+    "parse_prometheus_text",
     "read_runlog",
+    "render_prometheus",
+    "sanitize_metric_name",
     "summarize_events",
     "summarize_records",
+    "trace_scope",
     "validate_chrome_trace",
     "validate_runlog_file",
     "validate_runlog_records",

@@ -1,0 +1,143 @@
+"""Prometheus text exposition (format 0.0.4) for a metrics registry.
+
+:func:`render_prometheus` flattens a :class:`~repro.obs.metrics
+.MetricsRegistry` into the plain-text scrape format: counters become
+``_total``-suffixed counter families, gauges stay gauges, and every
+histogram is emitted twice — once as a classic Prometheus histogram
+(cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``, so
+``histogram_quantile()`` works server-side) and once as pre-computed
+``{quantile="..."}`` gauge samples for humans reading the endpoint raw.
+
+Metric names are sanitised from the library's dotted form
+(``serve.request_seconds`` → ``repro_serve_request_seconds``); dots and
+dashes map to underscores and any other invalid character is dropped.
+
+:func:`parse_prometheus_text` is the counterpart used by the tests, the
+load generator's live-scrape check and the CI smoke job: it parses an
+exposition body back into a ``{"name{labels}": value}`` mapping and
+raises on malformed lines, so a formatting regression fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import SUMMARY_QUANTILES, MetricsRegistry
+
+#: Content type a compliant scrape endpoint must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix of every exposed metric family.
+METRIC_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = METRIC_PREFIX) -> str:
+    """A dotted library metric name as a valid Prometheus family name."""
+    flat = re.sub(r"[.\-\s/]", "_", name)
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "", flat)
+    flat = re.sub(r"__+", "_", flat).strip("_")
+    full = f"{prefix}_{flat}" if prefix else flat
+    if not _NAME_OK.match(full):
+        raise ValueError(f"cannot sanitise metric name {name!r}")
+    return full
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None,
+    *,
+    extra_gauges: dict[str, float] | None = None,
+    prefix: str = METRIC_PREFIX,
+) -> str:
+    """The registry as a Prometheus text-format scrape body.
+
+    ``extra_gauges`` lets the caller splice point-in-time values (uptime,
+    pending facts, refresh age) into the same scrape without mutating the
+    registry.  ``registry=None`` (telemetry disabled) renders the extra
+    gauges alone — the endpoint stays scrapeable either way.
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str) -> str:
+        flat = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {flat} {name}")
+        lines.append(f"# TYPE {flat} {kind}")
+        return flat
+
+    if registry is not None:
+        snapshot = registry.snapshot()
+        for name in sorted(snapshot["counters"]):
+            flat = family(f"{name}_total", "counter")
+            lines.append(f"{flat} {_format_value(snapshot['counters'][name])}")
+        for name in sorted(snapshot["gauges"]):
+            flat = family(name, "gauge")
+            lines.append(f"{flat} {_format_value(snapshot['gauges'][name])}")
+        for name in sorted(snapshot["histograms"]):
+            summary = snapshot["histograms"][name]
+            flat = family(name, "histogram")
+            for bound, cumulative in registry.histogram_buckets(name):
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(f'{flat}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{flat}_sum {_format_value(summary['sum'])}")
+            lines.append(f"{flat}_count {summary['count']}")
+            quantile_flat = family(f"{name}_quantile", "gauge")
+            for q in SUMMARY_QUANTILES:
+                value = registry.quantile(name, q)
+                lines.append(
+                    f'{quantile_flat}{{quantile="{_format_value(q)}"}} '
+                    f"{_format_value(value)}"
+                )
+    for name in sorted(extra_gauges or {}):
+        flat = family(name, "gauge")
+        lines.append(f"{flat} {_format_value(extra_gauges[name])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(body: str) -> dict[str, float]:
+    """Parse an exposition body into ``{"name{labels}": value}``.
+
+    Only the subset :func:`render_prometheus` emits is required, which is
+    also the subset any 0.0.4 scraper accepts: ``# HELP`` / ``# TYPE``
+    comments, blank lines, and ``name[{labels}] value`` samples.  Raises
+    ``ValueError`` on anything else — the validator role.
+    """
+    samples: dict[str, float] = {}
+    for number, raw in enumerate(body.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
+                raise ValueError(f"line {number}: unknown comment {line!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: unparseable sample {line!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        value = match.group("value")
+        try:
+            samples[key] = float(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {number}: non-numeric value {value!r}"
+            ) from exc
+    if not samples:
+        raise ValueError("exposition body holds no samples")
+    return samples

@@ -57,6 +57,12 @@ an appended block):
 ``serve_request``
     ``request_method``, ``path``, ``status``, ``seconds`` — one handled
     HTTP request of the serving API.
+
+``ingest_batch``, ``refresh`` and ``serve_request`` records emitted while
+a request trace is bound (:func:`repro.obs.trace_scope`) additionally
+carry the optional ``trace_id`` field, joining one request's records
+across the HTTP, service and store layers; records from batch CLI runs
+omit it, so those ledgers stay byte-identical.
 ``shard_start``
     ``shard`` (cell index), ``label`` — opens one shard's block in a
     merged parallel-sweep ledger (:mod:`repro.parallel.merge`); the
@@ -83,6 +89,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 from typing import IO
 
 #: Bump when any record shape changes.
@@ -174,6 +181,7 @@ class JsonlRunLog:
         else:
             self._handle = open(path_or_handle, "a")
             self._owns_handle = True
+        self._lock = threading.Lock()
         self.emit("runlog_header", schema_version=RUNLOG_SCHEMA_VERSION)
 
     def emit(self, kind: str, **fields) -> None:
@@ -182,11 +190,26 @@ class JsonlRunLog:
         One complete line per ``write`` plus a ``flush``, so a killed
         process can leave at most one torn line at the end of the file
         (which :func:`read_runlog` can tolerate) — never interleaved or
-        buffered-away records.
+        buffered-away records.  The write is locked: the threaded HTTP
+        server emits ``serve_request`` records from concurrent handler
+        threads into one shared ledger.
         """
         record = {"kind": kind, **fields}
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+
+    def __getstate__(self) -> dict:
+        # The lock is process-local; the parallel sweep pickles cells
+        # holding buffer-backed ledgers, so drop it and rebuild.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def close(self) -> None:
         if self._owns_handle and not self._handle.closed:

@@ -9,7 +9,7 @@ API.  The CLI front door is ``repro serve`` / ``repro ingest`` /
 ``repro query``.
 """
 
-from repro.serve.http import CorroborationRequestHandler, make_server
+from repro.serve.http import ROUTES, CorroborationRequestHandler, make_server
 from repro.serve.service import (
     DEFAULT_ENTROPY_THRESHOLD,
     REFRESH_POLICIES,
@@ -19,15 +19,30 @@ from repro.serve.service import (
     carry_from_snapshot,
     graft_snapshot,
 )
+from repro.serve.telemetry import (
+    ACCESS_LOG_FIELDS,
+    NULL_ACCESS_LOG,
+    AccessLog,
+    NullAccessLog,
+    read_access_log,
+    validate_access_log,
+)
 
 __all__ = [
+    "ACCESS_LOG_FIELDS",
+    "AccessLog",
     "CorroborationRequestHandler",
     "CorroborationService",
     "DEFAULT_ENTROPY_THRESHOLD",
+    "NULL_ACCESS_LOG",
+    "NullAccessLog",
     "REFRESH_POLICIES",
+    "ROUTES",
     "RefreshDecision",
     "SERVE_METHODS",
     "carry_from_snapshot",
     "graft_snapshot",
     "make_server",
+    "read_access_log",
+    "validate_access_log",
 ]

@@ -4,7 +4,11 @@ A thin :mod:`http.server` layer over :class:`~repro.serve.service
 .CorroborationService` — no framework, no new dependencies.  Routes:
 
 * ``GET /healthz`` — liveness plus store counters.
-* ``GET /metrics`` — the observability metrics snapshot.
+* ``GET /statusz`` — the full status snapshot: ledger row counts,
+  last-refresh epoch and age, ingest/quarantine totals, request counts
+  and latency quantiles (JSON).
+* ``GET /metrics`` — Prometheus text exposition (format 0.0.4) of the
+  service's metrics registry plus point-in-time serving gauges.
 * ``GET /facts/<id>`` — one fact's votes, label, probability, provenance.
 * ``GET /sources/<id>/trust`` — one source's current trust + trajectory.
 * ``POST /votes`` — body ``{"votes": [{"fact","source","vote"}, ...]}``
@@ -12,120 +16,294 @@ A thin :mod:`http.server` layer over :class:`~repro.serve.service
   default) refreshes, returning the batch id, the ingest report and the
   refresh decision.
 
+Error responses are always JSON with an ``error`` message and a stable
+``reason`` code: ``not_found``, ``method_not_allowed`` (with the
+``allow`` list), ``length_required``, ``bad_request``, ``bad_json``,
+``payload_too_large``, ``internal_error``, or an ingest reason code from
+:mod:`repro.resilience.errors`.
+
+Every request runs under a **trace ID** (honouring a well-formed incoming
+``X-Trace-Id`` header, generating one otherwise) that is echoed back in
+the ``X-Trace-Id`` response header, bound for the duration of the request
+via :func:`repro.obs.trace_scope` — so the service's refresh/query spans
+and the store's ingest records carry it — and stamped into the
+``serve_request`` run-ledger record, the JSONL access log and the
+slow-request log (see :mod:`repro.serve.telemetry`).
+
 Thread-safety is the service's lock (``ThreadingHTTPServer`` handles each
 request on its own thread; every handler call funnels through the
 service).  Each handled request emits a ``serve_request`` run-ledger
-record and a latency observation.
+record and per-route latency observations.
 """
 
 from __future__ import annotations
 
 import json
-import logging
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs import get_logger
+from repro.obs.context import coerce_trace_id, trace_scope
+from repro.obs.prom import PROMETHEUS_CONTENT_TYPE
 from repro.resilience.errors import IngestError
 from repro.serve.service import CorroborationService
+from repro.serve.telemetry import (
+    NULL_ACCESS_LOG,
+    AccessLog,
+    NullAccessLog,
+    log_slow_request,
+)
 
-logger = logging.getLogger("repro.serve")
+logger = get_logger("repro.serve")
 
 #: Cap on accepted request bodies (a vote batch, not a bulk import).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Route templates the handler serves: (method, template) — used both for
+#: dispatch bookkeeping and for bounded-cardinality per-route metrics
+#: (fact/source IDs never become metric names).
+ROUTES = (
+    ("GET", "/healthz"),
+    ("GET", "/statusz"),
+    ("GET", "/metrics"),
+    ("GET", "/facts/<id>"),
+    ("GET", "/sources/<id>/trust"),
+    ("POST", "/votes"),
+)
+
 
 class CorroborationRequestHandler(BaseHTTPRequestHandler):
-    """One request → one service call → one JSON document."""
+    """One request → one service call → one JSON (or exposition) document."""
 
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
     service: CorroborationService  # set by make_server on the class
+    access_log: NullAccessLog | AccessLog = NULL_ACCESS_LOG
+    slow_ms: float | None = None
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route http.server's own access lines through the repro logger.
+
+        The structured access log supersedes these, so they stay at
+        DEBUG — but they are never silently discarded: ``--log-level
+        debug`` surfaces them on stderr like any other library output.
+        """
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        """http.server-level errors (bad request line, timeouts) at ERROR."""
+        logger.error("%s %s", self.address_string(), format % args)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
 
-    def _observe(self, method: str, path: str, status: int, seconds: float) -> None:
+    def _send_payload(self, status: int, payload: dict | str) -> None:
+        if isinstance(payload, str):
+            self._send(status, payload.encode(), PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send(
+                status, json.dumps(payload).encode(), "application/json"
+            )
+
+    def _observe(
+        self,
+        method: str,
+        path: str,
+        template: str,
+        status: int,
+        seconds: float,
+    ) -> None:
+        slow = (
+            self.slow_ms is not None and seconds * 1000.0 >= self.slow_ms
+        )
         obs = self.service.obs
-        if not obs.enabled:
-            return
-        obs.metrics.inc("serve.requests")
-        obs.metrics.observe("serve.request_seconds", seconds)
-        obs.runlog.emit(
-            "serve_request",
+        if obs.enabled:
+            obs.metrics.inc("serve.requests")
+            obs.metrics.observe("serve.request_seconds", seconds)
+            obs.metrics.inc(f"serve.requests_by_route.{method} {template}")
+            obs.metrics.inc(f"serve.responses_by_status.{status // 100}xx")
+            if status >= 500:
+                obs.metrics.inc("serve.errors")
+            if slow:
+                obs.metrics.inc("serve.slow_requests")
+            obs.runlog.emit(
+                "serve_request",
+                request_method=method,
+                path=path,
+                status=status,
+                seconds=seconds,
+                trace_id=self._trace_id,
+            )
+        self.access_log.log(
+            trace_id=self._trace_id,
+            client=self.address_string(),
             request_method=method,
             path=path,
             status=status,
             seconds=seconds,
+            slow=slow,
         )
+        if slow:
+            log_slow_request(
+                trace_id=self._trace_id,
+                request_method=method,
+                path=path,
+                status=status,
+                seconds=seconds,
+                slow_ms=self.slow_ms,
+            )
 
     def _handle(self, method: str) -> None:
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            status, payload = self._route(method, path)
-        except IngestError as exc:
-            status, payload = 400, {
-                "error": str(exc),
-                "reason": exc.reason,
-                "location": exc.location,
-            }
-        except Exception as exc:  # noqa: BLE001 — a handler must answer
-            logger.exception("unhandled error serving %s %s", method, path)
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        self._send_json(status, payload)
-        self._observe(method, path, status, time.perf_counter() - started)
+        self._trace_id = coerce_trace_id(self.headers.get("X-Trace-Id"))
+        template = path
+        with trace_scope(self._trace_id):
+            try:
+                status, payload, template = self._route(method, path)
+            except IngestError as exc:
+                status, payload = 400, {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "location": exc.location,
+                }
+            except Exception as exc:  # noqa: BLE001 — a handler must answer
+                logger.exception(
+                    "unhandled error serving %s %s (trace %s)",
+                    method,
+                    path,
+                    self._trace_id,
+                )
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "reason": "internal_error",
+                }
+            # Telemetry lands *before* the response bytes: once a client
+            # has read its answer, the matching serve_request record,
+            # access-log line and counters are already durable — so a
+            # client (or CI curl) may read the ledgers immediately.  The
+            # recorded latency excludes only the final socket write.
+            self._observe(
+                method, path, template, status, time.perf_counter() - started
+            )
+            try:
+                self._send_payload(status, payload)
+            except OSError as exc:
+                # The client went away mid-response; never let a broken
+                # pipe take the handler thread down invisibly.
+                logger.warning(
+                    "client disconnected during %s %s (trace %s): %s",
+                    method,
+                    path,
+                    self._trace_id,
+                    exc,
+                )
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str, path: str) -> tuple[int, dict]:
+    def _allowed_methods(self, path: str) -> list[str]:
+        """HTTP methods with a route at ``path`` (template-matched)."""
+        parts = [p for p in path.split("/") if p]
+        allowed = []
+        for method, template in ROUTES:
+            t_parts = [p for p in template.split("/") if p]
+            if len(t_parts) != len(parts):
+                continue
+            if all(
+                t.startswith("<") or t == p for t, p in zip(t_parts, parts)
+            ):
+                allowed.append(method)
+        return allowed
+
+    def _route(self, method: str, path: str) -> tuple[int, dict | str, str]:
+        """Dispatch; returns ``(status, payload, route_template)``."""
         service = self.service
         parts = [p for p in path.split("/") if p]
         if method == "GET":
             if path == "/healthz":
-                return 200, service.healthz()
+                return 200, service.healthz(), "/healthz"
+            if path == "/statusz":
+                return 200, service.statusz(), "/statusz"
             if path == "/metrics":
-                return 200, service.metrics_snapshot()
+                return 200, service.prometheus_text(), "/metrics"
             if len(parts) == 2 and parts[0] == "facts":
                 record = service.fact(parts[1])
                 if record is None:
-                    return 404, {"error": f"unknown fact {parts[1]!r}"}
-                return 200, record
+                    return 404, {
+                        "error": f"unknown fact {parts[1]!r}",
+                        "reason": "not_found",
+                    }, "/facts/<id>"
+                return 200, record, "/facts/<id>"
             if len(parts) == 3 and parts[0] == "sources" and parts[2] == "trust":
                 record = service.source_trust(parts[1])
                 if record is None:
-                    return 404, {"error": f"unknown source {parts[1]!r}"}
-                return 200, record
-            return 404, {"error": f"no route for GET {path}"}
-        if method == "POST" and path == "/votes":
-            return self._post_votes()
-        return 404, {"error": f"no route for {method} {path}"}
+                    return 404, {
+                        "error": f"unknown source {parts[1]!r}",
+                        "reason": "not_found",
+                    }, "/sources/<id>/trust"
+                return 200, record, "/sources/<id>/trust"
+        elif method == "POST" and path == "/votes":
+            status, payload = self._post_votes()
+            return status, payload, "/votes"
+        allowed = self._allowed_methods(path)
+        if allowed and method not in allowed:
+            return 405, {
+                "error": f"method {method} not allowed for {path}",
+                "reason": "method_not_allowed",
+                "allow": allowed,
+            }, path
+        return 404, {
+            "error": f"no route for {method} {path}",
+            "reason": "not_found",
+        }, path
 
     def _post_votes(self) -> tuple[int, dict]:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            return 411, {
+                "error": "POST /votes requires a Content-Length header",
+                "reason": "length_required",
+            }
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return 400, {
+                "error": f"invalid Content-Length {raw_length!r}",
+                "reason": "bad_request",
+            }
         if length <= 0:
-            return 400, {"error": "POST /votes requires a JSON body"}
+            return 400, {
+                "error": "POST /votes requires a JSON body",
+                "reason": "bad_request",
+            }
         if length > MAX_BODY_BYTES:
-            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+            return 413, {
+                "error": f"body exceeds {MAX_BODY_BYTES} bytes",
+                "reason": "payload_too_large",
+            }
         try:
             document = json.loads(self.rfile.read(length))
         except json.JSONDecodeError as exc:
-            return 400, {"error": f"invalid JSON body: {exc}"}
+            return 400, {
+                "error": f"invalid JSON body: {exc}",
+                "reason": "bad_json",
+            }
         if not isinstance(document, dict) or not isinstance(
             document.get("votes"), list
         ):
-            return 400, {"error": 'body must be {"votes": [...]}'}
+            return 400, {
+                "error": 'body must be {"votes": [...]}',
+                "reason": "bad_request",
+            }
         batch, decision = self.service.apply_votes(
             document["votes"],
             on_error=document.get("on_error", "strict"),
@@ -138,6 +316,7 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
             "votes_added": batch.votes_added,
             "report": batch.report.to_record(),
             "refresh": None if decision is None else decision.to_record(),
+            "trace_id": self._trace_id,
         }
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
@@ -146,16 +325,41 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._handle("POST")
 
+    # Unknown-but-real methods answer a JSON 405 instead of the stdlib's
+    # bare 501 ("Unsupported method").
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._handle("PATCH")
+
 
 def make_server(
-    service: CorroborationService, host: str = "127.0.0.1", port: int = 0
+    service: CorroborationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    access_log: AccessLog | NullAccessLog | None = None,
+    slow_ms: float | None = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-``serve_forever`` HTTP server bound to ``service``.
 
     ``port=0`` binds an ephemeral port (tests); read it back from
-    ``server.server_address``.
+    ``server.server_address``.  ``access_log`` (an
+    :class:`~repro.serve.telemetry.AccessLog`, default off) appends one
+    JSONL record per request; requests at or above ``slow_ms``
+    milliseconds additionally hit the slow-request log.
     """
     handler = type(
-        "BoundHandler", (CorroborationRequestHandler,), {"service": service}
+        "BoundHandler",
+        (CorroborationRequestHandler,),
+        {
+            "service": service,
+            "access_log": access_log if access_log is not None else NULL_ACCESS_LOG,
+            "slow_ms": slow_ms,
+        },
     )
     return ThreadingHTTPServer((host, port), handler)

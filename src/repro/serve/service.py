@@ -54,7 +54,9 @@ from repro.core.selection import IncEstHeu, IncEstPS
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, VoteMatrix
 from repro.model.votes import Vote
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, MetricsRegistry, Obs
+from repro.obs.context import current_trace_id
+from repro.obs.prom import render_prometheus
 from repro.resilience.errors import ErrorPolicy
 from repro.resilience.supervisor import (
     FAIL_FAST,
@@ -251,6 +253,9 @@ class CorroborationService:
         self.obs = obs
         self.supervision = supervision
         self.started_at = time.time()
+        self.last_refresh_at: float | None = None
+        self.last_refresh_epoch: int | None = None
+        self.last_refresh_action: str | None = None
         self._lock = threading.RLock()
         # Validate the method name eagerly, not on the first refresh.
         _make_estimator(method, engine, NULL_OBS)
@@ -376,81 +381,95 @@ class CorroborationService:
         overrides it for one call), runs the epoch, and persists labels,
         trajectory, epoch row and carry state in one store transaction.
         With nothing pending this is a cheap no-op (``action="none"``).
+
+        The run is wrapped in a ``serve.refresh`` span carrying the
+        request's trace ID when one is bound (see
+        :mod:`repro.obs.context`).
         """
         with self._lock:
-            started = time.perf_counter()
-            pending = self.ledger.pending_facts()
-            state = self.ledger.load_session_state()
-            if not pending:
-                decision = RefreshDecision(
-                    policy=force or self.refresh_policy,
-                    action="none",
-                    epoch=None if state is None else state[0],
-                    dirty_facts=0,
-                    entropy_mass=None,
-                    threshold=None,
-                    seconds=time.perf_counter() - started,
-                )
-                self._observe_refresh(decision)
+            span_args = {"policy": force or self.refresh_policy}
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                span_args["trace_id"] = trace_id
+            with self.obs.tracer.span("serve.refresh", **span_args) as span:
+                decision = self._refresh_locked(force)
+                span.add(action=decision.action, epoch=decision.epoch)
                 return decision
-            last_batch = self.ledger.max_batch_id()
-            epoch = 0 if state is None else state[0] + 1
-            delta = self._delta_dataset(pending, last_batch)
-            policy = force or self.refresh_policy
-            entropy_mass: float | None = None
-            threshold: float | None = None
-            if state is None:
-                # Nothing to continue from: the first epoch is a full run
-                # by definition.
-                action = "full"
-                carry: dict | None = None
-            elif policy == "full":
-                action = "full"
-                carry = self._replay_epochs(verify=True)
-            elif policy == "incremental":
-                action = "incremental"
-                carry = state[1]
-            else:  # entropy
-                threshold = self.entropy_threshold
-                entropy_mass = self._dirty_entropy_mass(delta, state[1])
-                if entropy_mass >= threshold:
-                    action = "full"
-                    carry = self._replay_epochs(verify=True)
-                else:
-                    action = "incremental"
-                    carry = state[1]
-            result, next_carry = self._run_epoch(delta, carry, epoch)
-            labels = [
-                {
-                    "fact": fact,
-                    "probability": result.probabilities[fact],
-                    "label": result.label(fact),
-                    "flipped": fact in result.label_overrides,
-                    "time_point": result.trajectory.evaluation_time(fact),
-                }
-                for fact in pending
-            ]
-            self.ledger.record_epoch(
-                epoch=epoch,
-                action=action,
-                last_batch=last_batch,
-                entropy_mass=entropy_mass,
-                labels=labels,
-                trajectory=next_carry["trajectory"]["history"],
-                state=next_carry,
-                time_points=len(next_carry["trajectory"]["history"]),
-            )
+
+    def _refresh_locked(self, force: str | None) -> RefreshDecision:
+        started = time.perf_counter()
+        pending = self.ledger.pending_facts()
+        state = self.ledger.load_session_state()
+        if not pending:
             decision = RefreshDecision(
-                policy=policy,
-                action=action,
-                epoch=epoch,
-                dirty_facts=len(pending),
-                entropy_mass=entropy_mass,
-                threshold=threshold,
+                policy=force or self.refresh_policy,
+                action="none",
+                epoch=None if state is None else state[0],
+                dirty_facts=0,
+                entropy_mass=None,
+                threshold=None,
                 seconds=time.perf_counter() - started,
             )
             self._observe_refresh(decision)
             return decision
+        last_batch = self.ledger.max_batch_id()
+        epoch = 0 if state is None else state[0] + 1
+        delta = self._delta_dataset(pending, last_batch)
+        policy = force or self.refresh_policy
+        entropy_mass: float | None = None
+        threshold: float | None = None
+        if state is None:
+            # Nothing to continue from: the first epoch is a full run
+            # by definition.
+            action = "full"
+            carry: dict | None = None
+        elif policy == "full":
+            action = "full"
+            carry = self._replay_epochs(verify=True)
+        elif policy == "incremental":
+            action = "incremental"
+            carry = state[1]
+        else:  # entropy
+            threshold = self.entropy_threshold
+            entropy_mass = self._dirty_entropy_mass(delta, state[1])
+            if entropy_mass >= threshold:
+                action = "full"
+                carry = self._replay_epochs(verify=True)
+            else:
+                action = "incremental"
+                carry = state[1]
+        result, next_carry = self._run_epoch(delta, carry, epoch)
+        labels = [
+            {
+                "fact": fact,
+                "probability": result.probabilities[fact],
+                "label": result.label(fact),
+                "flipped": fact in result.label_overrides,
+                "time_point": result.trajectory.evaluation_time(fact),
+            }
+            for fact in pending
+        ]
+        self.ledger.record_epoch(
+            epoch=epoch,
+            action=action,
+            last_batch=last_batch,
+            entropy_mass=entropy_mass,
+            labels=labels,
+            trajectory=next_carry["trajectory"]["history"],
+            state=next_carry,
+            time_points=len(next_carry["trajectory"]["history"]),
+        )
+        decision = RefreshDecision(
+            policy=policy,
+            action=action,
+            epoch=epoch,
+            dirty_facts=len(pending),
+            entropy_mass=entropy_mass,
+            threshold=threshold,
+            seconds=time.perf_counter() - started,
+        )
+        self._observe_refresh(decision)
+        return decision
 
     def apply_votes(
         self,
@@ -476,13 +495,37 @@ class CorroborationService:
             self._replay_epochs(verify=True)
             return self.ledger.counts()["labels"]
 
+    def _query_span_args(self, **args) -> dict:
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            args["trace_id"] = trace_id
+        return args
+
     def fact(self, fact_id: str) -> dict | None:
         with self._lock:
-            return self.ledger.fact_record(fact_id)
+            started = time.perf_counter()
+            with self.obs.tracer.span(
+                "serve.query", **self._query_span_args(kind="fact")
+            ):
+                record = self.ledger.fact_record(fact_id)
+            if self.obs.enabled:
+                self.obs.metrics.observe(
+                    "serve.query_seconds", time.perf_counter() - started
+                )
+            return record
 
     def source_trust(self, source_id: str) -> dict | None:
         with self._lock:
-            return self.ledger.source_record(source_id)
+            started = time.perf_counter()
+            with self.obs.tracer.span(
+                "serve.query", **self._query_span_args(kind="source_trust")
+            ):
+                record = self.ledger.source_record(source_id)
+            if self.obs.enabled:
+                self.obs.metrics.observe(
+                    "serve.query_seconds", time.perf_counter() - started
+                )
+            return record
 
     def healthz(self) -> dict:
         with self._lock:
@@ -506,7 +549,88 @@ class CorroborationService:
             )
             return {"metrics": snapshot, **self.healthz()}
 
+    def _refresh_age(self) -> float | None:
+        if self.last_refresh_at is None:
+            return None
+        return max(0.0, time.time() - self.last_refresh_at)
+
+    def statusz(self) -> dict:
+        """The full serving status snapshot (the ``/statusz`` payload).
+
+        Ledger row counts, ingest/quarantine totals, the last refresh
+        (epoch, action, age in seconds) and — when a metrics registry is
+        attached — request counts and latency quantile summaries for the
+        request and refresh histograms.
+        """
+        with self._lock:
+            counts = self.ledger.counts()
+            status: dict = {
+                "status": "ok",
+                "method": self.method,
+                "refresh_policy": self.refresh_policy,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "counts": counts,
+                "pending": counts["pending"],
+                "ingest": self.ledger.ingest_totals(),
+                "last_refresh": None
+                if self.last_refresh_at is None
+                else {
+                    "epoch": self.last_refresh_epoch,
+                    "action": self.last_refresh_action,
+                    "at": round(self.last_refresh_at, 3),
+                    "age_seconds": round(self._refresh_age() or 0.0, 3),
+                },
+            }
+            metrics = self.obs.metrics
+            if isinstance(metrics, MetricsRegistry):
+                status["requests"] = metrics.counter("serve.requests")
+                status["slow_requests"] = metrics.counter("serve.slow_requests")
+                status["latency"] = {
+                    "request_seconds": metrics.histogram_summary(
+                        "serve.request_seconds"
+                    ),
+                    "refresh_seconds": metrics.histogram_summary(
+                        "serve.refresh_seconds"
+                    ),
+                }
+            return status
+
+    def prometheus_text(self) -> str:
+        """The ``/metrics`` exposition body (Prometheus text 0.0.4).
+
+        The metrics registry (when one is attached) plus point-in-time
+        serving gauges — uptime, pending facts, last-refresh epoch/age,
+        ledger row counts and quarantine totals — so a scrape needs no
+        second endpoint.
+        """
+        with self._lock:
+            counts = self.ledger.counts()
+            ingest = self.ledger.ingest_totals()
+            extra = {
+                "serve.uptime_seconds": round(time.time() - self.started_at, 3),
+                "serve.pending_facts": counts["pending"],
+                "store.facts": counts["facts"],
+                "store.sources": counts["sources"],
+                "store.votes": counts["votes"],
+                "store.labels": counts["labels"],
+                "store.epochs": counts["epochs"],
+                "store.ingest_rows_read": ingest["rows_read"],
+                "store.ingest_rows_kept": ingest["rows_kept"],
+                "store.ingest_rows_dropped": ingest["rows_dropped"],
+            }
+            if self.last_refresh_epoch is not None:
+                extra["serve.last_refresh_epoch"] = self.last_refresh_epoch
+            age = self._refresh_age()
+            if age is not None:
+                extra["serve.refresh_age_seconds"] = round(age, 3)
+            metrics = self.obs.metrics
+            registry = metrics if isinstance(metrics, MetricsRegistry) else None
+            return render_prometheus(registry, extra_gauges=extra)
+
     def _observe_refresh(self, decision: RefreshDecision) -> None:
+        self.last_refresh_at = time.time()
+        self.last_refresh_epoch = decision.epoch
+        self.last_refresh_action = decision.action
         obs = self.obs
         if not obs.enabled:
             return
@@ -515,12 +639,15 @@ class CorroborationService:
         obs.metrics.observe("serve.refresh_seconds", decision.seconds)
         # A completed refresh leaves nothing pending by construction.
         obs.metrics.set_gauge("serve.staleness_facts", 0)
-        obs.runlog.emit(
-            "refresh",
-            policy=decision.policy,
-            action=decision.action,
-            epoch=decision.epoch,
-            dirty_facts=decision.dirty_facts,
-            entropy_mass=decision.entropy_mass,
-            seconds=decision.seconds,
-        )
+        record = {
+            "policy": decision.policy,
+            "action": decision.action,
+            "epoch": decision.epoch,
+            "dirty_facts": decision.dirty_facts,
+            "entropy_mass": decision.entropy_mass,
+            "seconds": decision.seconds,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        obs.runlog.emit("refresh", **record)

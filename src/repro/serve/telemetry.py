@@ -1,0 +1,160 @@
+"""Serving telemetry: the structured access log and the slow-request log.
+
+Every handled HTTP request can leave two trails beyond the metrics
+registry:
+
+* an **access log** — one JSON object per request, appended to a JSONL
+  file (same crash-safety contract as the run ledger: one ``write`` of a
+  complete line, then ``flush``), carrying the trace ID so a latency
+  outlier joins its ``serve_request`` / ``refresh`` / ``ingest_batch``
+  run-ledger records in one grep;
+* a **slow-request log line** — requests at or above a configurable
+  threshold are additionally surfaced through the ``repro.serve`` logger
+  at WARNING, so a tail-latency regression is visible on stderr without
+  tailing files.
+
+Both are off by default (``repro serve --access-log PATH --slow-ms N``
+turns them on); the disabled path is the usual process-wide no-op
+singleton.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import IO
+
+from repro.obs import get_logger
+
+logger = get_logger("repro.serve")
+
+#: Fields every access-log record must carry.
+ACCESS_LOG_FIELDS = (
+    "ts",
+    "trace_id",
+    "client",
+    "request_method",
+    "path",
+    "status",
+    "ms",
+    "slow",
+)
+
+
+class NullAccessLog:
+    """Access log that writes nothing — the default."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def log(self, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Process-wide no-op access log singleton.
+NULL_ACCESS_LOG = NullAccessLog()
+
+
+class AccessLog:
+    """Append-only JSONL access log bound to a file path or open handle."""
+
+    enabled = True
+
+    def __init__(self, path_or_handle: str | pathlib.Path | IO[str]) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle: IO[str] = path_or_handle  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(path_or_handle, "a")
+            self._owns_handle = True
+        self._lock = threading.Lock()
+
+    def log(
+        self,
+        *,
+        trace_id: str,
+        client: str,
+        request_method: str,
+        path: str,
+        status: int,
+        seconds: float,
+        slow: bool,
+    ) -> None:
+        """Append one request record (one complete line + flush).
+
+        Locked: handler threads of the threaded HTTP server share one log.
+        """
+        record = {
+            "ts": round(time.time(), 6),
+            "trace_id": trace_id,
+            "client": client,
+            "request_method": request_method,
+            "path": path,
+            "status": status,
+            "ms": round(seconds * 1000.0, 3),
+            "slow": slow,
+        }
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+def read_access_log(path: str | pathlib.Path) -> list[dict]:
+    """Parse an access-log file into its records (blank lines skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_access_log(records: list[dict]) -> None:
+    """Raise ``ValueError`` unless every record carries the full schema."""
+    if not records:
+        raise ValueError("access log is empty")
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"records[{i}] is not an object")
+        missing = [f for f in ACCESS_LOG_FIELDS if f not in record]
+        if missing:
+            raise ValueError(f"records[{i}] is missing {missing}")
+        if not isinstance(record["status"], int):
+            raise ValueError(f"records[{i}].status is not an int")
+        if not isinstance(record["ms"], (int, float)) or record["ms"] < 0:
+            raise ValueError(f"records[{i}].ms is {record['ms']!r}")
+        if not isinstance(record["trace_id"], str) or not record["trace_id"]:
+            raise ValueError(f"records[{i}].trace_id is not a non-empty string")
+
+
+def log_slow_request(
+    *,
+    trace_id: str,
+    request_method: str,
+    path: str,
+    status: int,
+    seconds: float,
+    slow_ms: float,
+) -> None:
+    """Surface one over-threshold request through the library logger."""
+    logger.warning(
+        "slow request trace=%s %s %s -> %d in %.1f ms (threshold %.1f ms)",
+        trace_id,
+        request_method,
+        path,
+        status,
+        seconds * 1000.0,
+        slow_ms,
+    )

@@ -42,6 +42,7 @@ from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, SourceId, VoteMatrix
 from repro.model.votes import Vote
 from repro.obs import NULL_OBS, Obs
+from repro.obs.context import current_trace_id
 from repro.resilience.errors import (
     BAD_VOTE_SYMBOL,
     CONFLICTING_VOTE,
@@ -532,19 +533,28 @@ class VoteLedger:
         obs = self._obs
         if not obs.enabled:
             return
+        trace_id = current_trace_id()
+        span_args = {"batch_id": batch.batch_id, "batch_kind": batch.kind}
+        if trace_id is not None:
+            span_args["trace_id"] = trace_id
+        # The batch already committed; record it as an instant marker so
+        # the store's ingests line up with the serve spans in one trace.
+        obs.tracer.instant("store.ingest", seconds=seconds, **span_args)
         obs.metrics.inc("store.batches")
         obs.metrics.inc("store.votes_ingested", batch.votes_added)
         obs.metrics.observe("store.ingest_seconds", seconds)
-        obs.runlog.emit(
-            "ingest_batch",
-            store=str(self.path),
-            batch_id=batch.batch_id,
-            batch_kind=batch.kind,
-            rows_read=batch.report.rows_read,
-            rows_kept=batch.report.rows_kept,
-            new_facts=len(batch.new_facts),
-            new_sources=len(batch.new_sources),
-        )
+        record = {
+            "store": str(self.path),
+            "batch_id": batch.batch_id,
+            "batch_kind": batch.kind,
+            "rows_read": batch.report.rows_read,
+            "rows_kept": batch.report.rows_kept,
+            "new_facts": len(batch.new_facts),
+            "new_sources": len(batch.new_sources),
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        obs.runlog.emit("ingest_batch", **record)
 
     # ------------------------------------------------------------------
     # Export / queries
@@ -597,6 +607,25 @@ class VoteLedger:
         }
         out["pending"] = out["facts"] - out["labels"]
         return out
+
+    def ingest_totals(self) -> dict:
+        """Lifetime ingest accounting summed over the ingest log.
+
+        ``rows_dropped`` is the quarantine/skip total: rows read but not
+        kept across every committed batch (open batches count as zero).
+        """
+        row = self._conn.execute(
+            "SELECT COUNT(*), "
+            "COALESCE(SUM(COALESCE(rows_read, 0)), 0), "
+            "COALESCE(SUM(COALESCE(rows_kept, 0)), 0) FROM ingest_log"
+        ).fetchone()
+        batches, rows_read, rows_kept = int(row[0]), int(row[1]), int(row[2])
+        return {
+            "batches": batches,
+            "rows_read": rows_read,
+            "rows_kept": rows_kept,
+            "rows_dropped": rows_read - rows_kept,
+        }
 
     def pending_facts(self) -> list[FactId]:
         """Facts with no label yet, in registration order (the dirty set)."""

@@ -157,7 +157,17 @@ class TestMetrics:
         assert registry.counter("never") == 0.0
         assert snap["gauges"]["g"] == 7.0
         hist = snap["histograms"]["h"]
-        assert hist == {"count": 3, "sum": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0}
+        assert hist == {
+            "count": 3,
+            "sum": 12.0,
+            "min": 2.0,
+            "max": 6.0,
+            "mean": 4.0,
+            # exact small-sample quantiles (numpy-percentile identical)
+            "p50": 4.0,
+            "p95": 5.8,
+            "p99": 5.96,
+        }
 
     def test_reset(self):
         registry = MetricsRegistry()

@@ -259,9 +259,28 @@ def test_http_healthz_and_metrics(http_service):
     assert status == 200
     assert health["status"] == "ok"
     assert health["pending"] == 0
-    status, metrics = get_json(f"{http_service}/metrics")
+    # /metrics is Prometheus text exposition, not JSON
+    with urllib.request.urlopen(f"{http_service}/metrics", timeout=5) as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        body = resp.read().decode()
+    from repro.obs import parse_prometheus_text
+
+    samples = parse_prometheus_text(body)
+    assert samples["repro_serve_pending_facts"] == 0.0
+    assert samples["repro_store_facts"] >= 2.0
+
+
+def test_http_statusz(http_service):
+    status, body = get_json(f"{http_service}/statusz")
     assert status == 200
-    assert "metrics" in metrics
+    assert body["status"] == "ok"
+    assert body["pending"] == 0
+    assert body["counts"]["facts"] >= 2
+    assert body["ingest"]["batches"] >= 1
+    assert body["ingest"]["rows_dropped"] == 0
+    assert body["last_refresh"]["action"] in {"full", "incremental"}
+    assert body["last_refresh"]["age_seconds"] >= 0.0
 
 
 def test_http_fact_and_source(http_service):
