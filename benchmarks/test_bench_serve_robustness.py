@@ -1,0 +1,55 @@
+"""Fault-tolerance baseline — regenerates ``BENCH_robustness.json``.
+
+Runs the chaos drills (:func:`repro.eval.loadgen.run_chaos`) against a
+subprocess ``repro serve``: a ``kill -9`` mid-ingest with a restart on
+the same store, and a fault-injected refresh storm through breaker trip,
+429 backpressure, recovery and a graceful drain.  The drill itself
+raises if an invariant breaks (a lost acknowledged vote, label drift
+from the control run, a breaker that never tripped), so the committed
+baseline can only describe a run where fault tolerance worked.  The
+schema and the per-tier floors live in :mod:`repro.eval.bench`; the CI
+``chaos-serve`` job validates the same schema from a ``--quick`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.eval.bench import (
+    ROBUSTNESS_FLOORS,
+    run_robustness_bench,
+    validate_robustness_payload,
+    write_robustness_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_bench_robustness_json(benchmark):
+    def run():
+        return run_robustness_bench(quick=False)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    validate_robustness_payload(payload)
+    assert payload["tier"] == "full"
+    assert (
+        payload["crash"]["recovery_seconds"]
+        <= ROBUSTNESS_FLOORS["full"]["max_recovery_seconds"]
+    ), payload["crash"]
+    (REPO_ROOT / "BENCH_robustness.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def test_bench_robustness_quick_schema(tmp_path):
+    """The --robustness --quick path (the CI smoke) emits a schema-valid
+    file and leaves each drill's server run ledger behind."""
+    artifacts = tmp_path / "artifacts"
+    payload = write_robustness_bench(
+        tmp_path / "BENCH_robustness.json", quick=True, artifacts_dir=artifacts
+    )
+    validate_robustness_payload(payload)
+    assert (tmp_path / "BENCH_robustness.json").exists()
+    assert (artifacts / "chaos_crash_runlog.jsonl").exists()
+    assert (artifacts / "chaos_degraded_runlog.jsonl").exists()

@@ -322,6 +322,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="WARN (and count) requests taking at least MS milliseconds",
     )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        metavar="N",
+        help=(
+            "admission control: reject POST /votes with 429 once N facts "
+            "are pending and a refresh cannot run (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive refresh failures that trip the circuit breaker "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-backoff",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="initial breaker cool-down in seconds, doubling per failed "
+        "probe (default: 1.0)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="per-request refresh deadline; over-budget refreshes answer "
+        "a typed 503 (default: none)",
+    )
+    serve.add_argument(
+        "--fail-refreshes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos drill: inject failures into the first N refresh "
+        "attempts (seeded FaultPlan; default: 0)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the injected-fault plan (default: 0)",
+    )
     _add_obs_args(serve)
     return parser
 
@@ -676,7 +723,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
+    import threading
 
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.faults import FaultPlan
     from repro.serve import CorroborationService, make_server
     from repro.serve.telemetry import AccessLog
     from repro.store import VoteLedger
@@ -684,14 +734,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     access_log = AccessLog(args.access_log) if args.access_log else None
     ledger = VoteLedger(args.store, obs=obs)
+    refresh_fault = None
+    if args.fail_refreshes:
+        plan = FaultPlan(seed=args.fault_seed)
+        refresh_fault = plan.failing_refreshes(args.fail_refreshes)
     service = CorroborationService(
         ledger,
         method=args.method,
         refresh=args.refresh,
         entropy_threshold=args.entropy_threshold,
         obs=obs,
+        max_pending=args.max_pending,
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            backoff_s=args.breaker_backoff,
+        ),
+        request_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        ),
+        refresh_fault=refresh_fault,
     )
-    decision = service.refresh()  # labels current before the first request
+    # Bring the labels current before the first request — behind the
+    # breaker, so a poisoned store starts degraded instead of crashing.
+    outcome = service.guarded_refresh()
     server = make_server(
         service,
         host=args.host,
@@ -702,26 +767,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
 
     def _terminate(signum, frame):  # noqa: ARG001 — signal contract
-        raise KeyboardInterrupt
+        # Graceful drain: flip the state machine first (healthz starts
+        # answering 503 "draining", writes are rejected), then stop the
+        # accept loop from a helper thread — shutdown() deadlocks when
+        # called on the serve_forever thread itself.
+        service.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _terminate)
+    recovery = service.recovery_report or {}
     print(
         f"serving {args.store} on http://{host}:{port} "
         f"(method={args.method}, refresh={args.refresh}, "
-        f"bootstrap={decision.action})",
+        f"bootstrap={outcome.to_record()['action']}, "
+        f"state={service.state}, "
+        f"recovered={recovery.get('torn_batches', 0)} torn "
+        f"{recovery.get('orphan_labels', 0)} orphaned)",
         flush=True,
     )
+    drained = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        service.begin_drain()
     finally:
+        # Let in-flight requests finish before tearing telemetry down.
+        drained = server.wait_idle(timeout=10.0)
         server.server_close()
         if access_log is not None:
             access_log.close()
         ledger.close()
         _finish_obs(args, obs)
-        print("server stopped")
+        print("server stopped" + ("" if drained else " (drain timed out)"))
     return 0
 
 

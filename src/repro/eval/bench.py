@@ -84,6 +84,22 @@ LOAD_FLOORS = {
     "quick": {"votes_per_second": 25.0, "query_p99_ms": 2500.0},
 }
 
+#: Schema / default output of the fault-tolerance chaos benchmark
+#: (``--robustness``).
+ROBUSTNESS_SCHEMA_VERSION = 1
+DEFAULT_ROBUSTNESS_OUTPUT = "BENCH_robustness.json"
+
+#: Per-tier acceptance floors of the chaos bench.  The binary invariants
+#: (zero acknowledged-vote loss, bit-identical labels after kill -9 +
+#: restart, breaker trip + recovery, clean drain) are asserted outright;
+#: only the wall-clock recovery ceiling and the read-availability floor
+#: vary by tier, and both sit far from a healthy run so host jitter
+#: cannot trip them.
+ROBUSTNESS_FLOORS = {
+    "full": {"max_recovery_seconds": 30.0, "min_read_availability": 0.97},
+    "quick": {"max_recovery_seconds": 30.0, "min_read_availability": 0.95},
+}
+
 #: Hard ceiling on the scale run's peak RSS: the million-fact tier must
 #: stay sparse, and a dense (G × S) or per-fact-code structure sneaking
 #: back in shows up here long before it ooms a CI runner.
@@ -759,6 +775,161 @@ def write_load_bench(
 
 
 # ---------------------------------------------------------------------------
+# Fault-tolerance chaos benchmark (BENCH_robustness.json)
+# ---------------------------------------------------------------------------
+def run_robustness_bench(
+    quick: bool = False,
+    artifacts_dir: str | pathlib.Path | None = None,
+) -> dict:
+    """Run both chaos drills; the BENCH_robustness.json payload.
+
+    Delegates to :func:`repro.eval.loadgen.run_chaos` (which raises if
+    either drill violates a fault-tolerance invariant — a lost
+    acknowledged vote, label drift after the crash, a breaker that never
+    tripped or never recovered, an unclean exit) and wraps the results
+    with the schema/platform header.  ``artifacts_dir`` keeps each
+    drill's server run ledger for inspection.
+    """
+    from repro.eval.loadgen import CHAOS_FULL, CHAOS_QUICK, run_chaos
+
+    tier = "quick" if quick else "full"
+    config = CHAOS_QUICK if quick else CHAOS_FULL
+    results = run_chaos(config, artifacts_dir=artifacts_dir)
+    return {
+        "schema_version": ROBUSTNESS_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "tier": tier,
+        "floors": ROBUSTNESS_FLOORS[tier],
+        **results,
+    }
+
+
+def validate_robustness_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid chaos bench.
+
+    Shape plus the invariants a committed BENCH_robustness.json exists
+    to prove: the crash drill lost nothing and converged bit-identically,
+    the degraded drill tripped and recovered the breaker under real 429
+    backpressure, reads stayed available, and both servers drained clean.
+    """
+    if payload.get("schema_version") != ROBUSTNESS_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    tier = payload.get("tier")
+    if tier not in ROBUSTNESS_FLOORS:
+        raise ValueError(
+            f"tier must be one of {sorted(ROBUSTNESS_FLOORS)}, got {tier!r}"
+        )
+    for section in ("config", "crash", "degraded"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"{section} section is missing")
+    crash, degraded = payload["crash"], payload["degraded"]
+    for section_name, section, keys in (
+        (
+            "crash",
+            crash,
+            (
+                "restarts",
+                "recovery_seconds",
+                "acked_votes",
+                "stored_votes",
+                "lost_votes",
+                "votes_match_control",
+                "labels_identical",
+                "pending_after",
+                "clean_exit",
+            ),
+        ),
+        (
+            "degraded",
+            degraded,
+            (
+                "refresh_actions",
+                "rejected_429",
+                "breaker_trips",
+                "breaker_recoveries",
+                "final_state",
+                "states_seen",
+                "reads",
+                "read_failures",
+                "read_availability",
+                "clean_exit",
+            ),
+        ),
+    ):
+        for key in keys:
+            if key not in section:
+                raise ValueError(f"{section_name}.{key} is missing")
+    floors = ROBUSTNESS_FLOORS[tier]
+    if crash["lost_votes"] != 0:
+        raise ValueError(
+            f"crash.lost_votes={crash['lost_votes']} (acknowledged votes "
+            "must never be lost)"
+        )
+    if not crash["votes_match_control"]:
+        raise ValueError("crash.votes_match_control is false")
+    if not crash["labels_identical"]:
+        raise ValueError(
+            "crash.labels_identical is false: the restarted store drifted "
+            "from the uninterrupted control run"
+        )
+    if crash["restarts"] < 1:
+        raise ValueError("crash.restarts must be at least 1")
+    if crash["pending_after"] != 0:
+        raise ValueError(
+            f"crash.pending_after={crash['pending_after']} (expected 0)"
+        )
+    if crash["recovery_seconds"] > floors["max_recovery_seconds"]:
+        raise ValueError(
+            f"crash.recovery_seconds={crash['recovery_seconds']} exceeds "
+            f"the {tier}-tier ceiling {floors['max_recovery_seconds']}"
+        )
+    if not crash["clean_exit"]:
+        raise ValueError("crash.clean_exit is false")
+    if degraded["breaker_trips"] < 1:
+        raise ValueError("degraded.breaker_trips must be at least 1")
+    if degraded["breaker_recoveries"] < 1:
+        raise ValueError("degraded.breaker_recoveries must be at least 1")
+    if degraded["rejected_429"] < 1:
+        raise ValueError(
+            "degraded.rejected_429 must be at least 1 (admission control "
+            "never fired)"
+        )
+    if "degraded" not in degraded["states_seen"]:
+        raise ValueError(
+            f"degraded.states_seen={degraded['states_seen']} never "
+            "included 'degraded'"
+        )
+    if degraded["final_state"] != "healthy":
+        raise ValueError(
+            f"degraded.final_state={degraded['final_state']!r} "
+            "(expected 'healthy')"
+        )
+    if degraded["read_availability"] < floors["min_read_availability"]:
+        raise ValueError(
+            f"degraded.read_availability={degraded['read_availability']} is "
+            f"below the {tier}-tier floor {floors['min_read_availability']}"
+        )
+    if not degraded["clean_exit"]:
+        raise ValueError("degraded.clean_exit is false")
+
+
+def write_robustness_bench(
+    path: str | pathlib.Path = DEFAULT_ROBUSTNESS_OUTPUT,
+    quick: bool = False,
+    artifacts_dir: str | pathlib.Path | None = None,
+) -> dict:
+    """Run the chaos bench and write ``path``; returns the payload."""
+    payload = run_robustness_bench(quick=quick, artifacts_dir=artifacts_dir)
+    validate_robustness_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # Parallel-scaling benchmark (BENCH_parallel.json)
 # ---------------------------------------------------------------------------
 def measure_sweep_workers(
@@ -974,12 +1145,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--robustness",
+        action="store_true",
+        help=(
+            "run the fault-tolerance chaos drills (kill -9 crash recovery "
+            "+ breaker degradation against a subprocess server) and write "
+            f"{DEFAULT_ROBUSTNESS_OUTPUT} instead"
+        ),
+    )
+    parser.add_argument(
         "--artifacts",
         metavar="DIR",
         default=None,
-        help="(--load only) keep the run's access log, run ledger and trace in DIR",
+        help=(
+            "(--load / --robustness only) keep the run's access log, run "
+            "ledger(s) and trace in DIR"
+        ),
     )
     args = parser.parse_args(argv)
+    if args.robustness:
+        output = args.output or DEFAULT_ROBUSTNESS_OUTPUT
+        payload = write_robustness_bench(
+            output, quick=args.quick, artifacts_dir=args.artifacts
+        )
+        crash, degraded = payload["crash"], payload["degraded"]
+        print(
+            f"crash     kill -9 at batch {payload['config']['kill_at_batch']}"
+            f": recovered in {crash['recovery_seconds']:.2f} s, "
+            f"{crash['acked_votes']} acked / {crash['stored_votes']} stored "
+            f"({crash['lost_votes']} lost), "
+            f"labels identical: {crash['labels_identical']}"
+        )
+        print(
+            f"degraded  {int(degraded['breaker_trips'])} breaker trip(s), "
+            f"{degraded['rejected_429']} x 429, "
+            f"states {degraded['states_seen']}, "
+            f"availability {degraded['read_availability']:.3f}, "
+            f"final {degraded['final_state']}"
+        )
+        print(f"wrote {output}")
+        return 0
     if args.load:
         output = args.output or DEFAULT_LOAD_OUTPUT
         payload = write_load_bench(

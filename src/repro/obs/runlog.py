@@ -51,9 +51,24 @@ an appended block):
     ``rows_read``, ``rows_kept``, ``new_facts``, ``new_sources`` — one
     committed batch in the persistent vote ledger (:mod:`repro.store`).
 ``refresh``
-    ``policy``, ``action`` (``full`` / ``incremental`` / ``none``),
-    ``epoch``, ``dirty_facts``, ``entropy_mass``, ``seconds`` — one
-    refresh decision of the corroboration service (:mod:`repro.serve`).
+    ``policy``, ``action`` (``full`` / ``incremental`` / ``none`` /
+    ``skipped``), ``epoch``, ``dirty_facts``, ``entropy_mass``,
+    ``seconds`` — one refresh decision of the corroboration service
+    (:mod:`repro.serve`); ``skipped`` means the circuit breaker was open
+    and the pending backlog was left for a later refresh.
+``refresh_failed``
+    ``policy``, ``reason`` (``refresh_failed`` / ``deadline_exceeded``),
+    ``error_type``, ``error``, ``seconds``, ``breaker`` (the breaker
+    snapshot after recording the failure) — a guarded refresh raised;
+    the ingested batch stayed committed and the breaker absorbed the
+    failure instead of the client seeing a raw 500.
+``startup_recovery``
+    ``store``, ``torn_batches``, ``orphan_labels``, ``pending`` — the
+    crash-recovery reconciliation report of one service startup
+    (:meth:`repro.store.ledger.VoteLedger.reconcile`).
+``drain``
+    ``state`` — the service entered graceful drain (SIGTERM): new writes
+    are rejected, in-flight requests finish, telemetry is flushed.
 ``serve_request``
     ``request_method``, ``path``, ``status``, ``seconds`` — one handled
     HTTP request of the serving API.
@@ -139,6 +154,16 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "entropy_mass",
         "seconds",
     ),
+    "refresh_failed": (
+        "policy",
+        "reason",
+        "error_type",
+        "error",
+        "seconds",
+        "breaker",
+    ),
+    "startup_recovery": ("store", "torn_batches", "orphan_labels", "pending"),
+    "drain": ("state",),
     "serve_request": ("request_method", "path", "status", "seconds"),
     "shard_start": ("shard", "label"),
     "shard_merge": ("shards", "records", "failures"),

@@ -15,12 +15,16 @@ through:
 * :mod:`repro.resilience.supervisor` — per-method error isolation,
   NaN/inf watchdogs, iteration caps and wall-clock budgets for sweeps;
 * :mod:`repro.resilience.faults` — seeded :class:`FaultPlan` fault
-  injection powering the chaos test suite.
+  injection powering the chaos test suite;
+* :mod:`repro.resilience.breaker` — the :class:`CircuitBreaker` guarding
+  the serving refresh path (trip → degraded reads → half-open probe →
+  recovery).
 
 See ``docs/robustness.md`` for the full story.
 """
 
 from repro.resilience.atomic import atomic_write_text
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
 from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointManager,
@@ -43,6 +47,7 @@ from repro.resilience.faults import (
     FaultPlan,
     FlakyTextHandle,
     InjectedFault,
+    RefreshFaults,
     SlowCorroborator,
 )
 from repro.resilience.supervisor import (
@@ -58,7 +63,9 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "BREAKER_STATES",
     "CHECKPOINT_SCHEMA_VERSION",
+    "CircuitBreaker",
     "FAIL_FAST",
     "REASON_CODES",
     "SUPERVISED",
@@ -79,6 +86,7 @@ __all__ = [
     "MethodDiverged",
     "MethodIterationLimit",
     "MethodTimeout",
+    "RefreshFaults",
     "ResilienceError",
     "RowIssue",
     "Supervision",

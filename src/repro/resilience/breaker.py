@@ -1,0 +1,139 @@
+"""Circuit breaker for the refresh path of the corroboration service.
+
+The serving stack must keep answering queries even when refreshes fail
+(a poisoned batch, a storage hiccup, an injected fault): Dong et al.'s
+Knowledge-Based Trust line stresses that trust estimates stay *useful*
+under partial failure as long as staleness is explicit.  The breaker is
+the mechanism: consecutive refresh failures trip it **open**, the
+service keeps serving the last-good snapshot (marked ``stale``), and
+after an exponentially backed-off cool-down the breaker **half-opens**
+to let exactly one probe refresh through.  A clean probe closes the
+breaker; a failed probe re-opens it with a doubled cool-down.
+
+States
+------
+``closed``
+    Healthy: refreshes run normally.  ``failure_threshold`` consecutive
+    failures trip the breaker open.
+``open``
+    Refreshes are skipped until the cool-down elapses
+    (``retry_in`` → seconds remaining).
+``half_open``
+    Cool-down elapsed: the next refresh is a probe.  Success closes the
+    breaker and resets the backoff; failure re-opens it with the
+    backoff doubled (capped at ``max_backoff_s``).
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+can drive open → half-open transitions deterministically without
+sleeping.  The breaker itself is not locked: the service serializes
+every call behind its own RLock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+#: The breaker states, in lifecycle order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with exponential-backoff half-opening."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        backoff_s: float = 1.0,
+        max_backoff_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if backoff_s <= 0:
+            raise ValueError("backoff_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.recoveries = 0
+        self.last_error: str | None = None
+        self._opened_at: float | None = None
+        self._current_backoff = backoff_s
+
+    def allow(self) -> bool:
+        """May a protected call proceed right now?
+
+        Transitions ``open`` → ``half_open`` as a side effect once the
+        cool-down has elapsed, so a ``True`` answer on an open breaker
+        means "this call is the probe".
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open" and self.retry_in() <= 0.0:
+            self.state = "half_open"
+        return self.state == "half_open"
+
+    def retry_in(self) -> float:
+        """Seconds until the next probe is allowed (0.0 when allowed)."""
+        if self.state != "open" or self._opened_at is None:
+            return 0.0
+        remaining = self._current_backoff - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def record_success(self) -> None:
+        """A protected call succeeded: close and reset the backoff."""
+        if self.state != "closed":
+            self.recoveries += 1
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.last_error = None
+        self._opened_at = None
+        self._current_backoff = self.backoff_s
+
+    def record_failure(self, error: str | None = None) -> bool:
+        """A protected call failed; returns True when this trips/re-opens.
+
+        A half-open probe failure re-opens immediately with the backoff
+        doubled; in the closed state the breaker only opens once
+        ``failure_threshold`` consecutive failures accumulate.
+        """
+        self.consecutive_failures += 1
+        if error is not None:
+            self.last_error = error
+        if self.state == "half_open":
+            self._current_backoff = min(
+                self._current_backoff * 2.0, self.max_backoff_s
+            )
+            self._open()
+            return True
+        if self.state == "closed" and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+            return True
+        return False
+
+    def _open(self) -> None:
+        self.state = "open"
+        self.trips += 1
+        self._opened_at = self._clock()
+
+    def to_record(self) -> dict:
+        """JSON-ready snapshot for ``/healthz`` / ``/statusz`` / runlog."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "retry_in_seconds": round(self.retry_in(), 6),
+            "backoff_seconds": self._current_backoff,
+            "last_error": self.last_error,
+        }

@@ -210,6 +210,23 @@ class FaultPlan:
         return FlakyTextHandle(text, fail_after)
 
     # ------------------------------------------------------------------
+    # Refresh faults (serving chaos)
+    # ------------------------------------------------------------------
+    def failing_refreshes(self, count: int) -> "RefreshFaults":
+        """A refresh-path hook that fails the first ``count`` attempts.
+
+        The corroboration service invokes the hook at the top of every
+        refresh that has pending work (``CorroborationService(...,
+        refresh_fault=hook)``); the first ``count`` invocations raise
+        :class:`~repro.resilience.errors.FaultInjected` — enough
+        consecutive failures trip the service's circuit breaker — and
+        every later invocation is a no-op, so the breaker's half-open
+        probe eventually sees a clean refresh and recovers.  Each raised
+        fault is logged in :attr:`manifest`.
+        """
+        return RefreshFaults(self, count)
+
+    # ------------------------------------------------------------------
     # Numeric poisoning
     # ------------------------------------------------------------------
     def nan_poison(self, values: dict, count: int = 1) -> dict:
@@ -224,6 +241,36 @@ class FaultPlan:
             poisoned[key] = float("nan")
             self._note("nan_poison", repr(key), "value -> nan")
         return poisoned
+
+
+class RefreshFaults:
+    """Callable refresh fault: raises for the first ``count`` attempts.
+
+    Created via :meth:`FaultPlan.failing_refreshes`; called with the
+    epoch the refresh would commit.  Deliberately *not* seeded beyond the
+    plan that owns it — the fault schedule ("next N refreshes fail") must
+    be exact so chaos runs can assert the precise breaker trajectory.
+    """
+
+    def __init__(self, plan: FaultPlan, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._plan = plan
+        self.remaining = count
+        self.attempts = 0
+
+    def __call__(self, epoch: int) -> None:
+        self.attempts += 1
+        if self.remaining <= 0:
+            return
+        self.remaining -= 1
+        self._plan._note(
+            "refresh_fault", f"epoch {epoch}", f"attempt {self.attempts} failed"
+        )
+        raise FaultInjected(
+            f"injected refresh fault (attempt {self.attempts}, "
+            f"{self.remaining} remaining)"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -9,13 +9,23 @@ API.  The CLI front door is ``repro serve`` / ``repro ingest`` /
 ``repro query``.
 """
 
-from repro.serve.http import ROUTES, CorroborationRequestHandler, make_server
+from repro.serve.http import (
+    ROUTES,
+    CorroborationHTTPServer,
+    CorroborationRequestHandler,
+    make_server,
+)
 from repro.serve.service import (
     DEFAULT_ENTROPY_THRESHOLD,
     REFRESH_POLICIES,
     SERVE_METHODS,
+    SERVICE_STATES,
+    AdmissionRejected,
     CorroborationService,
     RefreshDecision,
+    RefreshFailure,
+    ServeRejected,
+    ServiceDraining,
     carry_from_snapshot,
     graft_snapshot,
 )
@@ -31,6 +41,8 @@ from repro.serve.telemetry import (
 __all__ = [
     "ACCESS_LOG_FIELDS",
     "AccessLog",
+    "AdmissionRejected",
+    "CorroborationHTTPServer",
     "CorroborationRequestHandler",
     "CorroborationService",
     "DEFAULT_ENTROPY_THRESHOLD",
@@ -39,7 +51,11 @@ __all__ = [
     "REFRESH_POLICIES",
     "ROUTES",
     "RefreshDecision",
+    "RefreshFailure",
     "SERVE_METHODS",
+    "SERVICE_STATES",
+    "ServeRejected",
+    "ServiceDraining",
     "carry_from_snapshot",
     "graft_snapshot",
     "make_server",

@@ -22,6 +22,25 @@ Error responses are always JSON with an ``error`` message and a stable
 ``payload_too_large``, ``internal_error``, or an ingest reason code from
 :mod:`repro.resilience.errors`.
 
+Fault tolerance (see ``docs/serving.md`` — "Serving under failure"):
+
+* ``GET /healthz`` returns **503** whenever the service state machine is
+  not ``healthy`` (``starting`` / ``degraded`` / ``draining``), so
+  orchestrators can gate on it; the JSON body always carries the state,
+  the breaker snapshot and the last-good epoch.
+* ``POST /votes`` can answer **429** (reason ``backlog_full`` /
+  ``refresh_debt``) with a ``Retry-After`` header when admission control
+  rejects the write, or **503** (reason ``draining``) during graceful
+  drain — both typed :class:`~repro.serve.service.ServeRejected`
+  rejections, never raw 500s.
+* A refresh that fails *after* the batch committed answers **503**
+  (reason ``refresh_failed`` / ``deadline_exceeded``) whose body still
+  acknowledges the batch (``batch_id`` et al.) — the votes are durable;
+  only the labels lag.  While the breaker is open the refresh is skipped
+  instead: **200** with ``"stale": true``.
+* Telemetry failures (access log, run ledger) never fail the request:
+  they are counted in ``serve.telemetry_errors`` and warned once.
+
 Every request runs under a **trace ID** (honouring a well-formed incoming
 ``X-Trace-Id`` header, generating one otherwise) that is echoed back in
 the ``X-Trace-Id`` response header, bound for the duration of the request
@@ -39,6 +58,7 @@ record and per-route latency observations.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -46,7 +66,11 @@ from repro.obs import get_logger
 from repro.obs.context import coerce_trace_id, trace_scope
 from repro.obs.prom import PROMETHEUS_CONTENT_TYPE
 from repro.resilience.errors import IngestError
-from repro.serve.service import CorroborationService
+from repro.serve.service import (
+    CorroborationService,
+    RefreshFailure,
+    ServeRejected,
+)
 from repro.serve.telemetry import (
     NULL_ACCESS_LOG,
     AccessLog,
@@ -80,6 +104,8 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
     service: CorroborationService  # set by make_server on the class
     access_log: NullAccessLog | AccessLog = NULL_ACCESS_LOG
     slow_ms: float | None = None
+    _runlog_warned = False  # one WARNING per bound class, not per request
+    _retry_after: float | None = None
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -102,6 +128,12 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Trace-Id", self._trace_id)
+        if self._retry_after is not None:
+            # Whole seconds per RFC 9110, and never 0 (which some clients
+            # read as "retry immediately" and hammer).
+            self.send_header(
+                "Retry-After", str(max(1, round(self._retry_after)))
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -125,7 +157,11 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
             self.slow_ms is not None and seconds * 1000.0 >= self.slow_ms
         )
         obs = self.service.obs
+        telemetry_errors = 0
         if obs.enabled:
+            # In-memory counters cannot fail; file-backed telemetry can
+            # (disk full, yanked volume) and must never 500 the client —
+            # count each failure instead and warn once.
             obs.metrics.inc("serve.requests")
             obs.metrics.observe("serve.request_seconds", seconds)
             obs.metrics.inc(f"serve.requests_by_route.{method} {template}")
@@ -134,15 +170,27 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
                 obs.metrics.inc("serve.errors")
             if slow:
                 obs.metrics.inc("serve.slow_requests")
-            obs.runlog.emit(
-                "serve_request",
-                request_method=method,
-                path=path,
-                status=status,
-                seconds=seconds,
-                trace_id=self._trace_id,
-            )
-        self.access_log.log(
+            try:
+                obs.runlog.emit(
+                    "serve_request",
+                    request_method=method,
+                    path=path,
+                    status=status,
+                    seconds=seconds,
+                    trace_id=self._trace_id,
+                )
+            except Exception as exc:  # noqa: BLE001 — telemetry only
+                telemetry_errors += 1
+                cls = type(self)
+                if not cls._runlog_warned:
+                    cls._runlog_warned = True
+                    logger.warning(
+                        "runlog write failed (suppressing further "
+                        "warnings): %s: %s",
+                        type(exc).__name__,
+                        exc,
+                    )
+        if not self.access_log.log(
             trace_id=self._trace_id,
             client=self.address_string(),
             request_method=method,
@@ -150,7 +198,8 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
             status=status,
             seconds=seconds,
             slow=slow,
-        )
+        ):
+            telemetry_errors += 1
         if slow:
             log_slow_request(
                 trace_id=self._trace_id,
@@ -160,15 +209,38 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
                 seconds=seconds,
                 slow_ms=self.slow_ms,
             )
+        if telemetry_errors and obs.enabled:
+            obs.metrics.inc("serve.telemetry_errors", telemetry_errors)
 
     def _handle(self, method: str) -> None:
+        server = self.server
+        track = isinstance(server, CorroborationHTTPServer)
+        if track:
+            server.request_started()
+        try:
+            self._handle_tracked(method)
+        finally:
+            if track:
+                server.request_finished()
+
+    def _handle_tracked(self, method: str) -> None:
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         self._trace_id = coerce_trace_id(self.headers.get("X-Trace-Id"))
+        self._retry_after: float | None = None
         template = path
         with trace_scope(self._trace_id):
             try:
                 status, payload, template = self._route(method, path)
+            except ServeRejected as exc:
+                # Typed backpressure: 429 (admission) / 503 (draining),
+                # with a Retry-After hint for well-behaved clients.
+                self._retry_after = exc.retry_after
+                status, payload = exc.status, {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "retry_after": exc.retry_after,
+                }
             except IngestError as exc:
                 status, payload = 400, {
                     "error": str(exc),
@@ -230,7 +302,11 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
         if method == "GET":
             if path == "/healthz":
-                return 200, service.healthz(), "/healthz"
+                payload = service.healthz()
+                # Orchestrators gate on the status code: anything but a
+                # healthy state machine is a 503 (body carries details).
+                status = 200 if payload["status"] == "healthy" else 503
+                return status, payload, "/healthz"
             if path == "/statusz":
                 return 200, service.statusz(), "/statusz"
             if path == "/metrics":
@@ -304,20 +380,37 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
                 "error": 'body must be {"votes": [...]}',
                 "reason": "bad_request",
             }
-        batch, decision = self.service.apply_votes(
+        batch, outcome = self.service.apply_votes(
             document["votes"],
             on_error=document.get("on_error", "strict"),
             refresh=bool(document.get("refresh", True)),
         )
-        return 200, {
+        payload = {
             "batch_id": batch.batch_id,
             "new_facts": list(batch.new_facts),
             "new_sources": list(batch.new_sources),
             "votes_added": batch.votes_added,
             "report": batch.report.to_record(),
-            "refresh": None if decision is None else decision.to_record(),
+            "refresh": None if outcome is None else outcome.to_record(),
             "trace_id": self._trace_id,
         }
+        if isinstance(outcome, RefreshFailure):
+            # The batch committed (it is acknowledged above — clients
+            # must NOT retry it) but the labels lag: a typed 503 tells
+            # the caller when to nudge the next refresh.
+            self._retry_after = outcome.retry_after
+            payload.update(
+                error=outcome.error,
+                reason=outcome.reason,
+                retry_after=outcome.retry_after,
+                stale=True,
+            )
+            return 503, payload
+        if outcome is not None and outcome.action == "skipped":
+            # Breaker open: accepted, but labels are stale until a probe
+            # refresh succeeds.
+            payload["stale"] = True
+        return 200, payload
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
         self._handle("GET")
@@ -337,6 +430,49 @@ class CorroborationRequestHandler(BaseHTTPRequestHandler):
         self._handle("PATCH")
 
 
+class CorroborationHTTPServer(ThreadingHTTPServer):
+    """Threaded server with in-flight request accounting.
+
+    Graceful drain needs to know when the last in-flight request has
+    finished: handler threads are daemonic (a keep-alive connection must
+    not pin shutdown forever), so the handler brackets each request with
+    :meth:`request_started` / :meth:`request_finished` and the drain
+    path blocks on :meth:`wait_idle` before flushing telemetry and
+    exiting.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._active = 0
+        self._idle = threading.Condition()
+
+    def request_started(self) -> None:
+        with self._idle:
+            self._active += 1
+
+    def request_finished(self) -> None:
+        with self._idle:
+            self._active -= 1
+            if self._active <= 0:
+                self._idle.notify_all()
+
+    @property
+    def active_requests(self) -> int:
+        with self._idle:
+            return self._active
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+
 def make_server(
     service: CorroborationService,
     host: str = "127.0.0.1",
@@ -344,7 +480,7 @@ def make_server(
     *,
     access_log: AccessLog | NullAccessLog | None = None,
     slow_ms: float | None = None,
-) -> ThreadingHTTPServer:
+) -> CorroborationHTTPServer:
     """A ready-to-``serve_forever`` HTTP server bound to ``service``.
 
     ``port=0`` binds an ephemeral port (tests); read it back from
@@ -360,6 +496,7 @@ def make_server(
             "service": service,
             "access_log": access_log if access_log is not None else NULL_ACCESS_LOG,
             "slow_ms": slow_ms,
+            "_runlog_warned": False,
         },
     )
-    return ThreadingHTTPServer((host, port), handler)
+    return CorroborationHTTPServer((host, port), handler)

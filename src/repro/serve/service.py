@@ -38,6 +38,21 @@ history into it before :meth:`restore` — new sources enter with the
 default trust λ and the epoch-0 prior, exactly as they would have had
 they been present (voteless) from the start.  See ``docs/serving.md``
 for the full argument.
+
+Fault tolerance (``docs/robustness.md`` — "Serving under failure"): the
+service runs a real state machine ``starting | healthy | degraded |
+draining``.  Startup reconciles the ledger
+(:meth:`~repro.store.ledger.VoteLedger.reconcile`) before serving.  A
+refresh that raises is absorbed by a
+:class:`~repro.resilience.breaker.CircuitBreaker` instead of surfacing
+as a raw 500 — the ingested batch stays committed, consecutive failures
+trip the service into ``degraded`` where queries keep answering from the
+last-good snapshot (marked ``stale`` with the last-good epoch), and the
+breaker half-opens with exponential backoff until a clean refresh
+recovers it.  Writes pass admission control (a bounded pending backlog →
+typed 429 + ``Retry-After``), refreshes honour an optional per-request
+deadline (→ typed 503), and SIGTERM drains gracefully
+(:meth:`CorroborationService.begin_drain`).
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+from typing import Callable
 
 from repro.core.entropy import binary_entropy
 from repro.core.fact_groups import group_facts, group_probability
@@ -57,6 +73,7 @@ from repro.model.votes import Vote
 from repro.obs import NULL_OBS, MetricsRegistry, Obs
 from repro.obs.context import current_trace_id
 from repro.obs.prom import render_prometheus
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.errors import ErrorPolicy
 from repro.resilience.supervisor import (
     FAIL_FAST,
@@ -80,13 +97,47 @@ DEFAULT_ENTROPY_THRESHOLD = 64.0
 #: Format marker of the persisted continuation state.
 CARRY_FORMAT = "serve-epoch-carry"
 
+#: The serving state machine, in lifecycle order.  ``/healthz`` returns
+#: 503 for every state but ``healthy`` so orchestrators can gate on it.
+SERVICE_STATES = ("starting", "healthy", "degraded", "draining")
+
+
+class ServeRejected(Exception):
+    """A typed serving rejection; the HTTP layer maps it to ``status``.
+
+    Carries a stable ``reason`` code and an optional ``retry_after``
+    hint (seconds) surfaced as the ``Retry-After`` response header.
+    """
+
+    status = 503
+
+    def __init__(
+        self, message: str, *, reason: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class AdmissionRejected(ServeRejected):
+    """Admission control refused a write: backlog or refresh debt (429)."""
+
+    status = 429
+
+
+class ServiceDraining(ServeRejected):
+    """The service is draining after SIGTERM; writes are rejected (503)."""
+
+    def __init__(self, message: str = "service is draining") -> None:
+        super().__init__(message, reason="draining")
+
 
 @dataclasses.dataclass(frozen=True)
 class RefreshDecision:
     """What one :meth:`CorroborationService.refresh` call did and why."""
 
     policy: str
-    action: str  # "full" | "incremental" | "none"
+    action: str  # "full" | "incremental" | "none" | "skipped"
     epoch: int | None
     dirty_facts: int
     entropy_mass: float | None
@@ -95,6 +146,28 @@ class RefreshDecision:
 
     def to_record(self) -> dict:
         return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshFailure:
+    """A guarded refresh raised; the batch stayed committed.
+
+    Returned (never raised) by :meth:`CorroborationService
+    .guarded_refresh`: the breaker recorded the failure, the pending
+    backlog is intact, and the HTTP layer turns this into a typed 503
+    whose body still acknowledges the ingested batch.
+    """
+
+    policy: str
+    reason: str  # "refresh_failed" | "deadline_exceeded"
+    error_type: str
+    error: str
+    seconds: float
+    breaker_state: str
+    retry_after: float
+
+    def to_record(self) -> dict:
+        return {"action": "failed", **dataclasses.asdict(self)}
 
 
 def _make_estimator(method: str, engine: bool, obs: Obs) -> IncEstimate:
@@ -227,6 +300,26 @@ class CorroborationService:
         supervision: NaN-watchdog / wall-clock guards applied to every
             epoch run (:data:`~repro.resilience.supervisor.FAIL_FAST`
             default: raise, don't swallow).
+        max_pending: admission-control budget — ``POST /votes`` is
+            rejected with a typed 429 once this many facts are pending
+            *and* a refresh cannot run right now (``None`` disables).
+        breaker: the circuit breaker guarding the refresh path (a
+            default-configured :class:`~repro.resilience.breaker
+            .CircuitBreaker` when omitted).
+        request_deadline_s: per-request time budget for refresh-bearing
+            routes; an over-budget refresh aborts cleanly into a typed
+            503 with reason ``deadline_exceeded`` (``None`` disables).
+        retry_after_s: the ``Retry-After`` hint used when the breaker
+            has no backoff of its own to report.
+        refresh_fault: fault-injection hook (chaos drills): called with
+            the epoch at the top of every refresh that has pending work;
+            raising aborts the refresh (see
+            :meth:`~repro.resilience.faults.FaultPlan.failing_refreshes`).
+        recover: run the ledger's crash-recovery
+            :meth:`~repro.store.ledger.VoteLedger.reconcile` pass before
+            serving (on by default; the report is kept at
+            :attr:`recovery_report` and emitted as a
+            ``startup_recovery`` runlog record).
     """
 
     def __init__(
@@ -239,12 +332,20 @@ class CorroborationService:
         engine: bool = True,
         obs: Obs = NULL_OBS,
         supervision: Supervision = FAIL_FAST,
+        max_pending: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        request_deadline_s: float | None = None,
+        retry_after_s: float = 1.0,
+        refresh_fault: Callable[[int], None] | None = None,
+        recover: bool = True,
     ) -> None:
         if refresh not in REFRESH_POLICIES:
             raise ValueError(
                 f"unknown refresh policy {refresh!r}; "
                 f"expected one of {REFRESH_POLICIES}"
             )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None to disable)")
         self.ledger = ledger
         self.method = method
         self.refresh_policy = refresh
@@ -252,13 +353,50 @@ class CorroborationService:
         self.engine = engine
         self.obs = obs
         self.supervision = supervision
+        self.max_pending = max_pending
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.request_deadline_s = request_deadline_s
+        self.retry_after_s = float(retry_after_s)
+        self.refresh_fault = refresh_fault
         self.started_at = time.time()
         self.last_refresh_at: float | None = None
         self.last_refresh_epoch: int | None = None
         self.last_refresh_action: str | None = None
+        self.rejected_total = 0
+        self.rejections: dict[str, int] = {}
+        self._draining = False
+        self._starting = True
         self._lock = threading.RLock()
         # Validate the method name eagerly, not on the first refresh.
         _make_estimator(method, engine, NULL_OBS)
+        state = self.ledger.load_session_state()
+        #: The epoch queries fall back to while degraded.
+        self.last_good_epoch: int | None = None if state is None else state[0]
+        self.recovery_report: dict | None = None
+        if recover:
+            self.recovery_report = self.ledger.reconcile()
+            if self.obs.enabled:
+                self.obs.runlog.emit(
+                    "startup_recovery", **self.recovery_report
+                )
+        self._starting = False
+
+    @property
+    def state(self) -> str:
+        """The serving state: one of :data:`SERVICE_STATES`.
+
+        Draining dominates (it is terminal); otherwise the breaker
+        decides — any non-closed breaker means the labels may lag the
+        votes, i.e. ``degraded``.  Recovery back to ``healthy`` is
+        implicit in the breaker closing on a clean refresh.
+        """
+        if self._draining:
+            return "draining"
+        if self._starting:
+            return "starting"
+        if self.breaker.state != "closed":
+            return "degraded"
+        return "healthy"
 
     # ------------------------------------------------------------------
     # Epoch machinery
@@ -290,9 +428,20 @@ class CorroborationService:
         return Dataset(matrix=matrix, truth={}, name=self.ledger.name)
 
     def _run_epoch(
-        self, delta: Dataset, carry: dict | None, epoch: int
+        self,
+        delta: Dataset,
+        carry: dict | None,
+        epoch: int,
+        deadline: float | None = None,
     ) -> tuple[CorroborationResult, dict]:
-        """Run one epoch; returns its result and the next carry state."""
+        """Run one epoch; returns its result and the next carry state.
+
+        ``deadline`` is an absolute ``time.monotonic`` instant (the
+        per-request budget); it combines with the supervision wall-clock
+        budget by taking whichever expires first.  Blowing either raises
+        :class:`~repro.resilience.supervisor.MethodTimeout` *before*
+        anything is persisted, so the abort is clean.
+        """
         estimator = _make_estimator(self.method, self.engine, self._session_obs())
         session = estimator.session(delta)
         if carry is None:
@@ -302,15 +451,14 @@ class CorroborationService:
             session.restore(
                 graft_snapshot(session.snapshot(), carry, estimator.default_trust)
             )
-        deadline = None
         if self.supervision.wall_clock_budget_s is not None:
-            deadline = time.monotonic() + self.supervision.wall_clock_budget_s
+            budget = time.monotonic() + self.supervision.wall_clock_budget_s
+            deadline = budget if deadline is None else min(deadline, budget)
         while not session.done:
             session.step()
             if deadline is not None and time.monotonic() > deadline:
                 raise MethodTimeout(
-                    f"epoch {epoch} exceeded the wall-clock budget of "
-                    f"{self.supervision.wall_clock_budget_s}s"
+                    f"epoch {epoch} exceeded its time budget"
                 )
         result = session.finalize()
         if self.supervision.nan_watchdog:
@@ -321,7 +469,9 @@ class CorroborationService:
                 )
         return result, carry_from_snapshot(session.snapshot(), prior, epoch)
 
-    def _replay_epochs(self, *, verify: bool = True) -> dict | None:
+    def _replay_epochs(
+        self, *, verify: bool = True, deadline: float | None = None
+    ) -> dict | None:
         """Rebuild the carry by replaying every committed epoch from the log.
 
         With ``verify`` (always on for ``full`` refreshes) each replayed
@@ -335,7 +485,7 @@ class CorroborationService:
             epoch = int(row["epoch"])
             facts = self.ledger.facts_in_epoch(epoch)
             delta = self._delta_dataset(facts, int(row["last_batch"]))
-            result, carry = self._run_epoch(delta, carry, epoch)
+            result, carry = self._run_epoch(delta, carry, epoch, deadline)
             if verify:
                 for fact in facts:
                     replayed = result.probabilities[fact]
@@ -414,6 +564,14 @@ class CorroborationService:
             return decision
         last_batch = self.ledger.max_batch_id()
         epoch = 0 if state is None else state[0] + 1
+        if self.refresh_fault is not None:
+            # Chaos hook: an injected fault aborts here, before any label
+            # is computed or persisted — exactly where a real refresh
+            # failure (bad batch, storage hiccup) would surface.
+            self.refresh_fault(epoch)
+        deadline: float | None = None
+        if self.request_deadline_s is not None:
+            deadline = time.monotonic() + self.request_deadline_s
         delta = self._delta_dataset(pending, last_batch)
         policy = force or self.refresh_policy
         entropy_mass: float | None = None
@@ -425,7 +583,7 @@ class CorroborationService:
             carry: dict | None = None
         elif policy == "full":
             action = "full"
-            carry = self._replay_epochs(verify=True)
+            carry = self._replay_epochs(verify=True, deadline=deadline)
         elif policy == "incremental":
             action = "incremental"
             carry = state[1]
@@ -434,11 +592,11 @@ class CorroborationService:
             entropy_mass = self._dirty_entropy_mass(delta, state[1])
             if entropy_mass >= threshold:
                 action = "full"
-                carry = self._replay_epochs(verify=True)
+                carry = self._replay_epochs(verify=True, deadline=deadline)
             else:
                 action = "incremental"
                 carry = state[1]
-        result, next_carry = self._run_epoch(delta, carry, epoch)
+        result, next_carry = self._run_epoch(delta, carry, epoch, deadline)
         labels = [
             {
                 "fact": fact,
@@ -468,8 +626,144 @@ class CorroborationService:
             threshold=threshold,
             seconds=time.perf_counter() - started,
         )
+        self.last_good_epoch = epoch
         self._observe_refresh(decision)
         return decision
+
+    def guarded_refresh(
+        self, *, force: str | None = None
+    ) -> RefreshDecision | RefreshFailure:
+        """Refresh behind the circuit breaker — the serving entry point.
+
+        Unlike :meth:`refresh` this never raises: an open breaker skips
+        the refresh (``action="skipped"``, the backlog waits), a raising
+        refresh is recorded against the breaker and returned as a
+        :class:`RefreshFailure` (``refresh_failed`` runlog record, typed
+        503 upstream), and a clean refresh closes the breaker — which is
+        what moves the service ``degraded`` → ``healthy``.
+        """
+        with self._lock:
+            if not self.breaker.allow():
+                return self._skip_refresh(force)
+            started = time.perf_counter()
+            try:
+                decision = self.refresh(force=force)
+            except Exception as exc:
+                return self._refresh_failed(
+                    exc, time.perf_counter() - started, force
+                )
+            self.breaker.record_success()
+            return decision
+
+    def _skip_refresh(self, force: str | None) -> RefreshDecision:
+        """The breaker is open: leave the backlog for a later refresh."""
+        decision = RefreshDecision(
+            policy=force or self.refresh_policy,
+            action="skipped",
+            epoch=self.last_good_epoch,
+            dirty_facts=len(self.ledger.pending_facts()),
+            entropy_mass=None,
+            threshold=None,
+            seconds=0.0,
+        )
+        self._observe_refresh(decision)
+        return decision
+
+    def _refresh_failed(
+        self, exc: Exception, seconds: float, force: str | None
+    ) -> RefreshFailure:
+        reason = (
+            "deadline_exceeded"
+            if isinstance(exc, MethodTimeout)
+            else "refresh_failed"
+        )
+        self.breaker.record_failure(f"{type(exc).__name__}: {exc}")
+        failure = RefreshFailure(
+            policy=force or self.refresh_policy,
+            reason=reason,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            seconds=seconds,
+            breaker_state=self.breaker.state,
+            retry_after=self.breaker.retry_in() or self.retry_after_s,
+        )
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.inc("serve.refresh.failed")
+            if reason == "deadline_exceeded":
+                obs.metrics.inc("serve.deadline_exceeded")
+            obs.metrics.set_gauge(
+                "serve.staleness_facts", len(self.ledger.pending_facts())
+            )
+            obs.metrics.set_gauge("serve.breaker_trips", self.breaker.trips)
+            record = {
+                "policy": failure.policy,
+                "reason": failure.reason,
+                "error_type": failure.error_type,
+                "error": failure.error,
+                "seconds": failure.seconds,
+                "breaker": self.breaker.to_record(),
+            }
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+            obs.runlog.emit("refresh_failed", **record)
+        return failure
+
+    def _count_rejection(self, reason: str) -> None:
+        self.rejected_total += 1
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+        if self.obs.enabled:
+            # Exposed as ``repro_serve_rejected_total`` (+ per-reason).
+            self.obs.metrics.inc("serve.rejected")
+            self.obs.metrics.inc(f"serve.rejected.{reason}")
+
+    def _admit(self, *, refresh: bool) -> None:
+        """Admission control for one write; raises a typed rejection.
+
+        Draining rejects every write.  Otherwise a write is rejected
+        only when the pending backlog has hit ``max_pending`` *and* this
+        request cannot clear it — either it carries ``refresh=false`` or
+        the breaker's cool-down has not elapsed.  A refresh-bearing
+        request the breaker would let run is always admitted: rejecting
+        it would starve the half-open probe and deadlock recovery.
+        """
+        if self._draining:
+            self._count_rejection("draining")
+            raise ServiceDraining()
+        if self.max_pending is None:
+            return
+        pending = self.ledger.counts()["pending"]
+        if pending < self.max_pending:
+            return
+        if refresh and self.breaker.allow():
+            return
+        reason = (
+            "refresh_debt" if self.breaker.state != "closed" else "backlog_full"
+        )
+        retry_after = self.breaker.retry_in() or self.retry_after_s
+        self._count_rejection(reason)
+        raise AdmissionRejected(
+            f"pending backlog {pending} >= max_pending {self.max_pending}",
+            reason=reason,
+            retry_after=retry_after,
+        )
+
+    def begin_drain(self) -> dict:
+        """Enter graceful drain (idempotent); returns the health payload.
+
+        New writes are rejected with a typed 503 (reason ``draining``),
+        reads keep answering, and ``/healthz`` reports ``draining`` so
+        orchestrators stop routing.  The CLI calls this from its SIGTERM
+        handler before stopping the accept loop.
+        """
+        with self._lock:
+            if not self._draining:
+                self._draining = True
+                if self.obs.enabled:
+                    self.obs.metrics.inc("serve.drain")
+                    self.obs.runlog.emit("drain", state="draining")
+            return self.healthz()
 
     def apply_votes(
         self,
@@ -477,12 +771,21 @@ class CorroborationService:
         *,
         on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
         refresh: bool = True,
-    ) -> tuple[IngestBatch, RefreshDecision | None]:
-        """Ingest one vote batch and (by default) refresh the labels."""
+    ) -> tuple[IngestBatch, RefreshDecision | RefreshFailure | None]:
+        """Ingest one vote batch and (by default) refresh the labels.
+
+        Admission control runs first (typed 429/503 rejections), then
+        the ingest commits its own transaction, then the refresh runs
+        behind the circuit breaker — so a refresh exception can never
+        half-apply the batch: the votes stay committed and the outcome
+        reports a :class:`RefreshFailure` (or an ``action="skipped"``
+        decision while the breaker is open) instead of propagating.
+        """
         with self._lock:
+            self._admit(refresh=refresh)
             batch = self.ledger.ingest_votes(rows, on_error=on_error)
             if refresh:
-                return batch, self.refresh()
+                return batch, self.guarded_refresh()
             if self.obs.enabled:
                 self.obs.metrics.set_gauge(
                     "serve.staleness_facts", len(self.ledger.pending_facts())
@@ -501,6 +804,20 @@ class CorroborationService:
             args["trace_id"] = trace_id
         return args
 
+    def _annotate_staleness(self, record: dict | None) -> dict | None:
+        """Degraded-mode read contract: last-good snapshot, marked stale.
+
+        While the breaker is non-closed the stored labels may lag the
+        votes, so every query answer carries ``stale: true`` plus the
+        last epoch that committed cleanly — explicit staleness instead
+        of refusing reads (the Knowledge-Based Trust serving posture).
+        """
+        if record is not None and self.state == "degraded":
+            record = dict(record)
+            record["stale"] = True
+            record["last_good_epoch"] = self.last_good_epoch
+        return record
+
     def fact(self, fact_id: str) -> dict | None:
         with self._lock:
             started = time.perf_counter()
@@ -512,7 +829,7 @@ class CorroborationService:
                 self.obs.metrics.observe(
                     "serve.query_seconds", time.perf_counter() - started
                 )
-            return record
+            return self._annotate_staleness(record)
 
     def source_trust(self, source_id: str) -> dict | None:
         with self._lock:
@@ -525,19 +842,21 @@ class CorroborationService:
                 self.obs.metrics.observe(
                     "serve.query_seconds", time.perf_counter() - started
                 )
-            return record
+            return self._annotate_staleness(record)
 
     def healthz(self) -> dict:
         with self._lock:
             counts = self.ledger.counts()
             return {
-                "status": "ok",
+                "status": self.state,
                 "method": self.method,
                 "refresh": self.refresh_policy,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "pending": counts["pending"],
                 "facts": counts["facts"],
                 "epochs": counts["epochs"],
+                "last_good_epoch": self.last_good_epoch,
+                "breaker": self.breaker.to_record(),
             }
 
     def metrics_snapshot(self) -> dict:
@@ -565,12 +884,20 @@ class CorroborationService:
         with self._lock:
             counts = self.ledger.counts()
             status: dict = {
-                "status": "ok",
+                "status": self.state,
                 "method": self.method,
                 "refresh_policy": self.refresh_policy,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "counts": counts,
                 "pending": counts["pending"],
+                "last_good_epoch": self.last_good_epoch,
+                "breaker": self.breaker.to_record(),
+                "admission": {
+                    "max_pending": self.max_pending,
+                    "rejected_total": self.rejected_total,
+                    "rejections": dict(self.rejections),
+                },
+                "recovery": self.recovery_report,
                 "ingest": self.ledger.ingest_totals(),
                 "last_refresh": None
                 if self.last_refresh_at is None
@@ -618,6 +945,12 @@ class CorroborationService:
                 "store.ingest_rows_kept": ingest["rows_kept"],
                 "store.ingest_rows_dropped": ingest["rows_dropped"],
             }
+            extra["serve.breaker_open"] = (
+                0 if self.breaker.state == "closed" else 1
+            )
+            extra["serve.draining"] = 1 if self._draining else 0
+            if self.last_good_epoch is not None:
+                extra["serve.last_good_epoch"] = self.last_good_epoch
             if self.last_refresh_epoch is not None:
                 extra["serve.last_refresh_epoch"] = self.last_refresh_epoch
             age = self._refresh_age()
@@ -635,10 +968,14 @@ class CorroborationService:
         if not obs.enabled:
             return
         obs.metrics.inc(f"serve.refresh.{decision.action}")
-        obs.metrics.inc("serve.facts_labelled", decision.dirty_facts)
-        obs.metrics.observe("serve.refresh_seconds", decision.seconds)
-        # A completed refresh leaves nothing pending by construction.
-        obs.metrics.set_gauge("serve.staleness_facts", 0)
+        if decision.action == "skipped":
+            # The breaker held the refresh back: the backlog stays dirty.
+            obs.metrics.set_gauge("serve.staleness_facts", decision.dirty_facts)
+        else:
+            obs.metrics.inc("serve.facts_labelled", decision.dirty_facts)
+            obs.metrics.observe("serve.refresh_seconds", decision.seconds)
+            # A completed refresh leaves nothing pending by construction.
+            obs.metrics.set_gauge("serve.staleness_facts", 0)
         record = {
             "policy": decision.policy,
             "action": decision.action,

@@ -16,6 +16,13 @@ registry:
 Both are off by default (``repro serve --access-log PATH --slow-ms N``
 turns them on); the disabled path is the usual process-wide no-op
 singleton.
+
+Telemetry is *observability, not correctness*: a full disk or a yanked
+log volume must never turn a good response into a 500.  ``AccessLog.log``
+therefore swallows write failures — the first one is logged once at
+WARNING through the library logger, every one returns ``False`` so the
+HTTP layer can count it in the ``serve.telemetry_errors`` metric — and
+the handler wraps all other telemetry emission the same way.
 """
 
 from __future__ import annotations
@@ -50,8 +57,8 @@ class NullAccessLog:
 
     enabled = False
 
-    def log(self, **fields) -> None:
-        pass
+    def log(self, **fields) -> bool:
+        return True
 
     def close(self) -> None:
         pass
@@ -74,6 +81,7 @@ class AccessLog:
             self._handle = open(path_or_handle, "a")
             self._owns_handle = True
         self._lock = threading.Lock()
+        self._warned = False
 
     def log(
         self,
@@ -85,10 +93,15 @@ class AccessLog:
         status: int,
         seconds: float,
         slow: bool,
-    ) -> None:
+    ) -> bool:
         """Append one request record (one complete line + flush).
 
-        Locked: handler threads of the threaded HTTP server share one log.
+        Locked: handler threads of the threaded HTTP server share one
+        log.  Returns ``False`` instead of raising when the write fails
+        (disk full, handle closed under us): telemetry must never fail
+        the request it describes.  The first failure is surfaced once at
+        WARNING; callers count every failure in
+        ``serve.telemetry_errors``.
         """
         record = {
             "ts": round(time.time(), 6),
@@ -102,8 +115,20 @@ class AccessLog:
         }
         line = json.dumps(record) + "\n"
         with self._lock:
-            self._handle.write(line)
-            self._handle.flush()
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except Exception as exc:
+                if not self._warned:
+                    self._warned = True
+                    logger.warning(
+                        "access log write failed (suppressing further "
+                        "warnings): %s: %s",
+                        type(exc).__name__,
+                        exc,
+                    )
+                return False
+        return True
 
     def close(self) -> None:
         if self._owns_handle and not self._handle.closed:

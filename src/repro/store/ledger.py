@@ -843,6 +843,108 @@ class VoteLedger:
                 (epoch, json.dumps(state, separators=(",", ":"))),
             )
 
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def reconcile(self) -> dict:
+        """Startup integrity pass — the crash-recovery contract.
+
+        Every ledger mutation runs in one SQLite transaction, so a
+        ``kill -9`` normally rolls back whole (the chaos suite proves
+        it).  ``reconcile`` is the defense-in-depth audit a service runs
+        before serving a store it did not shut down cleanly:
+
+        1. **Torn batches** — ``ingest_log`` rows that never closed
+           (``report`` still NULL, as left by a foreign writer or a
+           partial file copy).  If any fact of the batch already carries
+           a committed label the batch body is real and only its closing
+           row was lost, so the data is kept and the log row closed as
+           ``reconciled: kept``.  Otherwise the batch's votes, its
+           now-unreferenced facts and its now-voteless sources are
+           removed and the row closed as ``reconciled: quarantined`` —
+           the log itself stays append-only either way.
+        2. **Orphan labels** — label rows whose epoch never committed
+           are deleted, returning their facts to the pending set.
+        3. **Session state** — the continuation epoch must match the
+           last committed ``epochs`` row; a mismatch is unrepairable
+           corruption and raises :class:`LedgerError`.
+
+        The pass is idempotent, runs in a single transaction, and
+        deterministically restores the pending set: after it, a refresh
+        labels exactly the facts an uninterrupted run would have.  The
+        returned report feeds the ``startup_recovery`` runlog record.
+        """
+        with self._conn:
+            torn = [
+                int(row[0])
+                for row in self._conn.execute(
+                    "SELECT batch_id FROM ingest_log WHERE report IS NULL "
+                    "ORDER BY batch_id"
+                )
+            ]
+            quarantined: list[int] = []
+            kept: list[int] = []
+            votes_removed = facts_removed = sources_removed = 0
+            for batch_id in torn:
+                labelled = self._conn.execute(
+                    "SELECT COUNT(*) FROM labels l "
+                    "JOIN facts f ON f.fact_id = l.fact_id "
+                    "WHERE f.batch_id = ?",
+                    (batch_id,),
+                ).fetchone()[0]
+                if labelled:
+                    kept.append(batch_id)
+                    self._conn.execute(
+                        "UPDATE ingest_log SET report = ? WHERE batch_id = ?",
+                        (json.dumps({"reconciled": "kept"}), batch_id),
+                    )
+                    continue
+                quarantined.append(batch_id)
+                votes_removed += self._conn.execute(
+                    "DELETE FROM votes WHERE batch_id = ?", (batch_id,)
+                ).rowcount
+                facts_removed += self._conn.execute(
+                    "DELETE FROM facts WHERE batch_id = ? "
+                    "AND fact_id NOT IN (SELECT fact_id FROM votes) "
+                    "AND fact_id NOT IN (SELECT fact_id FROM labels)",
+                    (batch_id,),
+                ).rowcount
+                sources_removed += self._conn.execute(
+                    "DELETE FROM sources WHERE batch_id = ? "
+                    "AND source_id NOT IN (SELECT source_id FROM votes)",
+                    (batch_id,),
+                ).rowcount
+                self._conn.execute(
+                    "UPDATE ingest_log SET rows_kept = 0, report = ? "
+                    "WHERE batch_id = ?",
+                    (json.dumps({"reconciled": "quarantined"}), batch_id),
+                )
+            orphan_labels = self._conn.execute(
+                "DELETE FROM labels WHERE epoch NOT IN (SELECT epoch FROM epochs)"
+            ).rowcount
+            row = self._conn.execute("SELECT MAX(epoch) FROM epochs").fetchone()
+            last_epoch = None if row[0] is None else int(row[0])
+        state = self.load_session_state()
+        state_epoch = None if state is None else state[0]
+        if state_epoch != last_epoch:
+            raise LedgerError(
+                f"{self.path}: session_state epoch {state_epoch!r} does not "
+                f"match last committed epoch {last_epoch!r}"
+            )
+        return {
+            "store": str(self.path),
+            "torn_batches": len(torn),
+            "quarantined_batches": quarantined,
+            "kept_batches": kept,
+            "votes_removed": votes_removed,
+            "facts_removed": facts_removed,
+            "sources_removed": sources_removed,
+            "orphan_labels": orphan_labels,
+            "last_epoch": last_epoch,
+            "pending": self.counts()["pending"],
+            "clean": not torn and not orphan_labels,
+        }
+
     def trajectory_rows(self) -> list[dict[SourceId, float]]:
         """The stored trust trajectory as per-time-point vectors."""
         rows: dict[int, dict[SourceId, float]] = {}

@@ -257,8 +257,9 @@ def post_json(url: str, payload: dict):
 def test_http_healthz_and_metrics(http_service):
     status, health = get_json(f"{http_service}/healthz")
     assert status == 200
-    assert health["status"] == "ok"
+    assert health["status"] == "healthy"
     assert health["pending"] == 0
+    assert health["breaker"]["state"] == "closed"
     # /metrics is Prometheus text exposition, not JSON
     with urllib.request.urlopen(f"{http_service}/metrics", timeout=5) as resp:
         assert resp.status == 200
@@ -274,7 +275,9 @@ def test_http_healthz_and_metrics(http_service):
 def test_http_statusz(http_service):
     status, body = get_json(f"{http_service}/statusz")
     assert status == 200
-    assert body["status"] == "ok"
+    assert body["status"] == "healthy"
+    assert body["breaker"]["state"] == "closed"
+    assert body["admission"]["rejected_total"] == 0
     assert body["pending"] == 0
     assert body["counts"]["facts"] >= 2
     assert body["ingest"]["batches"] >= 1
