@@ -1,0 +1,66 @@
+"""Adversarial scenarios — validates the committed ``BENCH_scenarios.json``.
+
+Two layers, mirroring the other bench suites: the quick tier regenerates a
+downsized suite end-to-end (same generators, same line-up, same floors),
+and the committed full-tier artifact is schema-and-floor checked without
+rerunning it (regenerate with ``python -m repro.eval.bench --scenarios``
+when detection or the variant changes).
+
+The floors are the PR's acceptance criteria: the copying attack must cost
+vanilla IncEstimate a measurable accuracy gap against the paired
+independent control, and the dependence-aware variant must recover at
+least half of that gap.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.eval.bench import (
+    SCENARIO_FLOORS,
+    run_scenarios_bench,
+    validate_scenarios_payload,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_scenarios_quick_tier_schema_and_floors():
+    payload = run_scenarios_bench(quick=True)
+    validate_scenarios_payload(payload)
+    assert payload["tier"] == "quick"
+    recovery = payload["copying"][0]
+    assert recovery["gap"] >= SCENARIO_FLOORS["quick"]["min_copying_gap"]
+    assert (
+        recovery["recovered_fraction"]
+        >= SCENARIO_FLOORS["quick"]["min_recovered_fraction"]
+    )
+
+
+def test_committed_scenarios_bench_holds_floors():
+    path = REPO_ROOT / "BENCH_scenarios.json"
+    if not path.exists():
+        pytest.fail(
+            "BENCH_scenarios.json missing — run "
+            "python -m repro.eval.bench --scenarios"
+        )
+    payload = json.loads(path.read_text())
+    validate_scenarios_payload(payload)
+    assert payload["tier"] == "full"
+    recovery = payload["copying"][0]
+    assert recovery["gap"] >= SCENARIO_FLOORS["full"]["min_copying_gap"]
+    assert (
+        recovery["recovered_fraction"]
+        >= SCENARIO_FLOORS["full"]["min_recovered_fraction"]
+    )
+    # The headline numbers the docs quote must match the committed rows.
+    base_rows = [
+        row
+        for row in payload["rows"]
+        if row["scenario"] == "copying"
+        and row["method"] == "IncEstimate[IncEstHeu]"
+    ]
+    assert {row["world"] for row in base_rows} == {"control", "adversarial"}

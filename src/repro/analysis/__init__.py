@@ -18,9 +18,11 @@ from repro.analysis.convergence import (
     tracking_error,
 )
 from repro.analysis.dependence import (
+    DependenceScan,
     DependenceScore,
     copying_pairs,
     dependence_scores,
+    scan_dependence,
 )
 from repro.analysis.report import build_report
 from repro.analysis.sensitivity import (
@@ -34,6 +36,7 @@ from repro.analysis.viz import line_chart, spark_table, sparkline
 __all__ = [
     "CalibrationBin",
     "CalibrationReport",
+    "DependenceScan",
     "DependenceScore",
     "MetricInterval",
     "SourceConvergence",
@@ -50,6 +53,7 @@ __all__ = [
     "parameter_grid",
     "reliability_bins",
     "run_sweep",
+    "scan_dependence",
     "spark_table",
     "sparkline",
     "summarize",

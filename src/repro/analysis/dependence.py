@@ -11,11 +11,21 @@ signal of that line of work, adapted to the boolean-vote setting:
     ways to be wrong — and in the listings setting, a stale closed
     restaurant carried by two aggregators is a fingerprint.
 
-:func:`dependence_scores` computes, for every source pair, the lift of
-their co-voting on ground-truth-false facts over what independence
+:func:`dependence_scores` computes, for candidate source pairs, the lift
+of their co-voting on ground-truth-false facts over what independence
 predicts; :func:`copying_pairs` thresholds that into suspected
 copier relationships.  When no ground truth is available, a corroboration
 result's labels can stand in.
+
+Scale: a naive scan is O(n²) in the number of sources — hopeless at the
+10k-source sparse tier.  :func:`scan_dependence` therefore enumerates
+candidate pairs through an inverted index over false facts (cost bounded
+by Σ_f C(affirmers(f), 2), i.e. by actual co-occurrence, not by n²) and
+only scores pairs sharing at least ``min_shared_false`` false facts.  An
+optional ``max_pairs`` cap bounds the scored set further, keeping the
+pairs with the most shared false facts and logging how many candidates
+were truncated.  Pass ``min_shared_false=0`` to recover the historical
+exhaustive all-pairs scan (zero-shared pairs included, lift 0).
 """
 
 from __future__ import annotations
@@ -27,6 +37,9 @@ from collections.abc import Mapping
 from repro.model.dataset import Dataset
 from repro.model.matrix import FactId, SourceId
 from repro.model.votes import Vote
+from repro.obs import NULL_OBS, Obs, get_logger
+
+_LOG = get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +59,24 @@ class DependenceScore:
         return self.lift > 2.0 and self.shared_false >= 5
 
 
+@dataclasses.dataclass(frozen=True)
+class DependenceScan:
+    """One dependence scan: the scored pairs plus its coverage accounting.
+
+    ``candidate_pairs`` is how many pairs passed the ``min_shared_false``
+    prefilter; ``scored_pairs`` how many were actually scored (the two
+    differ only when ``max_pairs`` truncated, by ``truncated_pairs``).
+    """
+
+    scores: list[DependenceScore]
+    sources: int
+    candidate_pairs: int
+    scored_pairs: int
+    truncated_pairs: int
+    min_shared_false: int
+    max_pairs: int | None
+
+
 def _false_fact_sets(
     dataset: Dataset, labels: Mapping[FactId, bool] | None
 ) -> dict[SourceId, set[FactId]]:
@@ -57,29 +88,82 @@ def _false_fact_sets(
         )
     by_source: dict[SourceId, set[FactId]] = {s: set() for s in dataset.sources}
     for source in dataset.sources:
-        for fact, vote in dataset.matrix.votes_by(source).items():
+        for fact, vote in dataset.matrix.iter_votes_by(source):
             label = reference.get(fact)
             if label is False and vote is Vote.TRUE:
                 by_source[source].add(fact)
     return by_source
 
 
-def dependence_scores(
-    dataset: Dataset, labels: Mapping[FactId, bool] | None = None
-) -> list[DependenceScore]:
-    """Pairwise copy-evidence scores, sorted by lift descending.
+def _shared_counts(
+    false_sets: dict[SourceId, set[FactId]]
+) -> dict[tuple[SourceId, SourceId], int]:
+    """Co-occurrence counts via an inverted index over false facts.
 
-    The independent expectation for a pair is |A_false|·|B_false| / N_false
-    (hypergeometric mean), where N_false is the number of false facts any
-    source affirmed.
+    Pairs are keyed in source registration order (the ``false_sets``
+    insertion order), so downstream output is deterministic.
     """
+    affirmers: dict[FactId, list[SourceId]] = {}
+    for source, facts in false_sets.items():
+        for fact in facts:
+            affirmers.setdefault(fact, []).append(source)
+    counts: dict[tuple[SourceId, SourceId], int] = {}
+    for voters in affirmers.values():
+        for pair in itertools.combinations(voters, 2):
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def scan_dependence(
+    dataset: Dataset,
+    labels: Mapping[FactId, bool] | None = None,
+    *,
+    min_shared_false: int = 1,
+    max_pairs: int | None = None,
+) -> DependenceScan:
+    """Score candidate source pairs for copy evidence (see module docstring).
+
+    Returns a :class:`DependenceScan` whose ``scores`` are sorted by lift
+    descending (ties broken by source pair for determinism).
+    """
+    if max_pairs is not None and max_pairs < 1:
+        raise ValueError(f"max_pairs must be positive, got {max_pairs}")
     false_sets = _false_fact_sets(dataset, labels)
     universe = set().union(*false_sets.values()) if false_sets else set()
     n_false = len(universe)
+    num_sources = len(false_sets)
+
+    if min_shared_false <= 0:
+        # Historical exhaustive path: every pair, zero-shared included.
+        shared_of = _shared_counts(false_sets)
+        candidates = [
+            (pair, shared_of.get(pair, 0))
+            for pair in itertools.combinations(dataset.sources, 2)
+        ]
+    else:
+        shared_of = _shared_counts(false_sets)
+        candidates = [
+            (pair, shared)
+            for pair, shared in shared_of.items()
+            if shared >= min_shared_false
+        ]
+    candidate_pairs = len(candidates)
+    truncated = 0
+    if max_pairs is not None and candidate_pairs > max_pairs:
+        candidates.sort(key=lambda item: (-item[1], item[0]))
+        truncated = candidate_pairs - max_pairs
+        candidates = candidates[:max_pairs]
+        _LOG.warning(
+            "dependence scan truncated: kept top %d of %d candidate pairs "
+            "by shared false facts (%d dropped)",
+            max_pairs,
+            candidate_pairs,
+            truncated,
+        )
+
     scores: list[DependenceScore] = []
-    for a, b in itertools.combinations(dataset.sources, 2):
+    for (a, b), shared in candidates:
         set_a, set_b = false_sets[a], false_sets[b]
-        shared = len(set_a & set_b)
         union = len(set_a | set_b)
         expected = (len(set_a) * len(set_b) / n_false) if n_false else 0.0
         lift = shared / expected if expected > 0 else 0.0
@@ -93,7 +177,37 @@ def dependence_scores(
                 jaccard_false=shared / union if union else 0.0,
             )
         )
-    return sorted(scores, key=lambda s: s.lift, reverse=True)
+    scores.sort(key=lambda s: (-s.lift, s.source_a, s.source_b))
+    return DependenceScan(
+        scores=scores,
+        sources=num_sources,
+        candidate_pairs=candidate_pairs,
+        scored_pairs=len(scores),
+        truncated_pairs=truncated,
+        min_shared_false=min_shared_false,
+        max_pairs=max_pairs,
+    )
+
+
+def dependence_scores(
+    dataset: Dataset,
+    labels: Mapping[FactId, bool] | None = None,
+    *,
+    min_shared_false: int = 1,
+    max_pairs: int | None = None,
+) -> list[DependenceScore]:
+    """Pairwise copy-evidence scores, sorted by lift descending.
+
+    The independent expectation for a pair is |A_false|·|B_false| / N_false
+    (hypergeometric mean), where N_false is the number of false facts any
+    source affirmed.  Only pairs sharing at least ``min_shared_false``
+    false facts are scored (default 1 — pass 0 for the exhaustive legacy
+    scan); ``max_pairs`` further caps the scored set, keeping the pairs
+    with the most shared false facts.
+    """
+    return scan_dependence(
+        dataset, labels, min_shared_false=min_shared_false, max_pairs=max_pairs
+    ).scores
 
 
 def copying_pairs(
@@ -101,10 +215,53 @@ def copying_pairs(
     labels: Mapping[FactId, bool] | None = None,
     min_lift: float = 2.0,
     min_shared: int = 5,
+    *,
+    min_jaccard: float = 0.0,
+    max_pairs: int | None = None,
+    obs: Obs = NULL_OBS,
 ) -> list[DependenceScore]:
-    """The source pairs whose shared-false-fact lift flags likely copying."""
-    return [
+    """The source pairs whose shared-false-fact lift flags likely copying.
+
+    ``min_jaccard`` optionally gates on the Jaccard similarity of the two
+    false-fact sets.  Lift saturates for high-volume copiers (a copier's
+    expected overlap is already large, so shared/expected hovers near 2
+    however blatant the copying), while near-mirror false sets push
+    Jaccard toward 1 and independent sources stay low — the robust signal
+    when the cluster is big.  The default 0.0 keeps the historical
+    lift-only rule.
+
+    The prefilter runs at ``min_shared`` (a flagged pair must share at
+    least that many false facts anyway), so the scan stays tractable even
+    at the 10k-source tier.  When ``obs`` carries a run ledger, one
+    ``dependence_report`` record is emitted per call.
+    """
+    scan = scan_dependence(
+        dataset, labels, min_shared_false=max(1, min_shared), max_pairs=max_pairs
+    )
+    flagged = [
         score
-        for score in dependence_scores(dataset, labels)
-        if score.lift >= min_lift and score.shared_false >= min_shared
+        for score in scan.scores
+        if score.lift >= min_lift
+        and score.shared_false >= min_shared
+        and score.jaccard_false >= min_jaccard
     ]
+    if obs.enabled:
+        obs.metrics.inc("dependence.scans")
+        if scan.truncated_pairs:
+            obs.metrics.inc("dependence.truncated_pairs", scan.truncated_pairs)
+        obs.runlog.emit(
+            "dependence_report",
+            sources=scan.sources,
+            candidate_pairs=scan.candidate_pairs,
+            scored_pairs=scan.scored_pairs,
+            truncated_pairs=scan.truncated_pairs,
+            flagged=len(flagged),
+            min_lift=min_lift,
+            min_shared=min_shared,
+            min_jaccard=min_jaccard,
+            top=[
+                [s.source_a, s.source_b, round(s.lift, 4), s.shared_false]
+                for s in flagged[:10]
+            ],
+        )
+    return flagged

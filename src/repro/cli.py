@@ -8,6 +8,8 @@ Commands:
 * ``experiment`` — regenerate one of the paper's tables or figures;
 * ``report`` — build the full Markdown analysis report for a dataset;
 * ``methods`` — list the available corroborators;
+* ``scenario`` — run the adversarial / temporal scenario suite
+  (:mod:`repro.scenarios`) and print per-scenario metric tables;
 * ``trace-summary`` — aggregate a trace / runlog written by the two
   commands above;
 * ``ingest`` — load a dataset or a votes CSV into a persistent vote
@@ -247,6 +249,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("methods", help="list available corroborators")
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="run the adversarial / temporal scenario suite (docs/scenarios.md)",
+    )
+    scenario.add_argument(
+        "--quick", action="store_true", help="small worlds (smoke tier)"
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=0, help="suite root seed (default: 0)"
+    )
+    scenario.add_argument(
+        "--only",
+        metavar="NAME",
+        help="run a single suite scenario by name (e.g. copying)",
+    )
+    scenario.add_argument(
+        "--spec",
+        metavar="PATH",
+        help="run one ScenarioSpec JSON file instead of the built-in suite",
+    )
+    scenario.add_argument(
+        "--output", help="write the per-method metric rows as JSON here"
+    )
+    scenario.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard each scenario's method runs over N spawn workers",
+    )
+    _add_obs_args(scenario)
 
     trace_summary = commands.add_parser(
         "trace-summary", help="aggregate a --trace / --runlog file"
@@ -614,6 +648,71 @@ def _cmd_methods(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval import render_table
+    from repro.scenarios import (
+        ScenarioSpec,
+        copying_recovery,
+        generate_scenario,
+        run_scenario,
+        scenario_rows,
+        scenario_suite,
+    )
+
+    obs = _make_obs(args)
+    if args.spec:
+        with open(args.spec) as handle:
+            specs = [ScenarioSpec.from_json(json.load(handle))]
+    else:
+        specs = scenario_suite(quick=args.quick, seed=args.seed)
+        if args.only:
+            specs = [s for s in specs if s.name == args.only]
+            if not specs:
+                names = ", ".join(
+                    s.name for s in scenario_suite(quick=args.quick)
+                )
+                print(
+                    f"scenario: unknown scenario {args.only!r} "
+                    f"(suite: {names})",
+                    file=sys.stderr,
+                )
+                return 2
+    rows: list[dict] = []
+    recoveries: list[dict] = []
+    with obs.tracer.span("scenario.suite", scenarios=len(specs)):
+        for spec in specs:
+            world = generate_scenario(spec)
+            result = run_scenario(world, obs=obs, workers=args.workers)
+            rows.extend(scenario_rows(result))
+            if spec.kind == "copying":
+                recoveries.append(copying_recovery(result))
+    display = [
+        {
+            key: row.get(key, row.get("error"))
+            for key in (
+                "scenario", "world", "method", "accuracy", "f1",
+                "trust_mse", "seconds",
+            )
+        }
+        for row in rows
+    ]
+    print(render_table(display, title="scenario suite", float_digits=4))
+    for recovery in recoveries:
+        print(
+            f"{recovery['scenario']}: attack gap "
+            f"{recovery['gap']:.4f} accuracy; dependence-aware variant "
+            f"recovered {recovery['recovered_fraction']:.2f} of it"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump({"rows": rows, "copying": recoveries}, handle, indent=2)
+        print(f"rows written to {args.output}")
+    _finish_obs(args, obs)
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from repro.eval import render_table
     from repro.obs import (
@@ -656,6 +755,13 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
             f"entropy destroyed: {summary['entropy_destroyed_bits']} bits  "
             f"label-flip facts: {summary['label_flip_facts']}"
         )
+        if "dependence_flagged_pairs" in summary:
+            print(
+                f"dependence scans: {summary['dependence_flagged_pairs']} "
+                f"flagged pair(s), "
+                f"{summary['dependence_truncated_pairs']} truncated "
+                f"candidate(s)"
+            )
     return 0
 
 
@@ -811,6 +917,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "methods": _cmd_methods,
+        "scenario": _cmd_scenario,
         "trace-summary": _cmd_trace_summary,
         "ingest": _cmd_ingest,
         "query": _cmd_query,

@@ -21,10 +21,16 @@ from repro.core.selection import (
     SelectionStrategy,
 )
 from repro.core.trust import TrustTrajectory
-from repro.core.variants import EntropyGreedy, OracleSelection, RandomGroups
+from repro.core.variants import (
+    DependenceAware,
+    EntropyGreedy,
+    OracleSelection,
+    RandomGroups,
+)
 
 __all__ = [
     "CorroborationResult",
+    "DependenceAware",
     "EntropyGreedy",
     "Explanation",
     "OracleSelection",

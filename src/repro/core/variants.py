@@ -1,6 +1,18 @@
-"""Additional selection strategies: ablation and diagnostic variants.
+"""Algorithm variants: extension methods plus ablation / diagnostic
+selection strategies.
 
-These slot into :class:`~repro.core.incestimate.IncEstimate` exactly like
+:class:`DependenceAware` is an *extension method* (a full
+:class:`~repro.core.result.Corroborator`): it wraps any base corroborator
+with the Dong et al. copy-detection loop — run, detect copier clusters on
+the corroborated labels via
+:func:`repro.analysis.dependence.copying_pairs`, collapse each cluster's
+duplicated votes to a single representative vote, and rerun — so a
+colluding cluster counts as one source instead of many.  An optional
+trust-decay knob down-samples votes on old epochs for temporal-drift
+worlds (see :mod:`repro.scenarios`).
+
+The selection strategies slot into
+:class:`~repro.core.incestimate.IncEstimate` exactly like
 the paper's IncEstHeu / IncEstPS and exist to map the design space around
 the published heuristic:
 
@@ -24,16 +36,23 @@ the published heuristic:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
+
 import numpy as np
 
 from repro.core.entropy import binary_entropy
+from repro.core.incestimate import IncEstimate
+from repro.core.result import CorroborationResult, Corroborator
 from repro.core.selection import (
+    IncEstHeu,
     Selection,
     SelectionContext,
     SelectionItem,
     SelectionStrategy,
 )
-from repro.model.matrix import FactId
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.parallel.seeds import derive_seed
 
 
 class EntropyGreedy(SelectionStrategy):
@@ -111,3 +130,224 @@ class OracleSelection(SelectionStrategy):
             SelectionItem(groups[best_pos], n, label=True),
             SelectionItem(groups[best_neg], n, label=False),
         ]
+
+
+# ---------------------------------------------------------------------------
+# Dependence-aware extension method
+# ---------------------------------------------------------------------------
+def _default_base() -> Corroborator:
+    return IncEstimate(IncEstHeu())
+
+
+class _UnionFind:
+    """Minimal union-find over source ids (path compression only)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[SourceId, SourceId] = {}
+
+    def find(self, item: SourceId) -> SourceId:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, a: SourceId, b: SourceId) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Deterministic: the lexicographically smaller id wins the root.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            self._parent[root_b] = root_a
+
+    def clusters(self) -> list[list[SourceId]]:
+        by_root: dict[SourceId, list[SourceId]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return [sorted(members) for root, members in sorted(by_root.items())
+                if len(members) > 1]
+
+
+class DependenceAware(Corroborator):
+    """Copy-detection wrapper: collapse copier-cluster votes, then rerun.
+
+    The loop (``rounds`` times, stopping early once nothing is flagged):
+
+    1. run the base corroborator and take its corroborated labels —
+       *never* the ground truth; detection sees exactly what the method
+       itself believes;
+    2. :func:`repro.analysis.dependence.copying_pairs` over those labels
+       flags source pairs whose shared-false-fact lift exceeds
+       ``min_lift`` with support ``min_shared`` *and* whose false-set
+       Jaccard exceeds ``min_jaccard`` (lift saturates for high-volume
+       copiers; near-mirror false sets are the robust cluster signal);
+       flagged pairs are union-found into clusters;
+    3. each cluster's votes are *collapsed*: per (fact, vote value) at
+       most one member's vote survives, so N copies of a stale listing
+       count as one affirmation (disagreement inside a cluster is
+       independent signal and every distinct value keeps one vote);
+    4. the base corroborator reruns on the collapsed matrix.
+
+    Later rounds re-detect with the improved labels — after the first
+    collapse frees the estimate from the cluster's vote mass, facts the
+    cluster had pushed over the threshold flip back to false, exposing
+    more of the cluster's shared-false fingerprint.
+
+    The optional ``trust_decay`` knob handles temporal drift: with an
+    ``epoch_of`` fact → epoch mapping, votes on facts ``age`` epochs old
+    are kept only with probability ``trust_decay ** age`` (deterministic
+    given ``seed``), so trust reflects recent source behaviour instead of
+    averaging over a drifted history.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Corroborator] | None = None,
+        *,
+        min_lift: float = 1.2,
+        min_shared: int = 5,
+        min_jaccard: float = 0.6,
+        max_pairs: int | None = 100_000,
+        rounds: int = 2,
+        trust_decay: float = 1.0,
+        epoch_of: Mapping[FactId, int] | None = None,
+        seed: int = 0,
+        name: str | None = None,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if not 0.0 < trust_decay <= 1.0:
+            raise ValueError(f"trust_decay must be in (0, 1], got {trust_decay}")
+        # Module-level default keeps the corroborator picklable for the
+        # harness's spawn-pool worker path.
+        self._base_factory = base_factory or _default_base
+
+        self.min_lift = min_lift
+        self.min_shared = min_shared
+        self.min_jaccard = min_jaccard
+        self.max_pairs = max_pairs
+        self.rounds = rounds
+        self.trust_decay = trust_decay
+        self.epoch_of = dict(epoch_of) if epoch_of else None
+        self.seed = seed
+        base_name = self._base_factory().name
+        decay_tag = f", decay={trust_decay}" if trust_decay < 1.0 else ""
+        self.name = name or f"DepAware[{base_name}{decay_tag}]"
+
+    # -- vote transforms ------------------------------------------------
+    def _decayed(self, dataset: Dataset) -> Dataset:
+        """Subsample votes on old epochs with probability decay**age."""
+        epoch_of = self.epoch_of or {}
+        newest = max(epoch_of.values(), default=0)
+        rng = np.random.default_rng(derive_seed(self.seed, "trust-decay"))
+        matrix = VoteMatrix()
+        for source in dataset.matrix.sources:
+            matrix.add_source(source)
+        for fact in dataset.matrix.facts:
+            matrix.add_fact(fact)
+            age = newest - epoch_of.get(fact, newest)
+            keep_p = self.trust_decay**age
+            for source, vote in dataset.matrix.votes_on(fact).items():
+                if age == 0 or rng.random() < keep_p:
+                    matrix.add_vote(fact, source, vote)
+        return Dataset(
+            matrix=matrix,
+            truth=dict(dataset.truth),
+            golden_set=dataset.golden_set,
+            name=f"{dataset.name}+decay{self.trust_decay}",
+        )
+
+    @staticmethod
+    def _collapse(dataset: Dataset, clusters: list[list[SourceId]]) -> Dataset:
+        """Per cluster and fact, keep exactly one member's vote.
+
+        A flagged cluster is treated as *one effective source*: on every
+        fact, only the highest-ranked voting member's vote survives (rank:
+        most votes overall, ties broken by smallest id — so the cluster
+        leader usually speaks for it).  Member divergences are copy noise,
+        not independent evidence, so they are dropped rather than kept as
+        dissent.  All sources stay registered, so trust scores remain
+        defined for collapsed-away members.
+        """
+        cluster_of: dict[SourceId, int] = {}
+        for index, members in enumerate(clusters):
+            for member in members:
+                cluster_of[member] = index
+        rank: dict[SourceId, tuple[int, SourceId]] = {
+            member: (-len(dataset.matrix.votes_by(member)), member)
+            for members in clusters
+            for member in members
+        }
+        matrix = VoteMatrix()
+        for source in dataset.matrix.sources:
+            matrix.add_source(source)
+        for fact in dataset.matrix.facts:
+            matrix.add_fact(fact)
+            votes = dataset.matrix.votes_on(fact)
+            # cluster index -> best (highest-rank) voting member so far.
+            keeper: dict[int, SourceId] = {}
+            for source, vote in votes.items():
+                cluster = cluster_of.get(source)
+                if cluster is None:
+                    matrix.add_vote(fact, source, vote)
+                    continue
+                held = keeper.get(cluster)
+                if held is None or rank[source] < rank[held]:
+                    keeper[cluster] = source
+            for cluster, source in sorted(keeper.items()):
+                matrix.add_vote(fact, source, votes[source])
+        return Dataset(
+            matrix=matrix,
+            truth=dict(dataset.truth),
+            golden_set=dataset.golden_set,
+            name=f"{dataset.name}+collapsed",
+        )
+
+    # -- the method -----------------------------------------------------
+    def run(self, dataset: Dataset) -> CorroborationResult:
+        # Lazy import: repro.analysis pulls the report/eval stack, which
+        # must not load as a side effect of importing repro.core.
+        from repro.analysis.dependence import copying_pairs
+
+        work = dataset
+        if self.trust_decay < 1.0 and self.epoch_of:
+            work = self._decayed(dataset)
+        base = self._base_factory()
+        base.obs = self.obs
+        result = base.run(work)
+        # Flagged pairs accumulate across rounds: a cluster collapsed in
+        # round 1 stops looking suspicious once the labels recover, and
+        # un-collapsing it would just reopen the attack (oscillation).
+        union = _UnionFind()
+        seen: set[tuple[SourceId, SourceId]] = set()
+        for _ in range(self.rounds):
+            flagged = copying_pairs(
+                work,
+                labels=result.labels(),
+                min_lift=self.min_lift,
+                min_shared=self.min_shared,
+                min_jaccard=self.min_jaccard,
+                max_pairs=self.max_pairs,
+                obs=self.obs,
+            )
+            new = [
+                score
+                for score in flagged
+                if (score.source_a, score.source_b) not in seen
+            ]
+            if not new:
+                break
+            for score in new:
+                seen.add((score.source_a, score.source_b))
+                union.union(score.source_a, score.source_b)
+            collapsed = self._collapse(work, union.clusters())
+            base = self._base_factory()
+            base.obs = self.obs
+            result = base.run(collapsed)
+        return CorroborationResult(
+            method=self.name,
+            probabilities=result.probabilities,
+            trust=result.trust,
+            iterations=result.iterations,
+            label_overrides=dict(result.label_overrides),
+        )

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.datasets.restaurants import PAPER_PROFILES, SourceProfile
 from repro.dedup.resolution import RawListing
+from repro.parallel.seeds import derive_seed
 
 _NAME_HEADS = [
     "Danny's", "Golden", "Grand", "Little", "Royal", "Blue", "Red", "Lucky",
@@ -142,7 +143,9 @@ def generate_raw_crawl(
     """
     if restaurants is None:
         restaurants = generate_universe(seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    # Child stream per the seeding contract: path-derived, not seed
+    # arithmetic (seed+1 collides with another generator's root seed).
+    rng = np.random.default_rng(derive_seed(seed, "raw-crawl"))
     listings: list[RawListing] = []
     truth = {r.entity_id: r.open_for_business for r in restaurants}
     for source_index, profile in enumerate(profiles):

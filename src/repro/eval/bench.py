@@ -100,6 +100,26 @@ ROBUSTNESS_FLOORS = {
     "quick": {"max_recovery_seconds": 30.0, "min_read_availability": 0.95},
 }
 
+#: Schema / default output of the adversarial scenario benchmark
+#: (``--scenarios``).
+SCENARIOS_SCHEMA_VERSION = 1
+DEFAULT_SCENARIOS_OUTPUT = "BENCH_scenarios.json"
+
+#: Root seed of the committed scenario suite (see
+#: :func:`repro.scenarios.scenario_suite`).
+SCENARIOS_SEED = 0
+
+#: Per-tier acceptance floors of the scenario bench, asserted by the
+#: validator: the copying attack must cost the vanilla incremental method
+#: a measurable accuracy gap versus the paired independent control, and
+#: the dependence-aware variant must win back at least half of that gap.
+#: The gap floors sit well below the committed runs (full ≈ 0.13,
+#: quick ≈ 0.085) so only a genuine detection regression trips them.
+SCENARIO_FLOORS = {
+    "full": {"min_copying_gap": 0.05, "min_recovered_fraction": 0.5},
+    "quick": {"min_copying_gap": 0.03, "min_recovered_fraction": 0.5},
+}
+
 #: Hard ceiling on the scale run's peak RSS: the million-fact tier must
 #: stay sparse, and a dense (G × S) or per-fact-code structure sneaking
 #: back in shows up here long before it ooms a CI runner.
@@ -930,6 +950,160 @@ def write_robustness_bench(
 
 
 # ---------------------------------------------------------------------------
+# Adversarial scenario benchmark (BENCH_scenarios.json)
+# ---------------------------------------------------------------------------
+def run_scenarios_bench(
+    quick: bool = False,
+    seed: int = SCENARIOS_SEED,
+    workers: int | None = None,
+) -> dict:
+    """Run the scenario suite; the BENCH_scenarios.json payload.
+
+    One row per (scenario, world, method): the standard line-up — the
+    vanilla incremental method, fixpoint baselines and the
+    dependence-aware variant — over each adversarial world *and* its
+    paired independent control (see :mod:`repro.scenarios`).  The
+    ``copying`` section carries the headline acceptance numbers: how much
+    accuracy the copying attack costs IncEstimate[IncEstHeu] and what
+    fraction of that gap the dependence-aware variant recovers.
+    """
+    from repro.scenarios import (
+        copying_recovery,
+        generate_scenario,
+        run_scenario,
+        scenario_rows,
+        scenario_suite,
+    )
+
+    tier = "quick" if quick else "full"
+    rows: list[dict] = []
+    recoveries: list[dict] = []
+    specs: list[dict] = []
+    for spec in scenario_suite(quick=quick, seed=seed):
+        result = run_scenario(generate_scenario(spec), workers=workers)
+        specs.append(spec.to_json())
+        rows.extend(scenario_rows(result))
+        if spec.kind == "copying":
+            recoveries.append(copying_recovery(result))
+    return {
+        "schema_version": SCENARIOS_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "tier": tier,
+        "seed": seed,
+        "floors": SCENARIO_FLOORS[tier],
+        "specs": specs,
+        "rows": rows,
+        "copying": recoveries,
+    }
+
+
+def validate_scenarios_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid scenario bench.
+
+    Shape plus the acceptance floors a committed BENCH_scenarios.json
+    exists to prove: every suite kind ran, every successful row carries
+    sane metrics, the copying attack measurably degraded the vanilla
+    incremental method, and the dependence-aware variant recovered at
+    least the floored fraction of the gap.
+    """
+    from repro.scenarios import SCENARIO_KINDS, ScenarioSpec
+
+    if payload.get("schema_version") != SCENARIOS_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    tier = payload.get("tier")
+    if tier not in SCENARIO_FLOORS:
+        raise ValueError(
+            f"tier must be one of {sorted(SCENARIO_FLOORS)}, got {tier!r}"
+        )
+    specs = payload.get("specs")
+    if not isinstance(specs, list) or not specs:
+        raise ValueError("specs must be a non-empty list")
+    kinds = set()
+    for i, spec_payload in enumerate(specs):
+        try:
+            spec = ScenarioSpec.from_json(spec_payload)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"specs[{i}] does not round-trip: {exc}") from exc
+        kinds.add(spec.kind)
+    if kinds != set(SCENARIO_KINDS):
+        raise ValueError(
+            f"suite must cover every kind {sorted(SCENARIO_KINDS)}, "
+            f"got {sorted(kinds)}"
+        )
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("rows must be a non-empty list")
+    methods = set()
+    for i, row in enumerate(rows):
+        for key, kind in (
+            ("scenario", str),
+            ("kind", str),
+            ("world", str),
+            ("method", str),
+            ("facts", int),
+            ("sources", int),
+            ("votes", int),
+        ):
+            if not isinstance(row.get(key), kind):
+                raise ValueError(f"rows[{i}].{key} is not a {kind.__name__}")
+        if row["world"] not in ("control", "adversarial"):
+            raise ValueError(f"rows[{i}].world is {row['world']!r}")
+        if not isinstance(row.get("seconds"), (int, float)) or row["seconds"] < 0:
+            raise ValueError(f"rows[{i}].seconds is invalid")
+        methods.add(row["method"])
+        if "error" in row:
+            continue
+        for key in ("precision", "recall", "accuracy", "f1"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+                raise ValueError(f"rows[{i}].{key}={value!r} is not in [0, 1]")
+    from repro.scenarios import BASE_METHOD
+
+    if BASE_METHOD not in methods:
+        raise ValueError(f"rows never ran the base method {BASE_METHOD}")
+    if not any(m.startswith("DepAware[") for m in methods):
+        raise ValueError("rows never ran the dependence-aware variant")
+    floors = SCENARIO_FLOORS[tier]
+    recoveries = payload.get("copying")
+    if not isinstance(recoveries, list) or not recoveries:
+        raise ValueError("copying must be a non-empty list")
+    for i, recovery in enumerate(recoveries):
+        gap = recovery.get("gap")
+        fraction = recovery.get("recovered_fraction")
+        if not isinstance(gap, (int, float)):
+            raise ValueError(f"copying[{i}].gap is missing")
+        if gap < floors["min_copying_gap"]:
+            raise ValueError(
+                f"copying[{i}].gap={gap} is below the {tier}-tier floor "
+                f"{floors['min_copying_gap']} — the attack no longer "
+                "degrades the vanilla method measurably"
+            )
+        if not isinstance(fraction, (int, float)):
+            raise ValueError(f"copying[{i}].recovered_fraction is missing")
+        if fraction < floors["min_recovered_fraction"]:
+            raise ValueError(
+                f"copying[{i}].recovered_fraction={fraction} is below the "
+                f"{tier}-tier floor {floors['min_recovered_fraction']}"
+            )
+
+
+def write_scenarios_bench(
+    path: str | pathlib.Path = DEFAULT_SCENARIOS_OUTPUT,
+    quick: bool = False,
+    seed: int = SCENARIOS_SEED,
+) -> dict:
+    """Run the scenario bench and write ``path``; returns the payload."""
+    payload = run_scenarios_bench(quick=quick, seed=seed)
+    validate_scenarios_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # Parallel-scaling benchmark (BENCH_parallel.json)
 # ---------------------------------------------------------------------------
 def measure_sweep_workers(
@@ -1154,6 +1328,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help=(
+            "run the adversarial scenario suite (copying clusters, drift, "
+            "multi-truth vs independent controls) and write "
+            f"{DEFAULT_SCENARIOS_OUTPUT} instead (--quick downsizes)"
+        ),
+    )
+    parser.add_argument(
         "--artifacts",
         metavar="DIR",
         default=None,
@@ -1163,6 +1346,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.scenarios:
+        output = args.output or DEFAULT_SCENARIOS_OUTPUT
+        payload = write_scenarios_bench(output, quick=args.quick)
+        for recovery in payload["copying"]:
+            print(
+                f"copying   base {recovery['base_accuracy']:.4f} -> "
+                f"attacked {recovery['attacked_accuracy']:.4f} "
+                f"(gap {recovery['gap']:.4f}); dependence-aware "
+                f"{recovery['dependence_accuracy']:.4f} "
+                f"(recovered {recovery['recovered_fraction']:.2f} of the gap)"
+            )
+        adversarial = [r for r in payload["rows"] if r["world"] == "adversarial"]
+        for row in adversarial:
+            accuracy = row.get("accuracy")
+            cell = f"{accuracy:.4f}" if accuracy is not None else row.get("error")
+            print(
+                f"{row['scenario']:>12s}  {row['method']:<42s} "
+                f"accuracy {cell}  ({row['seconds']:.2f} s)"
+            )
+        print(f"wrote {output} ({len(payload['rows'])} rows)")
+        return 0
     if args.robustness:
         output = args.output or DEFAULT_ROBUSTNESS_OUTPUT
         payload = write_robustness_bench(

@@ -87,6 +87,13 @@ omit it, so those ledgers stay byte-identical.
     cells were merged, how many shard records were replayed, and how many
     cells ended as isolated failures.  Merges happen in cell order, so a
     sharded ledger is deterministic across worker counts.
+``dependence_report``
+    ``sources``, ``candidate_pairs``, ``scored_pairs``,
+    ``truncated_pairs``, ``flagged``, ``min_lift``, ``min_shared`` (plus
+    the optional ``top`` flagged pairs) — one copy-detection scan of
+    :func:`repro.analysis.dependence.copying_pairs`: how many source
+    pairs passed the min-shared-false prefilter, how many the candidate
+    cap truncated, and how many ended flagged as likely copiers.
 
 :data:`NULL_RUNLOG` is the no-op default; :class:`JsonlRunLog` appends to
 a file (``mode="a"``: re-running a command extends the ledger, it never
@@ -167,6 +174,15 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "serve_request": ("request_method", "path", "status", "seconds"),
     "shard_start": ("shard", "label"),
     "shard_merge": ("shards", "records", "failures"),
+    "dependence_report": (
+        "sources",
+        "candidate_pairs",
+        "scored_pairs",
+        "truncated_pairs",
+        "flagged",
+        "min_lift",
+        "min_shared",
+    ),
 }
 
 
@@ -326,6 +342,8 @@ def summarize_records(records: list[dict]) -> dict:
     facts = 0
     entropy = 0.0
     flips = 0
+    dependence_flagged = 0
+    dependence_truncated = 0
     for record in records:
         kind = record.get("kind", "?")
         kinds[kind] = kinds.get(kind, 0) + 1
@@ -334,9 +352,16 @@ def summarize_records(records: list[dict]) -> dict:
             entropy += record["entropy_destroyed"]
             if record["label_flip"]:
                 flips += record["num_facts"]
-    return {
+        elif kind == "dependence_report":
+            dependence_flagged += record.get("flagged", 0)
+            dependence_truncated += record.get("truncated_pairs", 0)
+    summary = {
         "records_by_kind": kinds,
         "facts_evaluated": facts,
         "entropy_destroyed_bits": round(entropy, 6),
         "label_flip_facts": flips,
     }
+    if kinds.get("dependence_report"):
+        summary["dependence_flagged_pairs"] = dependence_flagged
+        summary["dependence_truncated_pairs"] = dependence_truncated
+    return summary

@@ -1,0 +1,56 @@
+"""Adversarial & temporal scenario engine.
+
+Declarative :class:`ScenarioSpec` worlds — copying/colluding source
+clusters, source-accuracy drift across epochs, multi-truth questions —
+generated deterministically (bit-identical across reruns and worker
+counts, per the parallel seeding contract) and wired into the shared
+evaluation harness, with paired independent controls so every
+degradation number is an apples-to-apples comparison.  See
+``docs/scenarios.md``.
+"""
+
+from repro.scenarios.generators import (
+    ScenarioWorld,
+    base_world_seed,
+    generate_scenario,
+)
+from repro.scenarios.harness import (
+    BASE_METHOD,
+    DRIFT_TRUST_DECAY,
+    ScenarioResult,
+    copying_recovery,
+    dependence_variant,
+    run_scenario,
+    run_scenario_suite,
+    scenario_methods,
+    scenario_rows,
+)
+from repro.scenarios.spec import (
+    SCENARIO_KINDS,
+    CopyingSpec,
+    DriftSpec,
+    MultiTruthSpec,
+    ScenarioSpec,
+    scenario_suite,
+)
+
+__all__ = [
+    "BASE_METHOD",
+    "DRIFT_TRUST_DECAY",
+    "SCENARIO_KINDS",
+    "CopyingSpec",
+    "DriftSpec",
+    "MultiTruthSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "base_world_seed",
+    "copying_recovery",
+    "dependence_variant",
+    "generate_scenario",
+    "run_scenario",
+    "run_scenario_suite",
+    "scenario_methods",
+    "scenario_rows",
+    "scenario_suite",
+]

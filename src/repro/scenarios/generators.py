@@ -1,0 +1,335 @@
+"""Adversarial and temporal world generators.
+
+Each generator consumes a :class:`~repro.scenarios.spec.ScenarioSpec` and
+produces a :class:`ScenarioWorld`: the adversarial dataset, its
+*independent control* (``baseline`` — the same world without the
+adversarial structure, so degradation is a paired comparison, not seed
+noise), the fact → epoch mapping and the planted copier clusters.
+
+All randomness is derived through the spec (:meth:`ScenarioSpec.derive`
+and the shared base-world path), so generation is bit-identical across
+reruns and worker counts.  Worlds of different kinds under the same root
+seed share the same base world draw, which is what makes "accuracy on
+``copying`` vs accuracy on ``independent``" an apples-to-apples number.
+
+Vote semantics extend the paper's Section 6.3.1 model
+(:mod:`repro.datasets.synthetic`):
+
+* **copying** — each cluster is one inaccurate *leader* plus copiers that
+  replicate each leader vote with probability ``copy_rate`` and flip a
+  replicated vote with probability ``error_rate``.  The cluster multiplies
+  the leader's stale affirmative listings into what looks like independent
+  confirmation — the Dong et al. attack.
+* **drift** — facts arrive in epochs; ``drifters`` accurate sources lapse
+  over time: in epoch ``e`` a drifter's trust drops by
+  ``drift_per_epoch * e`` (floored at 0.5) and it affirms a covered stale
+  false fact with probability ``min(1, drift_per_epoch * 2 * e)`` — its
+  curation decays into inaccurate-source behaviour.  The control world
+  replays the *same* random draws with drift disabled, so the two differ
+  only where drift changes a vote.
+* **multi_truth** — question groups with several acceptable values; each
+  covering source affirms one value, an acceptable one with probability
+  equal to its trust.  The control is the same world with a single
+  acceptable value per question.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.datasets.synthetic import SourceSpec, draw_source_specs
+from repro.model.dataset import Dataset
+from repro.model.matrix import FactId, SourceId, VoteMatrix
+from repro.model.votes import Vote
+from repro.parallel.seeds import derive_seed
+from repro.scenarios.spec import ScenarioSpec
+
+#: Derivation path component shared by every kind under one root seed, so
+#: the copying / drift worlds are measured against the *same* base draw as
+#: the ``independent`` control.
+_BASE_WORLD_PATH = ("scenario", "base-world")
+
+
+@dataclasses.dataclass
+class ScenarioWorld:
+    """One generated scenario: adversarial dataset plus its control.
+
+    Attributes:
+        spec: the spec that produced the world.
+        dataset: the adversarial / temporal dataset methods run on.
+        baseline: the independent control world (``dataset`` itself for
+            the ``independent`` kind).
+        epoch_of_fact: fact → epoch index (all 0 for static scenarios).
+        clusters: planted copier clusters, leader first (empty unless the
+            kind is ``copying``).
+    """
+
+    spec: ScenarioSpec
+    dataset: Dataset
+    baseline: Dataset
+    epoch_of_fact: dict[FactId, int]
+    clusters: list[list[SourceId]]
+
+    @property
+    def num_epochs(self) -> int:
+        return max(self.epoch_of_fact.values(), default=0) + 1
+
+    def epoch_slices(self) -> list[list[tuple[FactId, SourceId, str]]]:
+        """The dataset's votes as per-epoch ``(fact, source, symbol)`` rows.
+
+        Slice ``e`` holds every vote on an epoch-``e`` fact, in fact
+        registration order then vote insertion order — a deterministic
+        replay stream for the serve layer's incremental refresh path
+        (:meth:`repro.serve.CorroborationService.apply_votes` consumes the
+        rows verbatim, one slice per refresh epoch).
+        """
+        slices: list[list[tuple[FactId, SourceId, str]]] = [
+            [] for _ in range(self.num_epochs)
+        ]
+        for fact in self.dataset.matrix.facts:
+            epoch = self.epoch_of_fact.get(fact, 0)
+            for source, vote in self.dataset.matrix.iter_votes_on(fact):
+                slices[epoch].append((fact, source, vote.value))
+        return slices
+
+
+def base_world_seed(spec: ScenarioSpec) -> int:
+    """The shared base-world seed of every kind under ``spec.seed``."""
+    return derive_seed(spec.seed, *_BASE_WORLD_PATH)
+
+
+def _copy_dataset_matrix(dataset: Dataset) -> VoteMatrix:
+    matrix = VoteMatrix()
+    for source in dataset.matrix.sources:
+        matrix.add_source(source)
+    for fact in dataset.matrix.facts:
+        matrix.add_fact(fact)
+        for source, vote in dataset.matrix.iter_votes_on(fact):
+            matrix.add_vote(fact, source, vote)
+    return matrix
+
+
+def _base_world(spec: ScenarioSpec):
+    from repro.datasets.synthetic import generate_synthetic
+
+    return generate_synthetic(
+        num_accurate=spec.num_accurate,
+        num_inaccurate=spec.num_inaccurate,
+        num_facts=spec.num_facts,
+        eta=spec.eta,
+        seed=base_world_seed(spec),
+        name=f"scenario[{spec.name}]-base",
+    )
+
+
+def _generate_independent(spec: ScenarioSpec) -> ScenarioWorld:
+    world = _base_world(spec)
+    dataset = dataclasses.replace(world.dataset, name=f"scenario[{spec.name}]")
+    return ScenarioWorld(
+        spec=spec,
+        dataset=dataset,
+        baseline=dataset,
+        epoch_of_fact={fact: 0 for fact in dataset.matrix.facts},
+        clusters=[],
+    )
+
+
+def _generate_copying(spec: ScenarioSpec) -> ScenarioWorld:
+    copying = spec.copying
+    assert copying is not None
+    if copying.clusters > spec.num_inaccurate:
+        raise ValueError(
+            f"copying needs one inaccurate leader per cluster: "
+            f"{copying.clusters} clusters > {spec.num_inaccurate} inaccurate"
+        )
+    world = _base_world(spec)
+    baseline = world.dataset
+    matrix = _copy_dataset_matrix(baseline)
+    leaders = [s.name for s in world.inaccurate_sources]
+    clusters: list[list[SourceId]] = []
+    for c in range(copying.clusters):
+        leader = leaders[c]
+        leader_votes = baseline.matrix.votes_by(leader)
+        members: list[SourceId] = [leader]
+        for k in range(copying.copiers_per_cluster):
+            name = f"copy{c}_{k}"
+            rng = np.random.default_rng(spec.derive("copier", c, k))
+            matrix.add_source(name)
+            members.append(name)
+            for fact, vote in leader_votes.items():
+                if rng.random() < copying.copy_rate:
+                    copied = vote
+                    if rng.random() < copying.error_rate:
+                        copied = (
+                            Vote.FALSE if vote is Vote.TRUE else Vote.TRUE
+                        )
+                    matrix.add_vote(fact, name, copied)
+        clusters.append(members)
+    dataset = Dataset(
+        matrix=matrix,
+        truth=dict(baseline.truth),
+        name=f"scenario[{spec.name}]",
+    )
+    return ScenarioWorld(
+        spec=spec,
+        dataset=dataset,
+        baseline=baseline,
+        epoch_of_fact={fact: 0 for fact in dataset.matrix.facts},
+        clusters=clusters,
+    )
+
+
+def _generate_drift(spec: ScenarioSpec) -> ScenarioWorld:
+    drift = spec.drift
+    assert drift is not None
+    if drift.drifters > spec.num_accurate:
+        raise ValueError(
+            f"drift needs accurate sources to degrade: "
+            f"{drift.drifters} drifters > {spec.num_accurate} accurate"
+        )
+    spec_rng = np.random.default_rng(base_world_seed(spec))
+    specs = draw_source_specs(spec.num_accurate, spec.num_inaccurate, spec_rng)
+    drifters = {s.name for s in specs if s.accurate}
+    drifters = {name for name in sorted(drifters)[: drift.drifters]}
+
+    per_epoch = spec.num_facts // drift.epochs
+    drifted = VoteMatrix()
+    static = VoteMatrix()
+    for source_spec in specs:
+        drifted.add_source(source_spec.name)
+        static.add_source(source_spec.name)
+    truth: dict[FactId, bool] = {}
+    epoch_of_fact: dict[FactId, int] = {}
+    for epoch in range(drift.epochs):
+        rng = np.random.default_rng(spec.derive("epoch", epoch))
+        fact_ids = [f"e{epoch}_f{i}" for i in range(per_epoch)]
+        epoch_truth = rng.random(per_epoch) < 0.5
+        false_indices = np.flatnonzero(~epoch_truth)
+        num_eligible = min(round(spec.eta * per_epoch), false_indices.size)
+        eligible = np.zeros(per_epoch, dtype=bool)
+        if num_eligible:
+            eligible[
+                rng.choice(false_indices, size=num_eligible, replace=False)
+            ] = True
+        for fact, label in zip(fact_ids, epoch_truth):
+            drifted.add_fact(fact)
+            static.add_fact(fact)
+            truth[fact] = bool(label)
+            epoch_of_fact[fact] = epoch
+        for source_spec in specs:
+            is_drifter = source_spec.name in drifters
+            lapse = (
+                min(1.0, drift.drift_per_epoch * 2.0 * epoch)
+                if is_drifter
+                else 0.0
+            )
+            drift_trust = (
+                max(0.5, source_spec.trust - drift.drift_per_epoch * epoch)
+                if is_drifter
+                else source_spec.trust
+            )
+            covered = rng.random(per_epoch) < source_spec.coverage
+            roll = rng.random(per_epoch)
+            lapse_roll = rng.random(per_epoch)
+            for target, trust, lapsed in (
+                (static, source_spec.trust, np.zeros(per_epoch, dtype=bool)),
+                (drifted, drift_trust, lapse_roll < lapse),
+            ):
+                t_on_true = covered & epoch_truth & (roll < trust)
+                f_band = source_spec.f_vote_probability
+                stale = source_spec.erroneous_t_probability > 0.0
+                f_on_false = (
+                    covered
+                    & ~epoch_truth
+                    & eligible
+                    & (roll < f_band)
+                    & ~lapsed
+                )
+                t_on_false = covered & ~epoch_truth & (
+                    (np.full(per_epoch, stale) | lapsed) & ~f_on_false
+                )
+                for idx in np.flatnonzero(t_on_true | t_on_false):
+                    target.add_vote(fact_ids[idx], source_spec.name, Vote.TRUE)
+                for idx in np.flatnonzero(f_on_false):
+                    target.add_vote(fact_ids[idx], source_spec.name, Vote.FALSE)
+    dataset = Dataset(
+        matrix=drifted, truth=dict(truth), name=f"scenario[{spec.name}]"
+    )
+    baseline = Dataset(
+        matrix=static, truth=dict(truth), name=f"scenario[{spec.name}]-static"
+    )
+    return ScenarioWorld(
+        spec=spec,
+        dataset=dataset,
+        baseline=baseline,
+        epoch_of_fact=epoch_of_fact,
+        clusters=[],
+    )
+
+
+def _multi_truth_dataset(
+    spec: ScenarioSpec,
+    specs: list[SourceSpec],
+    true_values: int,
+    name: str,
+) -> Dataset:
+    multi = spec.multi_truth
+    assert multi is not None
+    rng = np.random.default_rng(spec.derive("questions", true_values))
+    matrix = VoteMatrix()
+    for source_spec in specs:
+        matrix.add_source(source_spec.name)
+    truth: dict[FactId, bool] = {}
+    values = multi.values_per_question
+    for q in range(multi.questions):
+        acceptable = rng.choice(values, size=true_values, replace=False)
+        acceptable_set = {int(v) for v in acceptable}
+        fact_ids = [f"q{q}_v{v}" for v in range(values)]
+        for v, fact in enumerate(fact_ids):
+            matrix.add_fact(fact)
+            truth[fact] = v in acceptable_set
+        for source_spec in specs:
+            if rng.random() >= source_spec.coverage:
+                continue
+            if rng.random() < source_spec.trust:
+                pick = int(acceptable[int(rng.integers(true_values))])
+            else:
+                wrong = [v for v in range(values) if v not in acceptable_set]
+                pick = wrong[int(rng.integers(len(wrong)))]
+            matrix.add_vote(fact_ids[pick], source_spec.name, Vote.TRUE)
+    return Dataset(matrix=matrix, truth=truth, name=name)
+
+
+def _generate_multi_truth(spec: ScenarioSpec) -> ScenarioWorld:
+    multi = spec.multi_truth
+    assert multi is not None
+    spec_rng = np.random.default_rng(base_world_seed(spec))
+    specs = draw_source_specs(spec.num_accurate, spec.num_inaccurate, spec_rng)
+    dataset = _multi_truth_dataset(
+        spec, specs, multi.true_values, f"scenario[{spec.name}]"
+    )
+    baseline = _multi_truth_dataset(
+        spec, specs, 1, f"scenario[{spec.name}]-single"
+    )
+    return ScenarioWorld(
+        spec=spec,
+        dataset=dataset,
+        baseline=baseline,
+        epoch_of_fact={fact: 0 for fact in dataset.matrix.facts},
+        clusters=[],
+    )
+
+
+_GENERATORS = {
+    "independent": _generate_independent,
+    "copying": _generate_copying,
+    "drift": _generate_drift,
+    "multi_truth": _generate_multi_truth,
+}
+
+
+def generate_scenario(spec: ScenarioSpec) -> ScenarioWorld:
+    """Generate the world a spec describes (deterministic given the spec)."""
+    return _GENERATORS[spec.kind](spec)

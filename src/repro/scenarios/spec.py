@@ -1,0 +1,228 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one adversarial / temporal world: which
+generator builds it (``kind``), the base-world shape, and the knobs of the
+adversarial structure.  Specs are plain data — JSON-round-trippable via
+:meth:`ScenarioSpec.to_json` / :meth:`ScenarioSpec.from_json` — so a
+scenario can be committed next to the bench that ran it, shipped to a
+worker, or replayed years later.
+
+Seeding follows the parallel seeding contract
+(:mod:`repro.parallel.seeds`): every random stream a scenario uses is
+derived from ``spec.seed`` plus a stable derivation path
+(:meth:`ScenarioSpec.derive`), never from schedule order — so generation
+is bit-identical across reruns *and* across worker counts when scenario
+cells run inside a sharded sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.parallel.seeds import PathComponent, derive_seed
+
+#: The scenario taxonomy (see docs/scenarios.md).
+SCENARIO_KINDS = ("independent", "copying", "drift", "multi_truth")
+
+
+@dataclasses.dataclass(frozen=True)
+class CopyingSpec:
+    """Copying / colluding source clusters.
+
+    Each cluster is one *leader* — an inaccurate base-world source — plus
+    ``copiers_per_cluster`` copier sources that replicate each leader vote
+    with probability ``copy_rate`` and flip a replicated vote with
+    probability ``error_rate`` (error injection: copiers are imperfect,
+    which is exactly what makes them detectable as copiers rather than
+    mirrors).
+    """
+
+    clusters: int = 2
+    copiers_per_cluster: int = 4
+    copy_rate: float = 0.97
+    error_rate: float = 0.03
+
+    def validate(self) -> None:
+        if self.clusters < 1:
+            raise ValueError(f"clusters must be >= 1, got {self.clusters}")
+        if self.copiers_per_cluster < 1:
+            raise ValueError(
+                f"copiers_per_cluster must be >= 1, got {self.copiers_per_cluster}"
+            )
+        if not 0.0 < self.copy_rate <= 1.0:
+            raise ValueError(f"copy_rate must be in (0, 1], got {self.copy_rate}")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1), got {self.error_rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftSpec:
+    """Source accuracy drift across epochs.
+
+    Facts are partitioned into ``epochs`` equal slices (one per epoch, in
+    fact order).  ``drifters`` of the accurate sources degrade over time:
+    in epoch ``e`` a drifter's trust is reduced by ``drift_per_epoch * e``
+    (floored at 0.5) and its curation lapses proportionally — it starts
+    affirming stale false listings like an inaccurate source.
+    """
+
+    epochs: int = 4
+    drifters: int = 3
+    drift_per_epoch: float = 0.15
+
+    def validate(self) -> None:
+        if self.epochs < 2:
+            raise ValueError(f"epochs must be >= 2, got {self.epochs}")
+        if self.drifters < 1:
+            raise ValueError(f"drifters must be >= 1, got {self.drifters}")
+        if not 0.0 < self.drift_per_epoch <= 0.5:
+            raise ValueError(
+                f"drift_per_epoch must be in (0, 0.5], got {self.drift_per_epoch}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiTruthSpec:
+    """Multi-truth questions: several acceptable values per fact group.
+
+    ``questions`` question groups, each with ``values_per_question``
+    candidate facts of which ``true_values`` are acceptable (true).  Each
+    source covering a question affirms one candidate: an acceptable one
+    with probability equal to its trust, a wrong one otherwise.  With
+    ``true_values=1`` this degenerates to the classic single-truth world —
+    the baseline the bench compares against.
+    """
+
+    questions: int = 400
+    values_per_question: int = 4
+    true_values: int = 2
+
+    def validate(self) -> None:
+        if self.questions < 1:
+            raise ValueError(f"questions must be >= 1, got {self.questions}")
+        if self.values_per_question < 2:
+            raise ValueError(
+                f"values_per_question must be >= 2, got {self.values_per_question}"
+            )
+        if not 1 <= self.true_values < self.values_per_question:
+            raise ValueError(
+                f"true_values must be in [1, {self.values_per_question - 1}], "
+                f"got {self.true_values}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario: base-world shape plus adversarial structure.
+
+    ``num_facts`` is the base-world fact count (for ``drift`` it is the
+    total across all epochs; for ``multi_truth`` it is ignored in favour
+    of ``questions * values_per_question``).
+    """
+
+    name: str
+    kind: str
+    seed: int = 0
+    num_facts: int = 4_000
+    num_accurate: int = 8
+    num_inaccurate: int = 2
+    eta: float = 0.03
+    copying: CopyingSpec | None = None
+    drift: DriftSpec | None = None
+    multi_truth: MultiTruthSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r}; expected one of "
+                f"{SCENARIO_KINDS}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.kind == "copying" and self.copying is None:
+            object.__setattr__(self, "copying", CopyingSpec())
+        if self.kind == "drift" and self.drift is None:
+            object.__setattr__(self, "drift", DriftSpec())
+        if self.kind == "multi_truth" and self.multi_truth is None:
+            object.__setattr__(self, "multi_truth", MultiTruthSpec())
+        for sub in (self.copying, self.drift, self.multi_truth):
+            if sub is not None:
+                sub.validate()
+
+    # -- seeding --------------------------------------------------------
+    def derive(self, *path: PathComponent) -> int:
+        """The seed of one random stream of this scenario.
+
+        All child RNGs go through this — a pure function of the spec's
+        identity and the stream's path, per the parallel seeding contract.
+        """
+        return derive_seed(self.seed, "scenario", self.kind, self.name, *path)
+
+    # -- JSON round trip ------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict; ``from_json`` round-trips it exactly."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "seed": self.seed,
+            "num_facts": self.num_facts,
+            "num_accurate": self.num_accurate,
+            "num_inaccurate": self.num_inaccurate,
+            "eta": self.eta,
+        }
+        for field in ("copying", "drift", "multi_truth"):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = dataclasses.asdict(value)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any] | str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output (dict or JSON text)."""
+        if isinstance(payload, str):
+            payload = json.loads(payload)
+        if not isinstance(payload, dict):
+            raise TypeError(f"spec payload must be an object, got {type(payload)}")
+        data = dict(payload)
+        unknown = set(data) - {
+            f.name for f in dataclasses.fields(cls)
+        }
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        if "copying" in data and data["copying"] is not None:
+            data["copying"] = CopyingSpec(**data["copying"])
+        if "drift" in data and data["drift"] is not None:
+            data["drift"] = DriftSpec(**data["drift"])
+        if "multi_truth" in data and data["multi_truth"] is not None:
+            data["multi_truth"] = MultiTruthSpec(**data["multi_truth"])
+        return cls(**data)
+
+
+def scenario_suite(quick: bool = False, seed: int = 0) -> list[ScenarioSpec]:
+    """The standard scenario suite the bench and the CLI run.
+
+    One spec per adversarial kind plus the ``independent`` control world
+    every degradation number is measured against.  ``quick`` shrinks the
+    worlds for smoke tests; the knobs are otherwise identical.
+    """
+    # 2000 facts keeps the copying world's fact-group count small enough
+    # for the ΔH selection engine (copier vote subsets explode the group
+    # axis; at 4000 facts the copying cell alone costs ~20s and the
+    # attack's vote mass dilutes below a measurable gap).
+    facts = 800 if quick else 2_000
+    questions = 120 if quick else 500
+    return [
+        ScenarioSpec(name="independent", kind="independent", seed=seed,
+                     num_facts=facts),
+        ScenarioSpec(name="copying", kind="copying", seed=seed,
+                     num_facts=facts, copying=CopyingSpec()),
+        ScenarioSpec(name="drift", kind="drift", seed=seed,
+                     num_facts=facts, drift=DriftSpec()),
+        ScenarioSpec(
+            name="multi-truth", kind="multi_truth", seed=seed,
+            num_facts=facts,
+            multi_truth=MultiTruthSpec(questions=questions),
+        ),
+    ]

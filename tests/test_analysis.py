@@ -189,6 +189,99 @@ class TestDependence:
         with pytest.raises(ValueError):
             dependence_scores(ds)
 
+    def test_min_jaccard_gate(self):
+        # "big" affirms false0-19, "sub" only false0-3 (all inside big's
+        # set), "wide" affirms all 100 false facts.  big/sub has lift 5
+        # (4 shared vs 0.8 expected) but Jaccard only 4/20 — high lift is
+        # not a mirror set, and the gate tells them apart.
+        rows = {}
+        for i in range(100):
+            rows[f"false{i}"] = [
+                "T" if i < 20 else "-",
+                "T" if i < 4 else "-",
+                "T",
+            ]
+        matrix = VoteMatrix.from_rows(["big", "sub", "wide"], rows)
+        ds = Dataset(matrix=matrix, truth={f: False for f in rows})
+        loose = copying_pairs(ds, min_lift=2.0, min_shared=4)
+        assert [{s.source_a, s.source_b} for s in loose] == [{"big", "sub"}]
+        assert loose[0].lift == pytest.approx(4 / (20 * 4 / 100))
+        assert loose[0].jaccard_false == pytest.approx(4 / 20)
+        assert copying_pairs(ds, min_lift=2.0, min_shared=4, min_jaccard=0.5) == []
+
+
+class TestDependenceScan:
+    build_copying_dataset = TestDependence.build_copying_dataset
+
+    def test_prefilter_drops_low_support_pairs(self):
+        from repro.analysis import scan_dependence
+
+        ds = self.build_copying_dataset()
+        scan = scan_dependence(ds, min_shared_false=6)
+        assert scan.sources == 3
+        # original/copier share 8; original/indie 5; copier/indie 3.
+        assert scan.candidate_pairs == 1
+        assert scan.scored_pairs == 1
+        assert scan.truncated_pairs == 0
+        only = scan.scores[0]
+        assert {only.source_a, only.source_b} == {"original", "copier"}
+
+    def test_zero_min_shared_recovers_exhaustive_scan(self):
+        from repro.analysis import scan_dependence
+
+        ds = self.build_copying_dataset()
+        exhaustive = scan_dependence(ds, min_shared_false=0)
+        assert exhaustive.candidate_pairs == 3  # C(3, 2), zero-shared too
+        default = scan_dependence(ds)
+        # The prefiltered scores are exactly the exhaustive scores with
+        # at least one shared false fact.
+        assert default.scores == [
+            s for s in exhaustive.scores if s.shared_false >= 1
+        ]
+
+    def test_max_pairs_cap_keeps_most_shared(self):
+        from repro.analysis import scan_dependence
+
+        ds = self.build_copying_dataset()
+        scan = scan_dependence(ds, max_pairs=1)
+        assert scan.candidate_pairs == 3
+        assert scan.scored_pairs == 1
+        assert scan.truncated_pairs == 2
+        kept = scan.scores[0]
+        assert {kept.source_a, kept.source_b} == {"original", "copier"}
+        assert kept.shared_false == 8
+
+    def test_invalid_max_pairs(self):
+        from repro.analysis import scan_dependence
+
+        with pytest.raises(ValueError):
+            scan_dependence(self.build_copying_dataset(), max_pairs=0)
+
+    def test_copying_pairs_emits_dependence_report(self, tmp_path):
+        import json
+
+        from repro.obs import make_obs, validate_runlog_file
+
+        ds = self.build_copying_dataset()
+        path = tmp_path / "dependence.jsonl"
+        obs = make_obs(runlog=path)
+        flagged = copying_pairs(
+            ds, min_lift=1.3, min_shared=5, max_pairs=1, obs=obs
+        )
+        obs.runlog.close()
+        assert validate_runlog_file(path) >= 1  # schema-valid ledger
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        reports = [r for r in records if r["kind"] == "dependence_report"]
+        assert len(reports) == 1
+        report = reports[0]
+        assert report["sources"] == 3
+        assert report["scored_pairs"] == 1
+        assert report["truncated_pairs"] == 1
+        assert report["flagged"] == len(flagged) == 1
+        assert report["top"][0][:2] == ["original", "copier"]
+
 
 class TestSensitivity:
     def test_parameter_grid(self):

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.datasets import generate_sparse_synthetic
+
 from repro.core import IncEstHeu, IncEstimate
 from repro.datasets.perturb import (
     adversarial_source,
@@ -120,3 +122,88 @@ class TestAdversarialSource:
         # Not a hard guarantee — just that one adversary at 30% coverage
         # does not collapse the run.
         assert dirty.accuracy > clean.accuracy - 0.25
+
+
+@pytest.fixture(scope="module")
+def sparse_world():
+    return generate_sparse_synthetic(
+        num_facts=3_000, num_sources=300, num_templates=80, num_hubs=20,
+        seed=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def copying_world():
+    from repro.scenarios import CopyingSpec, ScenarioSpec, generate_scenario
+
+    return generate_scenario(
+        ScenarioSpec(
+            name="perturb", kind="copying", seed=4, num_facts=500,
+            copying=CopyingSpec(clusters=1, copiers_per_cluster=2),
+        )
+    )
+
+
+class TestComposition:
+    """Perturbations over sparse and scenario worlds: invariants hold."""
+
+    def test_flip_preserves_counts_on_sparse(self, sparse_world):
+        ds = sparse_world.dataset
+        out = flip_votes(ds, 0.3, seed=1)
+        assert out.matrix.num_votes == ds.matrix.num_votes
+        assert out.matrix.facts == ds.matrix.facts
+        assert out.matrix.sources == ds.matrix.sources
+        assert out.truth == ds.truth
+
+    def test_drop_votes_on_sparse_keeps_structure(self, sparse_world):
+        ds = sparse_world.dataset
+        out = drop_votes(ds, 0.25, seed=2)
+        assert out.matrix.num_facts == ds.matrix.num_facts
+        assert 0.65 < out.matrix.num_votes / ds.matrix.num_votes < 0.85
+        # Surviving votes are a subset, value-for-value.
+        for fact in out.facts[:200]:
+            before = ds.matrix.votes_on(fact)
+            for source, vote in out.matrix.votes_on(fact).items():
+                assert before[source] is vote
+
+    def test_flip_on_adversarial_world(self, copying_world):
+        ds = copying_world.dataset
+        out = flip_votes(ds, 0.1, seed=3)
+        assert out.matrix.num_votes == ds.matrix.num_votes
+        # The copier cluster's sources survive untouched as sources.
+        for members in copying_world.clusters:
+            for member in members:
+                assert member in out.matrix.sources
+
+    def test_drop_leader_keeps_copier_votes(self, copying_world):
+        leader = copying_world.clusters[0][0]
+        copier = copying_world.clusters[0][1]
+        out = drop_source(copying_world.dataset, leader)
+        before = copying_world.dataset.matrix.votes_by(copier)
+        assert out.matrix.votes_by(copier) == before
+
+    def test_quarantine_reason_codes_after_flip(self, copying_world, tmp_path):
+        from repro.store import VoteLedger
+
+        ds = copying_world.dataset
+        rows = [
+            (fact, source, vote.value)
+            for fact in ds.matrix.facts
+            for source, vote in ds.matrix.iter_votes_on(fact)
+        ]
+        flipped = flip_votes(ds, 1.0)
+        flipped_rows = [
+            (fact, source, vote.value)
+            for fact in flipped.matrix.facts
+            for source, vote in flipped.matrix.iter_votes_on(fact)
+        ]
+        with VoteLedger(tmp_path / "perturb.db") as ledger:
+            first = ledger.ingest_votes(rows)
+            assert first.votes_added == len(rows)
+            # Re-ingesting the perturbed copy conflicts vote-for-vote,
+            # and quarantine accounts for every row with a reason code.
+            second = ledger.ingest_votes(flipped_rows, on_error="quarantine")
+            assert second.votes_added == 0
+            assert second.report.reasons() == {
+                "conflicting_vote": len(flipped_rows)
+            }
