@@ -73,6 +73,10 @@ DEFAULT_SCALE_OUTPUT = "BENCH_scale.json"
 LOAD_SCHEMA_VERSION = 1
 DEFAULT_LOAD_OUTPUT = "BENCH_load.json"
 
+#: Schema / default output of the streaming-core benchmark (``--stream``).
+STREAM_SCHEMA_VERSION = 1
+DEFAULT_STREAM_OUTPUT = "BENCH_stream.json"
+
 #: Per-tier acceptance floors of the load bench, asserted by the
 #: validator: minimum sustained ingest throughput (votes/second through
 #: POST /votes including the incremental refresh) and a generous ceiling
@@ -529,6 +533,227 @@ def write_serve_bench(
     """Run the serving bench and write ``path``; returns the payload."""
     payload = run_serve_bench(repeats=repeats, quick=quick)
     validate_serve_payload(payload)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Streaming-core benchmark (BENCH_stream.json)
+# ---------------------------------------------------------------------------
+#: The three refresh modes the stream bench compares.  ``full`` is the
+#: cold-replay baseline, ``incremental`` the replay core's carry/graft
+#: continuation, ``stream`` the streaming core (O(sources) state,
+#: append-only trajectory writes).
+STREAM_BENCH_MODES = ("full", "incremental", "stream")
+
+
+def measure_stream_mode(
+    dataset: Dataset,
+    dataset_name: str,
+    mode: str,
+    batches: int,
+    batch_facts: int,
+    repeats: int = 3,
+) -> dict:
+    """Time one refresh mode applying ``batches`` delta vote batches.
+
+    Same harness as :func:`measure_serve_policy` — untimed base ingest
+    and bootstrap epoch, then the timed ``apply_votes`` loop, best of
+    ``repeats`` on fresh stores — so the three modes are directly
+    comparable.  Each record also carries ``state_bytes``, the size of
+    the continuation state the mode leaves behind (the stream core's
+    headline O(sources) vs O(time·sources) claim, measured).
+    """
+    import tempfile
+    import time
+
+    from repro.serve import CorroborationService
+    from repro.store import VoteLedger
+
+    if mode not in STREAM_BENCH_MODES:
+        raise ValueError(f"unknown stream bench mode {mode!r}")
+    core = "stream" if mode == "stream" else "replay"
+    policy = "full" if mode == "full" else "incremental"
+    matrix = dataset.matrix
+    tail = batches * batch_facts
+    if tail >= matrix.num_facts:
+        raise ValueError(
+            f"{batches} x {batch_facts} delta facts >= dataset size "
+            f"{matrix.num_facts}"
+        )
+    facts = matrix.facts
+    base_facts, delta_facts = facts[:-tail], facts[-tail:]
+    chunks = [
+        delta_facts[i * batch_facts : (i + 1) * batch_facts]
+        for i in range(batches)
+    ]
+
+    def rows_for(fact_list: list[str]) -> list[tuple[str, str, str]]:
+        return [
+            (fact, source, vote.value)
+            for fact in fact_list
+            for source, vote in sorted(matrix.votes_on(fact).items())
+        ]
+
+    base_rows = rows_for(base_facts)
+    chunk_rows = [rows_for(chunk) for chunk in chunks]
+    votes_applied = sum(len(rows) for rows in chunk_rows)
+    best: tuple[float, list[str], int] | None = None
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory() as tmp:
+            with VoteLedger(pathlib.Path(tmp) / "bench.db") as ledger:
+                ledger.ingest_votes(base_rows)
+                service = CorroborationService(
+                    ledger, refresh=policy, core=core
+                )
+                service.refresh()  # untimed bootstrap epoch 0
+                actions: list[str] = []
+                started = time.perf_counter()
+                for rows in chunk_rows:
+                    _, decision = service.apply_votes(rows)
+                    actions.append(decision.action)
+                seconds = time.perf_counter() - started
+                state = ledger.load_session_state()
+                state_bytes = (
+                    0
+                    if state is None
+                    else len(json.dumps(state[1], separators=(",", ":")))
+                )
+        if best is None or seconds < best[0]:
+            best = (seconds, actions, state_bytes)
+    assert best is not None
+    seconds, actions, state_bytes = best
+    return {
+        "mode": mode,
+        "core": core,
+        "policy": policy,
+        "dataset": dataset_name,
+        "facts": matrix.num_facts,
+        "base_facts": len(base_facts),
+        "batches": batches,
+        "batch_facts": batch_facts,
+        "votes_applied": votes_applied,
+        "repeats": repeats,
+        "seconds": round(seconds, 6),
+        "votes_per_second": round(votes_applied / seconds, 1)
+        if seconds > 0
+        else 0.0,
+        "state_bytes": state_bytes,
+        "actions": {action: actions.count(action) for action in set(actions)},
+    }
+
+
+def run_stream_bench(repeats: int = 3, quick: bool = False) -> dict:
+    """Benchmark the stream core against cold replay and carry/graft.
+
+    ``summary.stream_speedup`` is the headline number: how much faster
+    the streaming core handles a stream of small dirty batches than the
+    cold full replay (committed acceptance floor 4.5x, quick CI floor
+    3x).  ``summary.stream_vs_incremental`` compares it to the replay
+    core's warm continuation, and ``summary.state_ratio`` is the
+    continuation-size reduction.
+    """
+    from repro.datasets import generate_restaurants
+
+    if quick:
+        dataset = generate_restaurants(
+            num_facts=250,
+            golden_true=6,
+            golden_false=4,
+            golden_false_with_f_votes=2,
+            seed=11,
+        ).dataset
+        name, batches, batch_facts = "restaurants-250", 3, 12
+    else:
+        dataset = generate_restaurants(num_facts=8_000, seed=11).dataset
+        name, batches, batch_facts = "restaurants-8000", 8, 40
+    records = [
+        measure_stream_mode(
+            dataset, name, mode, batches, batch_facts, repeats=repeats
+        )
+        for mode in STREAM_BENCH_MODES
+    ]
+    by_mode = {record["mode"]: record for record in records}
+    stream_seconds = by_mode["stream"]["seconds"]
+    summary = {
+        "stream_speedup": round(
+            by_mode["full"]["seconds"] / stream_seconds, 2
+        )
+        if stream_seconds > 0
+        else None,
+        "stream_vs_incremental": round(
+            by_mode["incremental"]["seconds"] / stream_seconds, 2
+        )
+        if stream_seconds > 0
+        else None,
+        "state_ratio": round(
+            by_mode["incremental"]["state_bytes"]
+            / by_mode["stream"]["state_bytes"],
+            2,
+        )
+        if by_mode["stream"]["state_bytes"] > 0
+        else None,
+    }
+    return {
+        "schema_version": STREAM_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "records": records,
+        "summary": summary,
+    }
+
+
+def validate_stream_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid stream bench."""
+    if payload.get("schema_version") != STREAM_SCHEMA_VERSION:
+        raise ValueError(
+            f"unexpected schema_version: {payload.get('schema_version')}"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("records must be a non-empty list")
+    required = {
+        "mode": str,
+        "core": str,
+        "policy": str,
+        "dataset": str,
+        "facts": int,
+        "base_facts": int,
+        "batches": int,
+        "batch_facts": int,
+        "votes_applied": int,
+        "repeats": int,
+        "seconds": float,
+        "votes_per_second": float,
+        "state_bytes": int,
+        "actions": dict,
+    }
+    modes = set()
+    for i, record in enumerate(records):
+        for key, kind in required.items():
+            if not isinstance(record.get(key), kind):
+                raise ValueError(f"records[{i}].{key} is not a {kind.__name__}")
+        if record["mode"] not in STREAM_BENCH_MODES:
+            raise ValueError(f"records[{i}].mode is {record['mode']!r}")
+        if record["seconds"] < 0:
+            raise ValueError(f"records[{i}].seconds is negative")
+        modes.add(record["mode"])
+    if modes != set(STREAM_BENCH_MODES):
+        raise ValueError(f"expected all three modes, got {sorted(modes)}")
+    summary = payload.get("summary")
+    if not isinstance(summary, dict) or "stream_speedup" not in summary:
+        raise ValueError("summary.stream_speedup is missing")
+
+
+def write_stream_bench(
+    path: str | pathlib.Path = DEFAULT_STREAM_OUTPUT,
+    repeats: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Run the stream bench and write ``path``; returns the payload."""
+    payload = run_stream_bench(repeats=repeats, quick=quick)
+    validate_stream_payload(payload)
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -1295,6 +1520,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "run the streaming-core benchmark (stream vs cold replay vs "
+            f"carry/graft) and write {DEFAULT_STREAM_OUTPUT} instead"
+        ),
+    )
+    parser.add_argument(
         "--parallel",
         action="store_true",
         help=(
@@ -1456,6 +1689,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"cpu_count {payload['cpu_count']}  "
             f"speedups {payload['summary']['speedups']}  "
             f"identical_rows {payload['summary']['identical_rows']}"
+        )
+        print(f"wrote {output} ({len(payload['records'])} records)")
+        return 0
+    if args.stream:
+        output = args.output or DEFAULT_STREAM_OUTPUT
+        payload = write_stream_bench(
+            output,
+            repeats=args.repeats if args.repeats is not None else 3,
+            quick=args.quick,
+        )
+        for record in payload["records"]:
+            print(
+                f"{record['mode']:>12s} on {record['dataset']:<18s} "
+                f"{record['seconds']*1000:8.1f} ms  "
+                f"{record['votes_per_second']:10.1f} votes/s  "
+                f"state {record['state_bytes']:>9d} B  "
+                f"actions {record['actions']}"
+            )
+        summary = payload["summary"]
+        print(
+            f"stream speedup {summary['stream_speedup']}x vs cold replay  "
+            f"({summary['stream_vs_incremental']}x vs carry/graft, "
+            f"state {summary['state_ratio']}x smaller)"
         )
         print(f"wrote {output} ({len(payload['records'])} records)")
         return 0

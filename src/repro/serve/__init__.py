@@ -7,6 +7,12 @@ escalation) with the epoch-replay semantics documented in
 ``docs/serving.md``; :func:`make_server` wraps it in a stdlib JSON/HTTP
 API.  The CLI front door is ``repro serve`` / ``repro ingest`` /
 ``repro query``.
+
+Incremental refreshes run on one of two cores (``core=``, CLI
+``--engine``): the default ``replay`` carry/graft continuation, or the
+``stream`` core (:mod:`repro.stream`) whose continuation state is
+O(sources) and whose refreshes append trajectory rows instead of
+rewriting the table — see ``docs/streaming.md``.
 """
 
 from repro.serve.http import (
@@ -19,6 +25,7 @@ from repro.serve.service import (
     DEFAULT_ENTROPY_THRESHOLD,
     REFRESH_POLICIES,
     SERVE_METHODS,
+    SERVICE_CORES,
     SERVICE_STATES,
     AdmissionRejected,
     CorroborationService,
@@ -53,6 +60,7 @@ __all__ = [
     "RefreshDecision",
     "RefreshFailure",
     "SERVE_METHODS",
+    "SERVICE_CORES",
     "SERVICE_STATES",
     "ServeRejected",
     "ServiceDraining",

@@ -84,6 +84,13 @@ from repro.resilience.supervisor import (
     scan_result_non_finite,
 )
 from repro.store.ledger import IngestBatch, LedgerError, VoteLedger
+from repro.stream.engine import (
+    REPLAY_CARRY_FORMAT,
+    STREAM_STATE_FORMAT,
+    CompactionPolicy,
+    StreamEngine,
+    StreamState,
+)
 
 #: Refresh policies the service understands (CLI ``--refresh`` choices).
 REFRESH_POLICIES = ("full", "incremental", "entropy")
@@ -91,11 +98,21 @@ REFRESH_POLICIES = ("full", "incremental", "entropy")
 #: Methods the service can serve: the session-based incremental ones.
 SERVE_METHODS = ("incestimate", "incestimate-ps")
 
+#: Refresh cores the service can run on (CLI ``--engine`` choices):
+#: ``replay`` carries/grafts whole session snapshots per epoch (the
+#: semantic oracle), ``stream`` runs :class:`~repro.stream.StreamEngine`
+#: — O(sources) state, append-only trajectory writes, optional
+#: compaction.  Both produce bit-identical labels, trust and trajectories
+#: (``tests/test_stream_oracle.py``), and a store can switch cores at any
+#: refresh boundary.
+SERVICE_CORES = ("replay", "stream")
+
 #: Default dirty-entropy threshold (bits) of the ``entropy`` policy.
 DEFAULT_ENTROPY_THRESHOLD = 64.0
 
-#: Format marker of the persisted continuation state.
-CARRY_FORMAT = "serve-epoch-carry"
+#: Format marker of the persisted replay continuation state (defined in
+#: :mod:`repro.stream.engine` so both layers agree on it).
+CARRY_FORMAT = REPLAY_CARRY_FORMAT
 
 #: The serving state machine, in lifecycle order.  ``/healthz`` returns
 #: 503 for every state but ``healthy`` so orchestrators can gate on it.
@@ -137,7 +154,7 @@ class RefreshDecision:
     """What one :meth:`CorroborationService.refresh` call did and why."""
 
     policy: str
-    action: str  # "full" | "incremental" | "none" | "skipped"
+    action: str  # "full" | "incremental" | "stream" | "none" | "skipped"
     epoch: int | None
     dirty_facts: int
     entropy_mass: float | None
@@ -295,6 +312,18 @@ class CorroborationService:
         entropy_threshold: bits of dirty entropy mass at which the
             ``entropy`` policy escalates to a full replay.
         engine: array engine (default) or scalar reference backend.
+        core: one of :data:`SERVICE_CORES` — ``replay`` (default) runs
+            refreshes through the epoch carry/graft machinery; ``stream``
+            runs them through :class:`~repro.stream.StreamEngine` (see
+            ``docs/streaming.md``).  Policy semantics carry over: under
+            the stream core ``full`` (and an ``entropy`` escalation)
+            still runs the verified cold replay, which also rebuilds any
+            compacted trajectory rows.
+        compaction: trajectory compaction for the stream core — a
+            :class:`~repro.stream.CompactionPolicy`, a bare
+            ``retain_points`` int, or ``None`` to keep the full
+            trajectory (the bit-identical-to-replay default).  Ignored
+            by the replay core.
         obs: observability bundle; refreshes emit ``refresh`` ledger
             records, ``serve.*`` metrics and session spans.
         supervision: NaN-watchdog / wall-clock guards applied to every
@@ -330,6 +359,8 @@ class CorroborationService:
         refresh: str = "incremental",
         entropy_threshold: float = DEFAULT_ENTROPY_THRESHOLD,
         engine: bool = True,
+        core: str = "replay",
+        compaction: CompactionPolicy | int | None = None,
         obs: Obs = NULL_OBS,
         supervision: Supervision = FAIL_FAST,
         max_pending: int | None = None,
@@ -344,6 +375,11 @@ class CorroborationService:
                 f"unknown refresh policy {refresh!r}; "
                 f"expected one of {REFRESH_POLICIES}"
             )
+        if core not in SERVICE_CORES:
+            raise ValueError(
+                f"unknown refresh core {core!r}; "
+                f"expected one of {SERVICE_CORES}"
+            )
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None to disable)")
         self.ledger = ledger
@@ -351,6 +387,17 @@ class CorroborationService:
         self.refresh_policy = refresh
         self.entropy_threshold = float(entropy_threshold)
         self.engine = engine
+        self.core = core
+        self.compaction = CompactionPolicy.coerce(compaction)
+        self.stream_engine: StreamEngine | None = None
+        if core == "stream":
+            self.stream_engine = StreamEngine(
+                method=method,
+                engine=engine,
+                obs=obs,
+                supervision=supervision,
+                compaction=self.compaction,
+            )
         self.obs = obs
         self.supervision = supervision
         self.max_pending = max_pending
@@ -503,12 +550,19 @@ class CorroborationService:
 
         σ(FG) is Equation 5 under the *current* trust vector (the last
         carried time point; λ for sources the carry has never seen) — the
-        uncertainty the next refresh would have to destroy.
+        uncertainty the next refresh would have to destroy.  Accepts
+        either continuation format: a stream state's counter trust *is*
+        the last carried time point (the final vector a replay carry's
+        history ends with), so the escalation decision is identical
+        across cores.
         """
         estimator = _make_estimator(self.method, self.engine, NULL_OBS)
         last: dict = {}
-        if carry is not None and carry["trajectory"]["history"]:
-            last = carry["trajectory"]["history"][-1]
+        if carry is not None:
+            if carry.get("format") == STREAM_STATE_FORMAT:
+                last = {s: c[2] for s, c in carry["counters"].items()}
+            elif carry["trajectory"]["history"]:
+                last = carry["trajectory"]["history"][-1]
         trust = {
             s: last.get(s, estimator.default_trust)
             for s in delta.matrix.sources
@@ -520,6 +574,54 @@ class CorroborationService:
             )
             mass += group.size * binary_entropy(probability)
         return mass
+
+    def _run_stream_epoch(
+        self,
+        delta: Dataset,
+        state: tuple[int, dict] | None,
+        epoch: int,
+        last_batch: int,
+        entropy_mass: float | None,
+        deadline: float | None,
+    ) -> None:
+        """One stream-core refresh: run the epoch, persist its delta.
+
+        The stored continuation converts via
+        :meth:`StreamState.from_stored` regardless of which core wrote
+        it, and the epoch's bounded output (new labels, new trajectory
+        rows, λ-backfill for sources that joined this epoch, the
+        compaction watermark) lands in one store transaction through
+        :meth:`~repro.store.ledger.VoteLedger.record_stream_epoch`.
+        """
+        assert self.stream_engine is not None
+        stream_state = (
+            None if state is None else StreamState.from_stored(state[1])
+        )
+        _result, stream_delta, next_state = self.stream_engine.run_epoch(
+            delta, stream_state, epoch, deadline=deadline
+        )
+        stats = self.ledger.record_stream_epoch(
+            epoch=epoch,
+            last_batch=last_batch,
+            entropy_mass=entropy_mass,
+            labels=stream_delta.labels,
+            base=stream_delta.base,
+            rows=stream_delta.rows,
+            new_sources=stream_delta.new_sources,
+            backfill_start=stream_delta.backfill_start,
+            backfill_trust=stream_delta.default_trust,
+            compact_before=stream_delta.compact_before,
+            time_points=stream_delta.time_points,
+            state=next_state.to_dict(),
+        )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("stream.rows_appended", stats["rows_appended"])
+            metrics.inc("stream.rows_backfilled", stats["rows_backfilled"])
+            metrics.inc("stream.rows_compacted", stats["rows_compacted"])
+            self.obs.runlog.emit(
+                "stream_epoch", **stream_delta.to_record()
+            )
 
     # ------------------------------------------------------------------
     # Public surface
@@ -576,47 +678,58 @@ class CorroborationService:
         policy = force or self.refresh_policy
         entropy_mass: float | None = None
         threshold: float | None = None
-        if state is None:
-            # Nothing to continue from: the first epoch is a full run
-            # by definition.
-            action = "full"
-            carry: dict | None = None
-        elif policy == "full":
-            action = "full"
-            carry = self._replay_epochs(verify=True, deadline=deadline)
-        elif policy == "incremental":
-            action = "incremental"
-            carry = state[1]
-        else:  # entropy
+        if policy == "entropy" and state is not None:
             threshold = self.entropy_threshold
             entropy_mass = self._dirty_entropy_mass(delta, state[1])
-            if entropy_mass >= threshold:
+        wants_full = policy == "full" or (
+            threshold is not None and entropy_mass >= threshold
+        )
+        if self.core == "stream" and not wants_full:
+            # Stream path: vote in → bounded deltas out, no replay.  The
+            # first epoch streams from scratch; a replay-format carry
+            # left by the other core (or a prior full refresh) converts
+            # in place.
+            action = "stream"
+            self._run_stream_epoch(
+                delta, state, epoch, last_batch, entropy_mass, deadline
+            )
+        else:
+            if state is None:
+                # Nothing to continue from: the first epoch is a full
+                # run by definition.
+                action = "full"
+                carry: dict | None = None
+            elif wants_full or state[1].get("format") != CARRY_FORMAT:
+                # Policy escalation, or the stored continuation is the
+                # stream core's — the replay core rebuilds its carry
+                # with one verified cold replay (which also restores
+                # any compacted trajectory rows).
                 action = "full"
                 carry = self._replay_epochs(verify=True, deadline=deadline)
             else:
                 action = "incremental"
                 carry = state[1]
-        result, next_carry = self._run_epoch(delta, carry, epoch, deadline)
-        labels = [
-            {
-                "fact": fact,
-                "probability": result.probabilities[fact],
-                "label": result.label(fact),
-                "flipped": fact in result.label_overrides,
-                "time_point": result.trajectory.evaluation_time(fact),
-            }
-            for fact in pending
-        ]
-        self.ledger.record_epoch(
-            epoch=epoch,
-            action=action,
-            last_batch=last_batch,
-            entropy_mass=entropy_mass,
-            labels=labels,
-            trajectory=next_carry["trajectory"]["history"],
-            state=next_carry,
-            time_points=len(next_carry["trajectory"]["history"]),
-        )
+            result, next_carry = self._run_epoch(delta, carry, epoch, deadline)
+            labels = [
+                {
+                    "fact": fact,
+                    "probability": result.probabilities[fact],
+                    "label": result.label(fact),
+                    "flipped": fact in result.label_overrides,
+                    "time_point": result.trajectory.evaluation_time(fact),
+                }
+                for fact in pending
+            ]
+            self.ledger.record_epoch(
+                epoch=epoch,
+                action=action,
+                last_batch=last_batch,
+                entropy_mass=entropy_mass,
+                labels=labels,
+                trajectory=next_carry["trajectory"]["history"],
+                state=next_carry,
+                time_points=len(next_carry["trajectory"]["history"]),
+            )
         decision = RefreshDecision(
             policy=policy,
             action=action,
@@ -850,6 +963,7 @@ class CorroborationService:
             return {
                 "status": self.state,
                 "method": self.method,
+                "core": self.core,
                 "refresh": self.refresh_policy,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "pending": counts["pending"],
@@ -886,6 +1000,10 @@ class CorroborationService:
             status: dict = {
                 "status": self.state,
                 "method": self.method,
+                "core": self.core,
+                "compaction": {
+                    "retain_points": self.compaction.retain_points,
+                },
                 "refresh_policy": self.refresh_policy,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "counts": counts,

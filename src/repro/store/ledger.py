@@ -843,6 +843,103 @@ class VoteLedger:
                 (epoch, json.dumps(state, separators=(",", ":"))),
             )
 
+    def record_stream_epoch(
+        self,
+        *,
+        epoch: int,
+        last_batch: int,
+        entropy_mass: float | None,
+        labels: Iterable[dict],
+        base: int,
+        rows: Iterable[Mapping[SourceId, float]],
+        new_sources: Iterable[SourceId],
+        backfill_start: int,
+        backfill_trust: float,
+        compact_before: int,
+        time_points: int,
+        state: dict,
+    ) -> dict:
+        """Persist one *streaming* refresh epoch in a single transaction.
+
+        The append-only counterpart of :meth:`record_epoch`: instead of
+        rewriting the whole trajectory, the epoch's ``rows`` are inserted
+        at global time points ``base + i``, late-joining ``new_sources``
+        get λ (``backfill_trust``) rows over the retained prefix
+        ``[backfill_start, base)`` — exactly the densification a replay
+        graft applies to its carried history — and every time point below
+        ``compact_before`` is dropped (trajectory compaction; labels and
+        continuation state never depend on dropped rows).  The ``epochs``
+        row is recorded with ``action='stream'``.
+
+        Returns the write accounting (rows appended / backfilled /
+        compacted) for the ``stream.*`` metrics.
+        """
+        label_rows = list(labels)
+        appended = backfilled = 0
+        with self._conn:
+            for row in label_rows:
+                self._conn.execute(
+                    "INSERT INTO labels (fact_id, probability, label, flipped, "
+                    "epoch, time_point) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        row["fact"],
+                        row["probability"],
+                        int(row["label"]),
+                        int(row["flipped"]),
+                        epoch,
+                        row["time_point"],
+                    ),
+                )
+            for offset, vector in enumerate(rows):
+                time_point = base + offset
+                if time_point < compact_before:
+                    continue
+                entries = [
+                    (time_point, s, float(t)) for s, t in vector.items()
+                ]
+                self._conn.executemany(
+                    "INSERT INTO trust_trajectory (time_point, source_id, "
+                    "trust) VALUES (?, ?, ?)",
+                    entries,
+                )
+                appended += len(entries)
+            for source in new_sources:
+                for time_point in range(max(backfill_start, compact_before), base):
+                    self._conn.execute(
+                        "INSERT INTO trust_trajectory (time_point, source_id, "
+                        "trust) VALUES (?, ?, ?)",
+                        (time_point, source, float(backfill_trust)),
+                    )
+                    backfilled += 1
+            compacted = self._conn.execute(
+                "DELETE FROM trust_trajectory WHERE time_point < ?",
+                (compact_before,),
+            ).rowcount
+            self._conn.execute(
+                "INSERT INTO epochs (epoch, last_batch, action, facts, "
+                "time_points, entropy_mass, created_at) "
+                "VALUES (?, ?, 'stream', ?, ?, ?, ?)",
+                (
+                    epoch,
+                    last_batch,
+                    len(label_rows),
+                    time_points,
+                    entropy_mass,
+                    _utc_now(),
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO session_state (id, epoch, state) VALUES (1, ?, ?) "
+                "ON CONFLICT(id) DO UPDATE SET epoch=excluded.epoch, "
+                "state=excluded.state",
+                (epoch, json.dumps(state, separators=(",", ":"))),
+            )
+        return {
+            "rows_appended": appended,
+            "rows_backfilled": backfilled,
+            "rows_compacted": compacted,
+        }
+
     # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ from __future__ import annotations
 import sqlite3
 
 #: Current layout version (see :data:`MIGRATIONS` for history).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: ``meta.format`` marker distinguishing our stores from arbitrary SQLite
 #: files a caller might point us at by mistake.
@@ -126,10 +126,32 @@ _DDL_V1: tuple[str, ...] = (
 #:   1 evaluated the fact at — so ``query --fact`` can cite it without
 #:   replaying the trajectory; plus the by-source vote index the serving
 #:   queries use.
+#: * 2 → 3: ``epochs.action`` admits ``'stream'`` — refreshes run by the
+#:   streaming engine (:mod:`repro.stream`), which appends trajectory rows
+#:   instead of rewriting the table.  SQLite cannot alter a CHECK
+#:   constraint in place, so the table is rebuilt and the rows copied
+#:   (order and rowids are preserved by the epoch PRIMARY KEY).
 MIGRATIONS: dict[int, tuple[str, ...]] = {
     1: (
         "ALTER TABLE labels ADD COLUMN time_point INTEGER",
         "CREATE INDEX idx_votes_source ON votes(source_id)",
+    ),
+    2: (
+        """
+        CREATE TABLE epochs_v3 (
+            epoch INTEGER PRIMARY KEY,
+            last_batch INTEGER NOT NULL REFERENCES ingest_log(batch_id),
+            action TEXT NOT NULL
+                CHECK (action IN ('full', 'incremental', 'stream')),
+            facts INTEGER NOT NULL,
+            time_points INTEGER NOT NULL,
+            entropy_mass REAL,
+            created_at TEXT NOT NULL
+        )
+        """,
+        "INSERT INTO epochs_v3 SELECT * FROM epochs",
+        "DROP TABLE epochs",
+        "ALTER TABLE epochs_v3 RENAME TO epochs",
     ),
 }
 

@@ -1,0 +1,469 @@
+"""The streaming refresh engine and its bounded continuation state.
+
+Epoch replay (:mod:`repro.serve`) continues a stream by grafting the
+*entire* post-finalize session snapshot — full trust history, all
+committed probabilities, every round record — into each new epoch's
+session, and persists each refresh by rewriting the whole trajectory
+table.  Both costs grow with the lifetime of the stream: O(T·S) state
+per refresh for T time points over S sources.
+
+The stream engine keeps only what the algorithm actually feeds back into
+the fixpoint.  Within one epoch, Equations 3–9 depend on exactly three
+things: the pending fact groups, the per-source counters ``(correct,
+total)`` anchored by the epoch-0 prior k0 (Equation 8), and the source
+order (tie breaks).  The trust history is bookkeeping — it is *recorded*
+but never *read* by a later step.  So :class:`StreamState` carries the
+counter triples plus three scalars, and each refresh:
+
+1. builds a fresh session over the epoch's delta dataset (pending facts,
+   all known sources in store position order);
+2. splices the carried triples into the fresh snapshot
+   (:func:`stream_graft`) — new sources enter with ``[λ·k0, k0, λ]``,
+   the counters of a voteless source present from the start;
+3. runs to completion and emits a :class:`StreamDelta`: the epoch's
+   label rows and its **new** trajectory rows only, positioned at the
+   global time-point offset ``base``.
+
+Bit-identity with replay falls out of the offset arithmetic: a grafted
+replay epoch records its steps at global time points ``base … base+n``
+(its trajectory already holds ``base`` rows), while the fresh stream
+session records the *same trust values* at local points ``0 … n`` — the
+spliced counters are equal, and the first recorded vector of both is the
+previous epoch's final vector extended with λ for new sources.  Shifting
+the local rows by ``base`` therefore reproduces the replayed table row
+for row, and label time points shift the same way.  The differential
+oracle (``tests/stream_oracle.py``) asserts exactly this, bit for bit.
+
+:class:`CompactionPolicy` bounds the *persisted* trajectory: a watermark
+``compact_before`` rises so at most ``retain_points`` time points stay
+in the store, and the engine's own state never grows with stream length
+at all (it is O(S)).  Compaction is lossy only for the recorded history
+— labels and trust are unaffected, because no later epoch reads the
+trajectory — and the ingest log still supports a full cold replay that
+rebuilds every compacted row (the ``full`` refresh policy).
+
+The per-epoch session runs on :class:`~repro.core.arrays.SessionArrays`
+(default), so candidate scoring inside each epoch goes through the PR 6
+:class:`~repro.core.deltah.DeltaHEngine` pair cache with lazy
+invalidation — only (candidate, other) pairs among the groups the vote
+batch touched are ever rescored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping
+
+from repro.core.incestimate import IncEstimate
+from repro.core.result import CorroborationResult
+from repro.core.selection import IncEstHeu, IncEstPS
+from repro.model.dataset import Dataset
+from repro.obs import NULL_OBS, Obs
+from repro.resilience.supervisor import (
+    FAIL_FAST,
+    GuardedRunLog,
+    MethodDiverged,
+    MethodTimeout,
+    Supervision,
+    scan_result_non_finite,
+)
+from repro.store.ledger import LedgerError
+
+#: Format marker of the persisted stream continuation state.
+STREAM_STATE_FORMAT = "serve-stream-state"
+
+#: Format marker of the replay layer's epoch-carry state (defined here so
+#: the stream layer can convert replay carries without importing
+#: :mod:`repro.serve`; the service re-exports it as ``CARRY_FORMAT``).
+REPLAY_CARRY_FORMAT = "serve-epoch-carry"
+
+#: Methods the stream engine can run (the session-based incremental ones;
+#: mirrors the serve layer's ``SERVE_METHODS``).
+STREAM_METHODS = ("incestimate", "incestimate-ps")
+
+
+def counters_from_snapshot(snapshot: dict) -> dict[str, list[float]]:
+    """Per-source ``[correct, total, trust]`` triples from a session snapshot.
+
+    Backend-neutral: reads the engine's position-ordered arrays or the
+    scalar dicts, keyed by source id in the snapshot's source order (the
+    store position order every delta dataset preserves).
+    """
+    sources = list(snapshot["trajectory"]["sources"])
+    counters: dict[str, list[float]] = {}
+    if "engine" in snapshot:
+        engine = snapshot["engine"]
+        for index, source in enumerate(sources):
+            counters[source] = [
+                float(engine["correct"][index]),
+                float(engine["total"][index]),
+                float(engine["trust"][index]),
+            ]
+    else:
+        scalar = snapshot["scalar"]
+        for source in sources:
+            counters[source] = [
+                float(scalar["correct"][source]),
+                float(scalar["total"][source]),
+                float(scalar["trust"][source]),
+            ]
+    return counters
+
+
+@dataclasses.dataclass(frozen=True)
+class CompactionPolicy:
+    """How much persisted trajectory a long-lived stream retains.
+
+    ``retain_points=None`` (default) disables compaction: the stored
+    trajectory is bit-identical to epoch replay's forever.  With a bound,
+    after each refresh only the newest ``retain_points`` time points stay
+    in the store; the watermark only ever rises, and the continuation
+    state itself is unaffected (it never contains trajectory rows).
+    """
+
+    retain_points: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retain_points is not None and self.retain_points < 1:
+            raise ValueError("retain_points must be >= 1 (or None to disable)")
+
+    @property
+    def enabled(self) -> bool:
+        return self.retain_points is not None
+
+    def watermark(self, total_points: int, previous: int = 0) -> int:
+        """First retained time point after an epoch ends at ``total_points``."""
+        if self.retain_points is None:
+            return previous
+        return max(previous, total_points - self.retain_points)
+
+    @classmethod
+    def coerce(cls, value: "CompactionPolicy | int | None") -> "CompactionPolicy":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(retain_points=int(value))
+
+
+@dataclasses.dataclass
+class StreamState:
+    """The O(sources) continuation state between stream epochs.
+
+    ``counters`` maps source id → ``[correct, total, trust]`` in store
+    position order; ``prior`` is the epoch-0 anchor k0; ``base`` is the
+    total number of trajectory time points emitted so far (the global
+    offset of the next epoch's first row); ``compacted_before`` is the
+    store-side compaction watermark.
+    """
+
+    epoch: int
+    prior: float
+    base: int
+    counters: dict[str, list[float]]
+    compacted_before: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": STREAM_STATE_FORMAT,
+            "epoch": self.epoch,
+            "prior": self.prior,
+            "base": self.base,
+            "sources": list(self.counters),
+            "counters": self.counters,
+            "compacted_before": self.compacted_before,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "StreamState":
+        if state.get("format") != STREAM_STATE_FORMAT:
+            raise LedgerError(
+                f"not a {STREAM_STATE_FORMAT} state: {state.get('format')!r}"
+            )
+        counters = state["counters"]
+        return cls(
+            epoch=int(state["epoch"]),
+            prior=float(state["prior"]),
+            base=int(state["base"]),
+            counters={
+                str(s): [float(x) for x in counters[s]]
+                for s in state["sources"]
+            },
+            compacted_before=int(state.get("compacted_before", 0)),
+        )
+
+    @classmethod
+    def from_replay_carry(cls, carry: dict) -> "StreamState":
+        """Distil a replay-layer epoch carry into stream state.
+
+        The carry's ``time_point`` is the length of its full history, so
+        it becomes ``base`` directly; a replay refresh always persists
+        the complete trajectory, so the watermark resets to 0.  This is
+        what lets a service switch ``--engine replay`` → ``stream``
+        mid-stream without a rebuild.
+        """
+        if carry.get("format") != REPLAY_CARRY_FORMAT:
+            raise LedgerError(
+                f"not a {REPLAY_CARRY_FORMAT} state: {carry.get('format')!r}"
+            )
+        return cls(
+            epoch=int(carry["epoch"]),
+            prior=float(carry["prior"]),
+            base=int(carry["time_point"]),
+            counters={
+                str(s): [float(x) for x in carry["counters"][s]]
+                for s in carry["sources"]
+            },
+            compacted_before=0,
+        )
+
+    @classmethod
+    def from_stored(cls, state: dict) -> "StreamState":
+        """Load whichever continuation format the store holds."""
+        fmt = state.get("format")
+        if fmt == STREAM_STATE_FORMAT:
+            return cls.from_dict(state)
+        if fmt == REPLAY_CARRY_FORMAT:
+            return cls.from_replay_carry(state)
+        raise LedgerError(f"unknown continuation state format {fmt!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamDelta:
+    """One stream epoch's bounded output: new labels and new rows only.
+
+    ``rows`` are the epoch's local trajectory vectors (full, per-source);
+    row ``i`` belongs at global time point ``base + i``.  ``new_sources``
+    joined this epoch and need λ-backfill rows over the retained range
+    ``[backfill_start, base)`` so the stored table stays identical to the
+    replayed one (replay densifies history with λ for late sources).
+    ``compact_before`` is the post-epoch watermark: the store drops every
+    time point below it.
+    """
+
+    epoch: int
+    base: int
+    time_points: int
+    labels: list[dict]
+    rows: list[dict[str, float]]
+    new_sources: list[str]
+    backfill_start: int
+    compact_before: int
+    default_trust: float
+
+    def to_record(self) -> dict:
+        """Runlog-sized summary (the full rows stay out of the ledger)."""
+        return {
+            "epoch": self.epoch,
+            "base": self.base,
+            "time_points": self.time_points,
+            "labels": len(self.labels),
+            "rows": len(self.rows),
+            "new_sources": len(self.new_sources),
+            "compact_before": self.compact_before,
+        }
+
+
+def stream_graft(base: dict, state: StreamState, default_trust: float) -> dict:
+    """Splice carried counter triples into a fresh session's snapshot.
+
+    ``base`` must be the snapshot of a *freshly constructed* session over
+    the epoch's delta dataset.  Unlike the replay layer's
+    :func:`~repro.serve.service.graft_snapshot`, nothing else moves: the
+    trajectory stays empty (the epoch records its own rows from local
+    time point 0), probabilities, overrides and rounds stay blank.  The
+    carried sources must form a prefix of the delta source list (the
+    store's position-order guarantee); sources the state has never seen
+    get ``[λ·k0, k0, λ]`` — the counters they would have had as voteless
+    sources from the start (Equation 8).
+    """
+    grafted = dict(base)
+    delta_sources = list(base["trajectory"]["sources"])
+    carried = list(state.counters)
+    if carried != delta_sources[: len(carried)]:
+        raise LedgerError(
+            "carried sources are not a prefix of the delta source list; "
+            "the store's position order was violated"
+        )
+    prior = float(state.prior)
+    fresh = [default_trust * prior, prior, default_trust]
+    counters = state.counters
+
+    def triple(source: str) -> list[float]:
+        carried_triple = counters.get(source)
+        return list(carried_triple) if carried_triple is not None else list(fresh)
+
+    if "engine" in base:
+        engine = dict(base["engine"])
+        engine["correct"] = [triple(s)[0] for s in delta_sources]
+        engine["total"] = [triple(s)[1] for s in delta_sources]
+        engine["trust"] = [triple(s)[2] for s in delta_sources]
+        grafted["engine"] = engine
+    else:
+        scalar = dict(base["scalar"])
+        scalar["correct"] = {s: triple(s)[0] for s in delta_sources}
+        scalar["total"] = {s: triple(s)[1] for s in delta_sources}
+        scalar["trust"] = {s: triple(s)[2] for s in delta_sources}
+        grafted["scalar"] = scalar
+    return grafted
+
+
+class StreamEngine:
+    """Runs refresh epochs directly off the vote stream (no replay).
+
+    Stateless between calls — all continuation state lives in the
+    :class:`StreamState` the caller threads through — so one engine can
+    serve any number of stores and an engine crash loses nothing.
+
+    Args:
+        method: ``incestimate`` (IncEstHeu selection) or
+            ``incestimate-ps`` (popularity-size selection).
+        engine: array backend (default) or the scalar reference path.
+        obs: observability bundle; each epoch runs under a
+            ``stream.epoch`` span and bumps ``stream.*`` metrics.
+        supervision: NaN-watchdog / wall-clock guards applied to every
+            epoch (:data:`~repro.resilience.supervisor.FAIL_FAST`
+            default).
+        compaction: :class:`CompactionPolicy` (or a bare ``retain_points``
+            int, or ``None`` to keep the full trajectory).
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = "incestimate",
+        engine: bool = True,
+        obs: Obs = NULL_OBS,
+        supervision: Supervision = FAIL_FAST,
+        compaction: CompactionPolicy | int | None = None,
+    ) -> None:
+        if method not in STREAM_METHODS:
+            raise ValueError(
+                f"unknown stream method {method!r}; "
+                f"expected one of {STREAM_METHODS}"
+            )
+        self.method = method
+        self.engine = engine
+        self.obs = obs
+        self.supervision = supervision
+        self.compaction = CompactionPolicy.coerce(compaction)
+
+    def _session_obs(self) -> Obs:
+        obs = self.obs
+        if self.supervision.needs_guard:
+            guard = GuardedRunLog(obs.runlog, self.supervision, self.method)
+            obs = Obs(tracer=obs.tracer, metrics=obs.metrics, runlog=guard)
+        return obs
+
+    def _estimator(self) -> IncEstimate:
+        strategy = IncEstHeu() if self.method == "incestimate" else IncEstPS()
+        return IncEstimate(strategy, engine=self.engine, obs=self._session_obs())
+
+    def run_epoch(
+        self,
+        delta: Dataset,
+        state: StreamState | None,
+        epoch: int,
+        *,
+        deadline: float | None = None,
+    ) -> tuple[CorroborationResult, StreamDelta, StreamState]:
+        """Run one epoch over ``delta`` continuing from ``state``.
+
+        ``delta`` is the epoch's problem instance — the pending facts and
+        every known source in store position order (the serve layer's
+        ``_delta_dataset`` shape).  ``state=None`` starts a stream from
+        scratch (epoch 0).  ``deadline`` is an absolute ``time.monotonic``
+        instant; blowing it (or the supervision wall-clock budget) raises
+        :class:`~repro.resilience.supervisor.MethodTimeout` before
+        anything would be persisted.
+
+        Returns ``(result, delta_out, next_state)``; the caller persists
+        ``delta_out`` (e.g. via :meth:`~repro.store.ledger.VoteLedger
+        .record_stream_epoch`) and threads ``next_state`` into the next
+        call.
+        """
+        started = time.perf_counter()
+        estimator = self._estimator()
+        with self.obs.tracer.span(
+            "stream.epoch", epoch=epoch, facts=delta.matrix.num_facts
+        ):
+            session = estimator.session(delta)
+            if state is None:
+                prior = estimator.trust_prior_strength * delta.matrix.num_facts
+                base = 0
+                compacted = 0
+                known: Mapping[str, list[float]] = {}
+            else:
+                prior = float(state.prior)
+                base = int(state.base)
+                compacted = int(state.compacted_before)
+                known = state.counters
+                session.restore(
+                    stream_graft(
+                        session.snapshot(), state, estimator.default_trust
+                    )
+                )
+            if self.supervision.wall_clock_budget_s is not None:
+                budget = time.monotonic() + self.supervision.wall_clock_budget_s
+                deadline = budget if deadline is None else min(deadline, budget)
+            while not session.done:
+                session.step()
+                if deadline is not None and time.monotonic() > deadline:
+                    raise MethodTimeout(
+                        f"stream epoch {epoch} exceeded its time budget"
+                    )
+            result = session.finalize()
+            if self.supervision.nan_watchdog:
+                where = scan_result_non_finite(result)
+                if where is not None:
+                    raise MethodDiverged(
+                        f"stream epoch {epoch} produced a non-finite value "
+                        f"at {where}"
+                    )
+            snapshot = session.snapshot()
+        rows = snapshot["trajectory"]["history"]
+        labels = [
+            {
+                "fact": fact,
+                "probability": result.probabilities[fact],
+                "label": result.label(fact),
+                "flipped": fact in result.label_overrides,
+                "time_point": base + result.trajectory.evaluation_time(fact),
+            }
+            for fact in delta.matrix.facts
+        ]
+        new_sources = [
+            s for s in snapshot["trajectory"]["sources"] if s not in known
+        ]
+        total = base + len(rows)
+        compact_before = self.compaction.watermark(total, compacted)
+        next_state = StreamState(
+            epoch=epoch,
+            prior=prior,
+            base=total,
+            counters=counters_from_snapshot(snapshot),
+            compacted_before=compact_before,
+        )
+        delta_out = StreamDelta(
+            epoch=epoch,
+            base=base,
+            time_points=total,
+            labels=labels,
+            rows=rows,
+            new_sources=new_sources,
+            backfill_start=max(compacted, compact_before),
+            compact_before=compact_before,
+            default_trust=estimator.default_trust,
+        )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("stream.epochs")
+            metrics.inc("stream.labels", len(labels))
+            metrics.inc("stream.rows_emitted", len(rows))
+            metrics.observe(
+                "stream.epoch_seconds", time.perf_counter() - started
+            )
+            metrics.set_gauge("stream.state_points", total)
+            metrics.set_gauge("stream.compacted_before", compact_before)
+        return result, delta_out, next_state

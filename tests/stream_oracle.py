@@ -1,0 +1,230 @@
+"""Epoch-replay differential oracle for the streaming core.
+
+The oracle feeds **one seeded batch schedule** to two independent
+services — one on the ``stream`` core, one on the ``replay`` core — and
+asserts the stores they leave behind are *bit-identical*: every label
+row (probability, label, flip, time point), every trust-trajectory row,
+every epoch row (modulo the ``action`` tag and wall-clock timestamp),
+and the final trust vector of the continuation state.  No tolerances
+anywhere: the stream engine's claim is exact equivalence, not numerical
+closeness (see ``docs/streaming.md`` for why it holds).
+
+The pieces are reusable on purpose: :func:`random_schedule` builds
+seeded adversarial schedules (random batch sizes, in-batch reordering,
+duplicate and stale votes that the quarantine policy must drop),
+:func:`run_schedule` drives one service over a schedule, and
+:func:`assert_identical` is the bit-for-bit comparison.  The fuzz suite
+(``tests/test_stream_oracle.py``), the metamorphic suite and the bench
+floor checks all build on these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from pathlib import Path
+
+from repro.model.dataset import Dataset
+from repro.serve import CorroborationService, RefreshDecision
+from repro.store import VoteLedger
+
+#: The ingest policy every adversarial schedule runs under: duplicate and
+#: stale votes are quarantined rows, not errors.
+SCHEDULE_POLICY = "quarantine"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleStep:
+    """One ingest step: a vote batch, optionally followed by a refresh."""
+
+    rows: tuple[tuple[str, str, str], ...]
+    refresh: bool = True
+    force: str | None = None
+
+
+def vote_rows(dataset: Dataset, facts: list[str]) -> list[tuple[str, str, str]]:
+    """The ``(fact, source, symbol)`` triples of ``facts``, source-sorted."""
+    return [
+        (fact, source, vote.value)
+        for fact in facts
+        for source, vote in sorted(dataset.matrix.votes_on(fact).items())
+    ]
+
+
+def random_schedule(
+    dataset: Dataset,
+    seed: int,
+    *,
+    max_batch: int = 40,
+    duplicates: bool = True,
+    stale: bool = True,
+) -> list[ScheduleStep]:
+    """A seeded adversarial batch schedule over ``dataset``'s votes.
+
+    Splits the fact list into random-size batches (1..``max_batch``
+    facts), shuffles the vote rows *within* each batch (vote order inside
+    an epoch must not matter), and salts later batches with a duplicate
+    of one of their own rows and with a re-delivered vote on an
+    already-labelled fact — both must be quarantined identically by both
+    cores.  Same ``seed`` → same schedule, so every oracle failure is
+    replayable.
+    """
+    rng = random.Random(seed)
+    facts = list(dataset.matrix.facts)
+    steps: list[ScheduleStep] = []
+    position = 0
+    while position < len(facts):
+        size = rng.randint(1, max_batch)
+        chunk = facts[position : position + size]
+        position += size
+        rows = vote_rows(dataset, chunk)
+        rng.shuffle(rows)
+        if duplicates and rows and rng.random() < 0.5:
+            rows.append(rng.choice(rows))
+        if stale and steps and rng.random() < 0.5:
+            prior_step = rng.choice(steps)
+            if prior_step.rows:
+                rows.append(rng.choice(prior_step.rows))
+        steps.append(ScheduleStep(rows=tuple(rows)))
+    return steps
+
+
+def run_schedule(
+    path: Path,
+    schedule: list[ScheduleStep],
+    *,
+    core: str,
+    engine: bool = True,
+    refresh: str = "incremental",
+    **service_kwargs,
+) -> tuple[VoteLedger, CorroborationService, list[RefreshDecision]]:
+    """Drive one fresh service over ``schedule``; caller closes the ledger."""
+    ledger = VoteLedger(path)
+    service = CorroborationService(
+        ledger, refresh=refresh, core=core, engine=engine, **service_kwargs
+    )
+    decisions: list[RefreshDecision] = []
+    for step in schedule:
+        if step.rows:
+            service.apply_votes(
+                step.rows, on_error=SCHEDULE_POLICY, refresh=False
+            )
+        if step.refresh:
+            decisions.append(service.refresh(force=step.force))
+    return ledger, service, decisions
+
+
+def labels_table(ledger: VoteLedger) -> dict[str, tuple]:
+    """Every label row as a comparable tuple (no timestamps involved)."""
+    return {
+        fact: (
+            row["probability"],
+            row["label"],
+            row["flipped"],
+            row["epoch"],
+            row["time_point"],
+        )
+        for fact, row in ledger.labels_map().items()
+    }
+
+
+def trajectory_table(ledger: VoteLedger) -> dict[tuple[int, str], float]:
+    """The raw trust table keyed by ``(time_point, source)``.
+
+    Unlike :meth:`VoteLedger.trajectory_rows` this keeps the *absolute*
+    time points, which is what compaction-aware comparisons need (a
+    compacted store holds a suffix of the uncompacted table).
+    """
+    return {
+        (row["time_point"], row["source_id"]): row["trust"]
+        for row in ledger._conn.execute(
+            "SELECT time_point, source_id, trust FROM trust_trajectory"
+        )
+    }
+
+
+def epochs_table(ledger: VoteLedger) -> list[tuple]:
+    """Epoch rows minus the core-dependent fields (action, timestamp)."""
+    return [
+        (
+            row["epoch"],
+            row["last_batch"],
+            row["facts"],
+            row["time_points"],
+            row["entropy_mass"],
+        )
+        for row in ledger.list_epochs()
+    ]
+
+
+def final_trust(ledger: VoteLedger) -> dict[str, float]:
+    """The continuation state's trust vector, whichever format is stored.
+
+    A stream state's counter trust and a replay carry's last history
+    vector are the same mathematical object (the trust vector after the
+    last finalize); the oracle checks they are the same *bits*.
+    """
+    state = ledger.load_session_state()
+    assert state is not None, "no continuation state stored"
+    payload = state[1]
+    if payload.get("format") == "serve-stream-state":
+        return {s: c[2] for s, c in payload["counters"].items()}
+    return dict(payload["trajectory"]["history"][-1])
+
+
+def assert_identical(
+    stream_ledger: VoteLedger, replay_ledger: VoteLedger
+) -> None:
+    """Bit-for-bit store equivalence (the oracle's verdict).
+
+    Exact ``==`` on floats throughout — the differential claim is
+    identity, not closeness.
+    """
+    assert labels_table(stream_ledger) == labels_table(replay_ledger)
+    assert trajectory_table(stream_ledger) == trajectory_table(replay_ledger)
+    assert epochs_table(stream_ledger) == epochs_table(replay_ledger)
+    assert final_trust(stream_ledger) == final_trust(replay_ledger)
+    stream_counts = stream_ledger.counts()
+    replay_counts = replay_ledger.counts()
+    for key in ("facts", "sources", "votes", "labels", "pending"):
+        assert stream_counts[key] == replay_counts[key]
+
+
+def run_differential(
+    tmp_path: Path,
+    schedule: list[ScheduleStep],
+    *,
+    engine: bool = True,
+    tag: str = "oracle",
+    **service_kwargs,
+) -> tuple[
+    list[RefreshDecision], list[RefreshDecision], CorroborationService
+]:
+    """Run one schedule through both cores and assert store identity.
+
+    Also replays the stream-written store from its ingest log
+    (``service.verify()``) — the stream core must leave a log a cold
+    replay can reproduce exactly.  Returns both decision lists plus the
+    stream service (callers assert on actions / verify further).
+    """
+    replay_ledger, _, replay_decisions = run_schedule(
+        tmp_path / f"{tag}-replay.db",
+        schedule,
+        core="replay",
+        engine=engine,
+        **service_kwargs,
+    )
+    stream_ledger, stream_service, stream_decisions = run_schedule(
+        tmp_path / f"{tag}-stream.db",
+        schedule,
+        core="stream",
+        engine=engine,
+        **service_kwargs,
+    )
+    try:
+        assert_identical(stream_ledger, replay_ledger)
+        assert stream_service.verify() == stream_ledger.counts()["labels"]
+    finally:
+        replay_ledger.close()
+        stream_ledger.close()
+    return stream_decisions, replay_decisions, stream_service

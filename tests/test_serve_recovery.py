@@ -442,6 +442,67 @@ def test_reconcile_deletes_orphan_labels(tmp_path):
     assert ledger.counts()["pending"] == 0
 
 
+def test_reconcile_fresh_empty_store(tmp_path):
+    """Reconciling a store that has never ingested anything is a clean
+    no-op: no batches, no epochs, nothing pending — and nothing to
+    trip over (regression: the audit must not assume a last epoch or a
+    session state exists)."""
+    ledger = VoteLedger(tmp_path / "fresh.db")
+    report = ledger.reconcile()
+    assert report["clean"] is True
+    assert report["torn_batches"] == 0
+    assert report["orphan_labels"] == 0
+    assert report["last_epoch"] is None
+    assert report["pending"] == 0
+    assert report["quarantined_batches"] == []
+    assert report["kept_batches"] == []
+    # Idempotent, and a service boots over it without incident.
+    assert ledger.reconcile() == report
+    service = CorroborationService(ledger)
+    assert service.recovery_report["clean"] is True
+    assert service.state == "healthy"
+    ledger.close()
+
+
+def test_reconcile_fully_labelled_last_batch(tmp_path):
+    """A store whose last batch is fully labelled reconciles clean and
+    leaves every row untouched (regression: the audit must not mistake
+    a *complete* final batch for a torn one, nor touch its labels)."""
+    service = make_service(tmp_path, tag="labelled")
+    service.apply_votes(batch("a"))
+    service.apply_votes(batch("b"))  # last batch: refreshed, labelled
+    ledger = service.ledger
+    assert ledger.counts()["pending"] == 0
+    before_counts = ledger.counts()
+    before_labels = ledger.labels_map()
+    report = ledger.reconcile()
+    assert report["clean"] is True
+    assert report["torn_batches"] == 0
+    assert report["orphan_labels"] == 0
+    assert report["last_epoch"] == 1
+    assert report["pending"] == 0
+    assert ledger.counts() == before_counts
+    assert ledger.labels_map() == before_labels
+    assert ledger.reconcile() == report  # idempotent
+
+
+def test_reconcile_clean_on_stream_core_store(tmp_path):
+    """The audit is core-agnostic: a store written entirely by stream
+    refreshes (``action='stream'`` epochs, stream-format continuation)
+    reconciles clean, and a stream service reboots over it."""
+    service = make_service(tmp_path, tag="streamed", core="stream")
+    service.apply_votes(batch("a"))
+    service.apply_votes(batch("b"))
+    ledger = service.ledger
+    assert {row["action"] for row in ledger.list_epochs()} == {"stream"}
+    report = ledger.reconcile()
+    assert report["clean"] is True
+    assert report["last_epoch"] == 1
+    reboot = CorroborationService(ledger, core="stream")
+    assert reboot.recovery_report["clean"] is True
+    assert reboot.last_good_epoch == 1
+
+
 def test_reconcile_raises_on_session_state_mismatch(tmp_path):
     service = make_service(tmp_path, tag="bad")
     service.apply_votes(batch("a"))

@@ -1,0 +1,306 @@
+"""Differential fuzz: StreamEngine vs epoch replay, bit for bit.
+
+Every test here feeds one seeded adversarial batch schedule (random
+batch sizes, in-batch reordering, duplicate and stale re-deliveries) to
+a ``stream``-core service and a ``replay``-core service and requires the
+two stores to come out bit-identical — labels, trust trajectory, epoch
+accounting and final continuation trust, on both the array and scalar
+backends.  The helpers live in ``tests/stream_oracle.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    generate_hubdub_like,
+    generate_restaurants,
+    generate_sparse_synthetic,
+)
+from repro.store import LedgerError, VoteLedger
+from repro.stream import (
+    STREAM_STATE_FORMAT,
+    CompactionPolicy,
+    StreamState,
+)
+
+from tests.stream_oracle import (
+    ScheduleStep,
+    assert_identical,
+    random_schedule,
+    run_differential,
+    run_schedule,
+    vote_rows,
+)
+
+RESTAURANTS = generate_restaurants(
+    num_facts=150,
+    golden_true=6,
+    golden_false=4,
+    golden_false_with_f_votes=2,
+    seed=7,
+).dataset
+HUBDUB = generate_hubdub_like(
+    num_questions=12, num_users=20, num_answer_facts=30, seed=5
+).questions.to_dataset()
+SPARSE = generate_sparse_synthetic(
+    num_facts=400,
+    num_sources=80,
+    num_templates=40,
+    num_hubs=12,
+    seed=11,
+).dataset
+
+DATASETS = {
+    "restaurants": RESTAURANTS,
+    "hubdub-like": HUBDUB,
+    "sparse-synthetic": SPARSE,
+}
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: fuzzed schedules, both backends, three dataset families
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("engine", [True, False], ids=["arrays", "scalar"])
+@pytest.mark.parametrize("name", sorted(DATASETS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fuzzed_schedules_bit_identical(tmp_path, name, engine, seed):
+    dataset = DATASETS[name]
+    schedule = random_schedule(dataset, seed)
+    assert len(schedule) >= 2, "schedule must span multiple epochs"
+    stream_decisions, replay_decisions, _ = run_differential(
+        tmp_path, schedule, engine=engine, tag=f"{name}-{seed}"
+    )
+    stream_actions = {d.action for d in stream_decisions}
+    assert stream_actions <= {"stream", "none"}
+    assert "stream" in stream_actions
+    assert {d.action for d in replay_decisions} <= {
+        "full",
+        "incremental",
+        "none",
+    }
+
+
+def test_epochs_table_records_stream_action(tmp_path):
+    schedule = random_schedule(RESTAURANTS, 3)
+    ledger, _, _ = run_schedule(
+        tmp_path / "actions.db", schedule, core="stream"
+    )
+    actions = {row["action"] for row in ledger.list_epochs()}
+    assert actions == {"stream"}
+    state = ledger.load_session_state()
+    assert state is not None
+    assert state[1]["format"] == STREAM_STATE_FORMAT
+    ledger.close()
+
+
+# ---------------------------------------------------------------------------
+# Policy interplay: entropy escalation and forced fulls take the replay
+# path on the stream core, then the stream resumes from the replay carry
+# ---------------------------------------------------------------------------
+def test_entropy_escalation_matches_across_cores(tmp_path):
+    schedule = random_schedule(RESTAURANTS, 5)
+    stream_decisions, replay_decisions, _ = run_differential(
+        tmp_path,
+        schedule,
+        tag="entropy",
+        refresh="entropy",
+        entropy_threshold=16.0,
+    )
+    # The escalation decision reads the same trust either way, so the
+    # two cores must agree refresh-for-refresh on the entropy mass and
+    # on when to go full.  The bootstrap epoch (mass None) differs by
+    # design: replay's first epoch is "full" by definition, the stream
+    # core simply streams from scratch.
+    stream_masses = [d.entropy_mass for d in stream_decisions]
+    replay_masses = [d.entropy_mass for d in replay_decisions]
+    assert stream_masses == replay_masses
+    fulls = [
+        i
+        for i, d in enumerate(replay_decisions)
+        if d.action == "full" and d.entropy_mass is not None
+    ]
+    assert [
+        i for i, d in enumerate(stream_decisions) if d.action == "full"
+    ] == fulls
+    assert len(fulls) >= 1, "threshold chosen to force an escalation"
+    assert any(d.action == "stream" for d in stream_decisions)
+
+
+def test_forced_full_then_stream_resumes(tmp_path):
+    base = random_schedule(RESTAURANTS, 9)
+    assert len(base) >= 3
+    # Force a verified full replay mid-stream; the stream core must
+    # resume from the replay-format carry it leaves behind.
+    steps = list(base)
+    steps[len(steps) // 2] = ScheduleStep(
+        rows=steps[len(steps) // 2].rows, force="full"
+    )
+    stream_decisions, _, _ = run_differential(tmp_path, steps, tag="forced")
+    actions = [d.action for d in stream_decisions]
+    assert "full" in actions
+    assert actions[-1] == "stream"
+
+
+# ---------------------------------------------------------------------------
+# Core switching mid-stream: the continuation formats interconvert
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "first_core,second_core",
+    [("replay", "stream"), ("stream", "replay")],
+)
+def test_core_switch_mid_stream(tmp_path, first_core, second_core):
+    schedule = random_schedule(RESTAURANTS, 13)
+    assert len(schedule) >= 2
+    cut = len(schedule) // 2 or 1
+    switched = VoteLedger(tmp_path / "switched.db")
+    try:
+        from repro.serve import CorroborationService
+
+        first = CorroborationService(
+            switched, refresh="incremental", core=first_core
+        )
+        for step in schedule[:cut]:
+            if step.rows:
+                first.apply_votes(
+                    step.rows, on_error="quarantine", refresh=False
+                )
+            if step.refresh:
+                first.refresh(force=step.force)
+        second = CorroborationService(
+            switched, refresh="incremental", core=second_core
+        )
+        second_decisions = []
+        for step in schedule[cut:]:
+            if step.rows:
+                second.apply_votes(
+                    step.rows, on_error="quarantine", refresh=False
+                )
+            if step.refresh:
+                second_decisions.append(second.refresh(force=step.force))
+        if second_core == "stream":
+            # A replay carry converts in place — no rebuild epoch.
+            assert {d.action for d in second_decisions} <= {"stream", "none"}
+        else:
+            # The replay core rebuilds once from the log, then carries.
+            actions = [
+                d.action for d in second_decisions if d.action != "none"
+            ]
+            assert actions[0] == "full"
+            assert set(actions[1:]) <= {"incremental"}
+        reference, _, _ = run_schedule(
+            tmp_path / "reference.db", schedule, core="replay"
+        )
+        assert_identical(switched, reference)
+        reference.close()
+    finally:
+        switched.close()
+
+
+# ---------------------------------------------------------------------------
+# State-format unit guards
+# ---------------------------------------------------------------------------
+def test_stream_state_round_trips():
+    state = StreamState(
+        epoch=4,
+        prior=37.5,
+        base=11,
+        counters={"a": [1.0, 2.0, 0.5], "b": [0.25, 1.0, 0.25]},
+        compacted_before=3,
+    )
+    assert StreamState.from_dict(state.to_dict()) == state
+    assert StreamState.from_stored(state.to_dict()) == state
+
+
+def test_stream_state_rejects_unknown_format():
+    with pytest.raises(LedgerError):
+        StreamState.from_stored({"format": "not-a-state"})
+    with pytest.raises(LedgerError):
+        StreamState.from_dict({"format": "serve-epoch-carry"})
+
+
+def test_compaction_policy_validation():
+    with pytest.raises(ValueError):
+        CompactionPolicy(retain_points=0)
+    policy = CompactionPolicy.coerce(5)
+    assert policy.retain_points == 5
+    assert CompactionPolicy.coerce(None) == CompactionPolicy()
+    assert CompactionPolicy.coerce(policy) is policy
+    # The watermark never regresses.
+    assert policy.watermark(3, previous=0) == 0
+    assert policy.watermark(12, previous=0) == 7
+    assert policy.watermark(12, previous=9) == 9
+    assert CompactionPolicy().watermark(100, previous=4) == 4
+
+
+def test_stream_engine_rejects_unknown_method():
+    from repro.stream import StreamEngine
+
+    with pytest.raises(ValueError, match="unknown stream method"):
+        StreamEngine(method="majority")
+
+
+def test_stream_engine_enforces_deadline():
+    import time
+
+    from repro.resilience.supervisor import MethodTimeout
+    from repro.stream import StreamEngine
+
+    engine = StreamEngine()
+    with pytest.raises(MethodTimeout, match="time budget"):
+        engine.run_epoch(
+            RESTAURANTS, None, 0, deadline=time.monotonic() - 1.0
+        )
+
+
+def test_replay_carry_conversion_rejects_wrong_format():
+    with pytest.raises(LedgerError):
+        StreamState.from_replay_carry({"format": "serve-stream-state"})
+
+
+def test_stream_engine_supervised_epoch_emits_metrics():
+    from repro.obs import make_obs
+    from repro.resilience.supervisor import Supervision
+    from repro.stream import StreamEngine
+
+    policy = CompactionPolicy(retain_points=4)
+    assert policy.enabled
+    assert not CompactionPolicy().enabled
+    obs = make_obs(metrics=True)
+    engine = StreamEngine(
+        obs=obs,
+        supervision=Supervision(nan_watchdog=True, wall_clock_budget_s=60.0),
+        compaction=policy,
+    )
+    _result, delta, state = engine.run_epoch(RESTAURANTS, None, 0)
+    snap = obs.metrics.snapshot()
+    assert snap["counters"]["stream.epochs"] == 1.0
+    assert snap["counters"]["stream.rows_emitted"] == float(len(delta.rows))
+    assert snap["gauges"]["stream.compacted_before"] == float(
+        delta.compact_before
+    )
+    assert "stream.epoch_seconds" in snap["histograms"]
+    # to_record() is the runlog-sized summary: counts, never the rows.
+    record = delta.to_record()
+    assert record["labels"] == len(delta.labels)
+    assert record["rows"] == len(delta.rows)
+    assert record["compact_before"] == delta.compact_before
+    assert "counters" not in record
+    assert state.compacted_before == delta.compact_before
+
+
+def test_stream_graft_requires_prefix_order(tmp_path):
+    from repro.core.incestimate import IncEstimate
+    from repro.core.selection import IncEstHeu
+    from repro.stream import stream_graft
+
+    estimator = IncEstimate(IncEstHeu())
+    session = estimator.session(RESTAURANTS)
+    state = StreamState(
+        epoch=0,
+        prior=10.0,
+        base=2,
+        counters={"not-a-real-source": [1.0, 2.0, 0.5]},
+    )
+    with pytest.raises(LedgerError):
+        stream_graft(session.snapshot(), state, estimator.default_trust)
